@@ -1,0 +1,299 @@
+package cogmimo
+
+// The benchmark harness: one benchmark per paper artifact (Figures 6a,
+// 6b, 7, 8 and Tables 1-4) regenerating the corresponding report, plus
+// the ablation benchmarks DESIGN.md calls out (ēb solver sampling,
+// parallel Monte-Carlo scaling, constellation search, phase models,
+// clustering, STBC decoding, CSMA contention).
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/beamform"
+	"repro/internal/channel"
+	"repro/internal/coop"
+	"repro/internal/ebtable"
+	"repro/internal/energy"
+	"repro/internal/experiments"
+	"repro/internal/geom"
+	"repro/internal/mathx"
+	"repro/internal/multihop"
+	"repro/internal/network"
+	"repro/internal/sensing"
+	"repro/internal/sim"
+	"repro/internal/stbc"
+)
+
+// benchArtifact regenerates one evaluation artifact per iteration.
+func benchArtifact(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		rep, err := experiments.Run(id, experiments.Options{Seed: 1, Quick: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rep.Rows) == 0 {
+			b.Fatal("empty report")
+		}
+	}
+}
+
+func BenchmarkFig6a(b *testing.B)  { benchArtifact(b, "fig6a") }
+func BenchmarkFig6b(b *testing.B)  { benchArtifact(b, "fig6b") }
+func BenchmarkFig7(b *testing.B)   { benchArtifact(b, "fig7") }
+func BenchmarkFig8(b *testing.B)   { benchArtifact(b, "fig8") }
+func BenchmarkTable1(b *testing.B) { benchArtifact(b, "table1") }
+func BenchmarkTable2(b *testing.B) { benchArtifact(b, "table2") }
+func BenchmarkTable3(b *testing.B) { benchArtifact(b, "table3") }
+func BenchmarkTable4(b *testing.B) { benchArtifact(b, "table4") }
+
+// BenchmarkEbTableSamples ablates the Monte-Carlo ēb solver's sample
+// count against the analytic solution, reporting the relative error.
+func BenchmarkEbTableSamples(b *testing.B) {
+	exact, err := ebtable.Analytic{}.EbBar(0.001, 2, 2, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, samples := range []int{1000, 10000, 50000} {
+		b.Run(fmt.Sprintf("samples=%d", samples), func(b *testing.B) {
+			var relErr float64
+			for i := 0; i < b.N; i++ {
+				mc := &ebtable.MonteCarlo{Samples: samples, Seed: int64(i + 1)}
+				got, err := mc.EbBar(0.001, 2, 2, 3)
+				if err != nil {
+					b.Fatal(err)
+				}
+				relErr = math.Abs(got/exact - 1)
+			}
+			b.ReportMetric(relErr, "relerr")
+		})
+	}
+}
+
+// BenchmarkMonteCarloParallel ablates worker counts on the shared
+// Monte-Carlo runner.
+func BenchmarkMonteCarloParallel(b *testing.B) {
+	trial := func(rng *rand.Rand) float64 {
+		h := channel.Rayleigh(rng, 2, 2)
+		return h.FrobeniusNorm2()
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			mc := sim.MonteCarlo{Seed: 1, Workers: workers}
+			for i := 0; i < b.N; i++ {
+				r := mc.RunMean(100000, trial)
+				if r.N() != 100000 {
+					b.Fatal("short run")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkOptimalB ablates the exhaustive constellation search against
+// a fixed b = 2.
+func BenchmarkOptimalB(b *testing.B) {
+	model, err := energy.New(energy.Paper(40e3), ebtable.Analytic{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("exhaustive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := model.OptimalMIMOB(0.001, 2, 2, 250, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("fixed-b2", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := model.MIMOTx(0.001, 2, 2, 2, 250); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkPhaseModels ablates the exact path-length field against the
+// far-field approximation in the interweave beamformer.
+func BenchmarkPhaseModels(b *testing.B) {
+	pair, err := beamform.NewNullPair(geom.Pt(0, 7.5), geom.Pt(0, -7.5), geom.Pt(0, -300), 30)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := geom.Pt(150, 0)
+	b.Run("exact", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if pair.AmplitudeAt(q) <= 0 {
+				b.Fatal("zero amplitude")
+			}
+		}
+	})
+	b.Run("farfield", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if pair.AmplitudeFarField(q) <= 0 {
+				b.Fatal("zero amplitude")
+			}
+		}
+	})
+}
+
+// BenchmarkClustering measures d-clustering over growing deployments.
+func BenchmarkClustering(b *testing.B) {
+	for _, n := range []int{50, 200} {
+		b.Run(fmt.Sprintf("nodes=%d", n), func(b *testing.B) {
+			dep := network.RandomDeployment(mathx.NewRand(1), n, 500, 500, 1, 10)
+			g, err := network.NewGraph(dep, 80)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			b.Run("greedy", func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					cl, err := network.DCluster(g, 30)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if err := cl.Validate(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			b.Run("grid", func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					cl, err := network.DClusterGrid(g, 30)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if err := cl.Validate(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkSTBCDecode measures block decode cost per code.
+func BenchmarkSTBCDecode(b *testing.B) {
+	rng := mathx.NewRand(1)
+	for _, c := range []*stbc.Code{stbc.Alamouti(), stbc.OSTBC3(), stbc.OSTBC4()} {
+		b.Run(c.Name(), func(b *testing.B) {
+			syms := make([]complex128, c.BlockSymbols())
+			for i := range syms {
+				syms[i] = mathx.ComplexCN(rng, 1)
+			}
+			h := channel.Rayleigh(rng, c.Nt(), 2)
+			y := c.Transmit(c.Encode(syms), h)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				got := c.Decode(y, h)
+				if len(got) != c.BlockSymbols() {
+					b.Fatal("bad decode")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCSMA measures MAC contention resolution.
+func BenchmarkCSMA(b *testing.B) {
+	for _, stations := range []int{2, 8} {
+		b.Run(fmt.Sprintf("stations=%d", stations), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ids := make([]network.NodeID, stations)
+				for j := range ids {
+					ids[j] = network.NodeID(j)
+				}
+				m, err := network.NewCSMAMedium(network.DefaultCSMA(), &sim.Engine{}, mathx.NewRand(1), ids)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for j := 0; j < stations; j++ {
+					m.Enqueue(network.NodeID(j), 10, 3e-4)
+				}
+				st := m.Run(60)
+				if st.Delivered+st.Dropped != stations*10 {
+					b.Fatal("frames lost")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEbBarAnalytic measures the closed-form solver itself: it is
+// on the hot path of every sweep.
+func BenchmarkEbBarAnalytic(b *testing.B) {
+	a := ebtable.Analytic{}
+	for i := 0; i < b.N; i++ {
+		if _, err := a.EbBar(0.001, 2, 2, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTableLookup contrasts a precomputed table lookup with a live
+// analytic solve — the reason Algorithm 1/2 preprocess at all.
+func BenchmarkTableLookup(b *testing.B) {
+	tab, err := ebtable.Build(ebtable.Analytic{}, ebtable.Grid{
+		Ps: []float64{0.001}, Bs: []int{1, 2, 4}, Mts: []int{1, 2}, Mrs: []int{1, 2, 3},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tab.EbBar(0.001, 2, 2, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCoopScheme measures symbol-level hop simulation throughput.
+func BenchmarkCoopScheme(b *testing.B) {
+	for _, pair := range [][2]int{{1, 1}, {2, 2}, {4, 4}} {
+		b.Run(fmt.Sprintf("%dx%d", pair[0], pair[1]), func(b *testing.B) {
+			cfg := coop.Config{
+				Mt: pair[0], Mr: pair[1], B: 1,
+				SNRPerBit: 10, Bits: 6000, Seed: 1,
+			}
+			b.SetBytes(6000 / 8)
+			for i := 0; i < b.N; i++ {
+				if _, err := coop.Run(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMultihopRoute measures route-level transport.
+func BenchmarkMultihopRoute(b *testing.B) {
+	cfg := multihop.Config{
+		Hops: []multihop.Hop{
+			{Mt: 2, Mr: 2, SNRPerBit: 12},
+			{Mt: 2, Mr: 3, SNRPerBit: 12},
+			{Mt: 3, Mr: 1, SNRPerBit: 12},
+		},
+		B: 1, Bits: 6000, Seed: 1,
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := multihop.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEnergyDetector measures one sensing decision.
+func BenchmarkEnergyDetector(b *testing.B) {
+	det, err := sensing.NewDetectorForPfa(1000, 0.05)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := mathx.NewRand(1)
+	for i := 0; i < b.N; i++ {
+		det.Sense(rng, i%2 == 0, 0.1)
+	}
+}

@@ -1,0 +1,78 @@
+// Command cogsim regenerates the paper's evaluation artifacts.
+//
+// Usage:
+//
+//	cogsim -list
+//	cogsim -id table2
+//	cogsim -all -seed 7
+//	cogsim -id fig7 -quick
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		id     = flag.String("id", "", "experiment to run (see -list)")
+		all    = flag.Bool("all", false, "run every experiment")
+		list   = flag.Bool("list", false, "list experiment IDs and exit")
+		seed   = flag.Int64("seed", 1, "master random seed")
+		quick  = flag.Bool("quick", false, "shrink workloads for a fast smoke run")
+		format = flag.String("format", "text", "output format: text, csv or json")
+		plot   = flag.Bool("plot", false, "render numeric reports as an ASCII chart")
+		logY   = flag.Bool("logy", false, "log-scale the plot's y axis (use with fig7)")
+	)
+	flag.Parse()
+
+	render := func(rep *experiments.Report) (string, error) {
+		if *plot {
+			return rep.Plot(64, 18, *logY)
+		}
+		return rep.Format(*format)
+	}
+
+	switch {
+	case *list:
+		fmt.Println(strings.Join(experiments.IDs(), "\n"))
+	case *all:
+		reps, err := experiments.RunAll(experiments.Options{Seed: *seed, Quick: *quick})
+		if err != nil {
+			fatal(err)
+		}
+		for i, r := range reps {
+			if i > 0 {
+				fmt.Println()
+			}
+			out, err := render(r)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Print(out)
+		}
+	case *id != "":
+		rep, err := experiments.Run(*id, experiments.Options{Seed: *seed, Quick: *quick})
+		if err != nil {
+			fatal(err)
+		}
+		out, err := render(rep)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(out)
+	default:
+		fmt.Fprintln(os.Stderr, "cogsim: need -id, -all or -list")
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cogsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,109 @@
+// Command ebtable precomputes and inspects the ēb(p, b, mt, mr) table —
+// the "Preprocessing" step of Algorithms 1 and 2 that every SU node
+// loads before choosing constellation sizes.
+//
+// Usage:
+//
+//	ebtable -build -out eb.gob                 # analytic solver, paper grid
+//	ebtable -build -solver mc -samples 50000 -out eb.gob
+//	ebtable -show eb.gob                       # dump the stored cells
+//	ebtable -query -p 0.001 -b 2 -mt 2 -mr 3   # one live solve
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/ebtable"
+)
+
+func main() {
+	var (
+		build   = flag.Bool("build", false, "build a table over the paper grid")
+		show    = flag.String("show", "", "print the cells of a stored table")
+		query   = flag.Bool("query", false, "solve one ēb value")
+		out     = flag.String("out", "ebtable.gob", "output path for -build")
+		solver  = flag.String("solver", "analytic", "solver: analytic or mc")
+		samples = flag.Int("samples", 20000, "Monte-Carlo channel samples")
+		seed    = flag.Int64("seed", 1, "Monte-Carlo seed")
+		conv    = flag.String("conv", "paper", "gamma_b convention: paper or array")
+		p       = flag.Float64("p", 0.001, "target BER for -query")
+		b       = flag.Int("b", 2, "constellation size for -query")
+		mt      = flag.Int("mt", 1, "transmit nodes for -query")
+		mr      = flag.Int("mr", 1, "receive nodes for -query")
+	)
+	flag.Parse()
+
+	convention := ebtable.ConvPaper
+	switch *conv {
+	case "paper":
+	case "array":
+		convention = ebtable.ConvArray
+	default:
+		fatal(fmt.Errorf("unknown convention %q", *conv))
+	}
+	var s ebtable.Solver
+	switch *solver {
+	case "analytic":
+		s = ebtable.Analytic{Convention: convention}
+	case "mc":
+		s = &ebtable.MonteCarlo{Samples: *samples, Seed: *seed, Convention: convention}
+	default:
+		fatal(fmt.Errorf("unknown solver %q", *solver))
+	}
+
+	switch {
+	case *build:
+		tab, err := ebtable.Build(s, ebtable.DefaultGrid())
+		if err != nil {
+			fatal(err)
+		}
+		if err := tab.SaveFile(*out); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %d cells to %s\n", tab.Len(), *out)
+	case *show != "":
+		tab, err := ebtable.LoadFile(*show)
+		if err != nil {
+			fatal(err)
+		}
+		keys := make([]ebtable.Key, 0, tab.Len())
+		for k := range tab.Vals {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			a, b := keys[i], keys[j]
+			if a.PIdx != b.PIdx {
+				return a.PIdx < b.PIdx
+			}
+			if a.B != b.B {
+				return a.B < b.B
+			}
+			if a.Mt != b.Mt {
+				return a.Mt < b.Mt
+			}
+			return a.Mr < b.Mr
+		})
+		for _, k := range keys {
+			fmt.Printf("p=%-7g b=%-2d mt=%d mr=%d  ēb=%.4e J\n",
+				tab.Grid.Ps[k.PIdx], k.B, k.Mt, k.Mr, tab.Vals[k])
+		}
+	case *query:
+		eb, err := s.EbBar(*p, *b, *mt, *mr)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("ēb(p=%g, b=%d, %dx%d) = %.4e J\n", *p, *b, *mt, *mr, eb)
+	default:
+		fmt.Fprintln(os.Stderr, "ebtable: need -build, -show or -query")
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ebtable:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,307 @@
+package cogmimo
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func newSys(t *testing.T) *System {
+	t.Helper()
+	s, err := NewSystem(SystemConfig{BandwidthHz: 40e3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewSystemValidation(t *testing.T) {
+	if _, err := NewSystem(SystemConfig{}); err == nil {
+		t.Error("zero bandwidth should fail")
+	}
+	if _, err := NewSystem(SystemConfig{BandwidthHz: 40e3, EbSolver: 99}); err == nil {
+		t.Error("unknown solver should fail")
+	}
+	if _, err := NewSystem(SystemConfig{BandwidthHz: 40e3, EbSolver: EbMonteCarlo, MonteCarloSamples: 2000}); err != nil {
+		t.Errorf("Monte-Carlo system: %v", err)
+	}
+	if _, err := NewSystem(SystemConfig{BandwidthHz: 40e3, ArrayConvention: true}); err != nil {
+		t.Errorf("array-convention system: %v", err)
+	}
+}
+
+func TestAnalyzeOverlayFacade(t *testing.T) {
+	s := newSys(t)
+	r, err := s.AnalyzeOverlay(OverlayScenario{
+		PrimarySeparationM: 250, Relays: 3,
+		DirectBER: 0.005, RelayBER: 0.0005,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.DirectEnergyJPerBit <= 0 || r.MaxDistToTxM <= 0 || r.MaxDistToRxM <= 0 {
+		t.Fatalf("incomplete result %+v", r)
+	}
+	if r.DirectB < 1 || r.SIMOB < 1 || r.MISOB < 1 {
+		t.Errorf("constellations missing: %+v", r)
+	}
+	// Errors propagate.
+	if _, err := s.AnalyzeOverlay(OverlayScenario{PrimarySeparationM: 250}); err == nil {
+		t.Error("zero relays should fail")
+	}
+}
+
+func TestAnalyzeUnderlayFacade(t *testing.T) {
+	s := newSys(t)
+	r, err := s.AnalyzeUnderlay(UnderlayScenario{
+		TxNodes: 2, RxNodes: 3, ClusterSpanM: 1,
+		HopDistanceM: 200, TargetBER: 0.001,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.TotalPAJPerBit <= 0 || r.PeakPAJPerBit <= 0 {
+		t.Fatalf("incomplete result %+v", r)
+	}
+	if r.NoiseFloorMargin <= 0 || r.NoiseFloorMargin >= 0.12 {
+		t.Errorf("margin = %v, expect well under 1", r.NoiseFloorMargin)
+	}
+	// SISO is its own reference.
+	siso, err := s.AnalyzeUnderlay(UnderlayScenario{
+		TxNodes: 1, RxNodes: 1, HopDistanceM: 200, TargetBER: 0.001,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if siso.NoiseFloorMargin != 1 {
+		t.Errorf("SISO margin = %v, want 1", siso.NoiseFloorMargin)
+	}
+	if _, err := s.AnalyzeUnderlay(UnderlayScenario{}); err == nil {
+		t.Error("empty scenario should fail")
+	}
+}
+
+func TestAnalyzeInterweaveFacade(t *testing.T) {
+	s := newSys(t)
+	r, err := s.AnalyzeInterweave(InterweaveScenario{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.MeanAmplitudeAtSr < 1.5 || r.MeanAmplitudeAtSr > 2.0 {
+		t.Errorf("amplitude = %v, paper reports 1.87", r.MeanAmplitudeAtSr)
+	}
+	if r.WorstResidualAtPr > 0.2 {
+		t.Errorf("residual at Pr = %v, want near zero", r.WorstResidualAtPr)
+	}
+	// Custom geometry flows through.
+	r2, err := s.AnalyzeInterweave(InterweaveScenario{
+		Seed: 5, PairSpacingM: 15, WavelengthM: 30,
+		ReceiverDistM: 120, CandidatePUs: 20, PUDiscRadiusM: 150, Trials: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.MeanAmplitudeAtSr <= 1 {
+		t.Errorf("custom scenario amplitude = %v", r2.MeanAmplitudeAtSr)
+	}
+}
+
+func TestEbBarFacade(t *testing.T) {
+	s := newSys(t)
+	siso, err := s.EbBar(0.001, 2, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mimo, err := s.EbBar(0.001, 2, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if siso/mimo < 30 {
+		t.Errorf("SISO/MIMO ēb ratio %v, want orders of magnitude", siso/mimo)
+	}
+	if math.Abs(siso/1.9e-18-1) > 0.15 {
+		t.Errorf("ēb SISO = %v, paper anchor 1.9e-18", siso)
+	}
+	if _, err := s.EbBar(0, 2, 1, 1); err == nil {
+		t.Error("p=0 should fail")
+	}
+}
+
+func TestLongHaulTxEnergy(t *testing.T) {
+	s := newSys(t)
+	near, err := s.LongHaulTxEnergy(0.001, 2, 2, 2, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	far, err := s.LongHaulTxEnergy(0.001, 2, 2, 2, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if far <= near {
+		t.Errorf("energy should grow with distance: %v vs %v", near, far)
+	}
+}
+
+func TestExperimentFacade(t *testing.T) {
+	ids := ExperimentIDs()
+	if len(ids) != 14 { // 8 paper artifacts + 6 ext- studies
+		t.Fatalf("IDs = %v", ids)
+	}
+	out, err := RunExperiment("table1", 3, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "table1") || !strings.Contains(out, "Amplitude") {
+		t.Errorf("report missing content:\n%s", out)
+	}
+	if _, err := RunExperiment("nope", 1, true); err == nil {
+		t.Error("unknown experiment should fail")
+	}
+}
+
+func TestBuildNetworkFacade(t *testing.T) {
+	s := newSys(t)
+	n, err := s.BuildNetwork(NetworkConfig{
+		Nodes: 60, FieldWM: 300, FieldHM: 300,
+		CommRangeM: 60, ClusterDiamM: 25, MaxLinkM: 220, Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cls := n.Clusters()
+	if len(cls) == 0 {
+		t.Fatal("no clusters")
+	}
+	total := 0
+	for _, c := range cls {
+		total += c.Members
+		if c.DiameterM > 25+1e-9 {
+			t.Errorf("cluster %d diameter %v exceeds bound", c.ID, c.DiameterM)
+		}
+	}
+	if total != 60 {
+		t.Errorf("clusters cover %d of 60 nodes", total)
+	}
+	if n.Links() == 0 {
+		t.Error("no cooperative links at 220 m on a 300 m field")
+	}
+	// A route between the first and last cluster, if connected, costs
+	// positive energy.
+	route := n.Route(cls[0].ID, cls[len(cls)-1].ID)
+	if route != nil {
+		e, err := n.RouteEnergy(route, 0.001)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e <= 0 {
+			t.Errorf("route energy = %v", e)
+		}
+	}
+	if _, err := n.RouteEnergy([]int{0}, 0.001); err == nil {
+		t.Error("single-cluster route should fail")
+	}
+	if _, err := s.BuildNetwork(NetworkConfig{}); err == nil {
+		t.Error("empty config should fail")
+	}
+}
+
+func TestRouteTransport(t *testing.T) {
+	s := newSys(t)
+	n, err := s.BuildNetwork(NetworkConfig{
+		Nodes: 60, FieldWM: 300, FieldHM: 300,
+		CommRangeM: 60, ClusterDiamM: 25, MaxLinkM: 220, Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cls := n.Clusters()
+	route := n.Route(cls[0].ID, cls[len(cls)-1].ID)
+	if route == nil {
+		t.Skip("seed produced a disconnected backbone")
+	}
+	// A PA budget sized from the energy model itself: what a 2x2 hop at
+	// 200 m needs for BER 1e-3.
+	ref, err := s.AnalyzeUnderlay(UnderlayScenario{
+		TxNodes: 2, RxNodes: 2, ClusterSpanM: 1,
+		HopDistanceM: 200, TargetBER: 0.001,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perNodePA := ref.TotalPAJPerBit / 2
+	r, err := n.RouteTransport(route, perNodePA, 1, 60000, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Bits < 60000 {
+		t.Errorf("transported only %d bits", r.Bits)
+	}
+	if len(r.PerHopBER) != len(route)-1 {
+		t.Errorf("%d hop BERs for %d hops", len(r.PerHopBER), len(route)-1)
+	}
+	// The budget was sized for ~1e-3 at 200 m; shorter hops do better,
+	// so the end-to-end BER should be small but is allowed to wander
+	// with hop lengths.
+	if r.EndToEndBER > 0.2 {
+		t.Errorf("end-to-end BER %v unreasonably high", r.EndToEndBER)
+	}
+	// Doubling the PA budget must not hurt.
+	r2, err := n.RouteTransport(route, perNodePA*4, 1, 60000, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.EndToEndBER > r.EndToEndBER+1e-3 {
+		t.Errorf("more PA energy should not hurt: %v vs %v", r2.EndToEndBER, r.EndToEndBER)
+	}
+	// Validation.
+	if _, err := n.RouteTransport(route, 0, 1, 1000, 1); err == nil {
+		t.Error("zero budget should fail")
+	}
+	if _, err := n.RouteTransport([]int{0}, 1e-9, 1, 1000, 1); err == nil {
+		t.Error("short route should fail")
+	}
+}
+
+func TestOptimizeRoute(t *testing.T) {
+	s := newSys(t)
+	n, err := s.BuildNetwork(NetworkConfig{
+		Nodes: 60, FieldWM: 300, FieldHM: 300,
+		CommRangeM: 60, ClusterDiamM: 25, MaxLinkM: 220, Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cls := n.Clusters()
+	route := n.Route(cls[0].ID, cls[len(cls)-1].ID)
+	if route == nil {
+		t.Skip("disconnected backbone at this seed")
+	}
+	loose, err := n.OptimizeRoute(route, 0.001, 12000, 40e3, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loose.PerHopB) != len(route)-1 {
+		t.Fatalf("%d choices for %d hops", len(loose.PerHopB), len(route)-1)
+	}
+	if loose.TotalEnergyJ <= 0 || loose.TotalTimeS <= 0 {
+		t.Fatalf("empty plan %+v", loose)
+	}
+	// A tighter deadline costs energy, never saves it.
+	tight, err := n.OptimizeRoute(route, 0.001, 12000, 40e3, loose.TotalTimeS/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tight.TotalTimeS > loose.TotalTimeS/2*(1+1e-9) {
+		t.Errorf("deadline missed: %v > %v", tight.TotalTimeS, loose.TotalTimeS/2)
+	}
+	if tight.TotalEnergyJ < loose.TotalEnergyJ*(1-1e-9) {
+		t.Errorf("tight plan cheaper than loose: %v vs %v", tight.TotalEnergyJ, loose.TotalEnergyJ)
+	}
+	// Errors propagate.
+	if _, err := n.OptimizeRoute([]int{0}, 0.001, 1000, 40e3, 1); err == nil {
+		t.Error("short route should fail")
+	}
+	if _, err := n.OptimizeRoute(route, 0.001, 12000, 40e3, 1e-12); err == nil {
+		t.Error("impossible deadline should fail")
+	}
+}

@@ -1,0 +1,27 @@
+// Package cogmimo is a Go reproduction of "Efficient Cooperative MIMO
+// Paradigms for Cognitive Radio Networks" (Chen, Hong, Chen; IJNC 2014,
+// extending the APDCM/IPPS 2013 workshop paper): cooperative
+// Multiple-Input Multiple-Output communication for secondary users in
+// cognitive radio networks, covering the overlay, underlay and
+// interweave spectrum-sharing paradigms.
+//
+// The package is a facade over the implementation packages in
+// internal/: the Cui-Goldsmith-Bahai energy model and its ēb table
+// (internal/energy, internal/ebtable), space-time block codes and
+// combiners (internal/stbc), the CoMIMONet cluster network
+// (internal/network), the three paradigm analyses (internal/overlay,
+// internal/underlay, internal/interweave), the simulated USRP testbed
+// (internal/testbed) and the evaluation drivers (internal/experiments).
+//
+// Quick start:
+//
+//	sys, err := cogmimo.NewSystem(cogmimo.SystemConfig{BandwidthHz: 40e3})
+//	...
+//	res, err := sys.AnalyzeOverlay(cogmimo.OverlayScenario{
+//		PrimarySeparationM: 250, Relays: 3,
+//		DirectBER: 0.005, RelayBER: 0.0005,
+//	})
+//
+// Every table and figure of the paper's evaluation regenerates through
+// RunExperiment; see EXPERIMENTS.md for paper-vs-measured notes.
+package cogmimo

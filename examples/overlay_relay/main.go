@@ -1,0 +1,51 @@
+// Overlay relay planning: for a primary pair at growing separations,
+// find how far a cooperative SU cluster can sit from both primaries
+// while relaying at a 10x tighter BER on the primary's own energy
+// budget — the Section 6.1 analysis as a planning tool.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	cogmimo "repro"
+)
+
+func main() {
+	fmt.Println("overlay relay placement (direct BER 0.005, relayed BER 0.0005)")
+	fmt.Printf("%-10s  %-8s  %-14s  %-14s\n", "D(Pt,Pr)", "relays", "max dist to Pt", "max dist to Pr")
+
+	for _, m := range []int{2, 3, 4} {
+		// The array convention matches the paper's evaluated Figure 6
+		// ratios (D3/D2 = sqrt(m)); see DESIGN.md.
+		sys, err := cogmimo.NewSystem(cogmimo.SystemConfig{
+			BandwidthHz:     40e3,
+			ArrayConvention: true,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		for d1 := 150.0; d1 <= 350; d1 += 50 {
+			r, err := sys.AnalyzeOverlay(cogmimo.OverlayScenario{
+				PrimarySeparationM: d1, Relays: m,
+				DirectBER: 0.005, RelayBER: 0.0005,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-10.0f  %-8d  %-14.0f  %-14.0f\n", d1, m, r.MaxDistToTxM, r.MaxDistToRxM)
+		}
+		fmt.Println()
+	}
+
+	// Energy ledger for the paper's worked point: who pays what per bit.
+	sys, err := cogmimo.NewSystem(cogmimo.SystemConfig{BandwidthHz: 40e3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	e, err := sys.LongHaulTxEnergy(0.0005, 1, 3, 1, 406)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("per-SU transmit energy on a 3x1 MISO leg at 406 m: %.3g J/bit\n", e)
+}

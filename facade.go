@@ -1,0 +1,44 @@
+package cogmimo
+
+import (
+	"fmt"
+
+	"repro/internal/experiments"
+	"repro/internal/units"
+)
+
+func unitsHertz(hz float64) units.Hertz { return units.Hertz(hz) }
+
+// ExperimentIDs lists the reproducible paper artifacts: fig6a, fig6b,
+// fig7, fig8, table1, table2, table3, table4.
+func ExperimentIDs() []string { return experiments.IDs() }
+
+// RunExperiment regenerates one paper artifact and returns its report
+// as formatted text. Quick shrinks workloads for smoke runs.
+func RunExperiment(id string, seed int64, quick bool) (string, error) {
+	rep, err := experiments.Run(id, experiments.Options{Seed: seed, Quick: quick})
+	if err != nil {
+		return "", err
+	}
+	return rep.String(), nil
+}
+
+// RunAllExperiments regenerates every artifact in ID order and returns
+// the concatenated reports.
+func RunAllExperiments(seed int64, quick bool) (string, error) {
+	reps, err := experiments.RunAll(experiments.Options{Seed: seed, Quick: quick})
+	if err != nil {
+		return "", err
+	}
+	out := ""
+	for i, r := range reps {
+		if i > 0 {
+			out += "\n"
+		}
+		out += r.String()
+	}
+	if out == "" {
+		return "", fmt.Errorf("cogmimo: no experiments registered")
+	}
+	return out, nil
+}

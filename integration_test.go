@@ -1,0 +1,51 @@
+package cogmimo
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFullPipeline walks the whole public surface once, quick mode:
+// every registered experiment regenerates, and the concatenated output
+// mentions every artifact.
+func TestFullPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline is not short")
+	}
+	out, err := RunAllExperiments(2, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range ExperimentIDs() {
+		if !strings.Contains(out, "== "+id+":") {
+			t.Errorf("combined output missing %s", id)
+		}
+	}
+	// The reproduction's three headline sentences, checked end to end.
+	sys := newSys(t)
+	ov, err := sys.AnalyzeOverlay(OverlayScenario{
+		PrimarySeparationM: 250, Relays: 3, DirectBER: 0.005, RelayBER: 0.0005,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ov.MaxDistToRxM < 250 {
+		t.Errorf("overlay: relays should outrange the direct link, got %v m", ov.MaxDistToRxM)
+	}
+	un, err := sys.AnalyzeUnderlay(UnderlayScenario{
+		TxNodes: 2, RxNodes: 3, ClusterSpanM: 1, HopDistanceM: 200, TargetBER: 0.001,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if un.NoiseFloorMargin > 0.02 {
+		t.Errorf("underlay: margin %v should be ~2 orders under the reference", un.NoiseFloorMargin)
+	}
+	iw, err := sys.AnalyzeInterweave(InterweaveScenario{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iw.MeanAmplitudeAtSr < 1.5 || iw.WorstResidualAtPr > 0.2 {
+		t.Errorf("interweave: amplitude %v residual %v", iw.MeanAmplitudeAtSr, iw.WorstResidualAtPr)
+	}
+}

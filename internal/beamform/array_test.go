@@ -1,0 +1,123 @@
+package beamform
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func arrayPositions(n int) []geom.Point {
+	// Nodes along the vertical axis, 15 m apart.
+	out := make([]geom.Point, n)
+	for i := range out {
+		out[i] = geom.Pt(0, float64(i)*15)
+	}
+	return out
+}
+
+func TestNewArrayValidation(t *testing.T) {
+	if _, err := NewArray(arrayPositions(1), geom.Pt(0, -300), 30); err == nil {
+		t.Error("one transmitter should fail")
+	}
+	if _, err := NewArray(arrayPositions(2), geom.Pt(0, -300), 0); err == nil {
+		t.Error("zero wavelength should fail")
+	}
+}
+
+func TestArrayPairCount(t *testing.T) {
+	for _, c := range []struct{ n, pairs int }{{2, 1}, {3, 1}, {4, 2}, {6, 3}, {7, 3}} {
+		arr, err := NewArray(arrayPositions(c.n), geom.Pt(0, -300), 30)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(arr.Pairs) != c.pairs {
+			t.Errorf("n=%d: %d pairs, want floor(n/2)=%d", c.n, len(arr.Pairs), c.pairs)
+		}
+	}
+}
+
+func TestArrayNullAtPr(t *testing.T) {
+	pr := geom.Pt(0, -600)
+	for _, n := range []int{2, 4, 6} {
+		arr, err := NewArray(arrayPositions(n), pr, 30)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a := arr.AmplitudeAt(pr); a > 0.12*float64(len(arr.Pairs)) {
+			t.Errorf("n=%d: amplitude at Pr = %v, want near zero", n, a)
+		}
+	}
+}
+
+// TestCoPhaseFullGain: after co-phasing toward Sr the array reaches
+// close to the full 2*pairs amplitude there, and the null at Pr is
+// untouched (common per-pair rotations preserve pair-internal
+// cancellation).
+func TestCoPhaseFullGain(t *testing.T) {
+	pr := geom.Pt(0, -600)
+	sr := geom.Pt(400, 40)
+	arr, err := NewArray(arrayPositions(6), pr, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := arr.AmplitudeAt(sr)
+	nullBefore := arr.AmplitudeAt(pr)
+	arr.CoPhase(sr)
+	after := arr.AmplitudeAt(sr)
+	nullAfter := arr.AmplitudeAt(pr)
+	if after < before-1e-9 {
+		t.Errorf("co-phasing reduced amplitude: %v -> %v", before, after)
+	}
+	full := 2 * float64(len(arr.Pairs))
+	if after < 0.85*full {
+		t.Errorf("co-phased amplitude %v, want near %v", after, full)
+	}
+	if math.Abs(nullAfter-nullBefore) > 0.05 {
+		t.Errorf("co-phasing disturbed the null: %v -> %v", nullBefore, nullAfter)
+	}
+	// ResetPhases restores the uncophased field.
+	arr.ResetPhases()
+	if got := arr.AmplitudeAt(sr); math.Abs(got-before) > 1e-9 {
+		t.Errorf("reset did not restore: %v vs %v", got, before)
+	}
+}
+
+func TestPairSpacings(t *testing.T) {
+	arr, err := NewArray(arrayPositions(4), geom.Pt(0, -600), 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := arr.PairSpacings()
+	if len(sp) != 2 {
+		t.Fatalf("%d spacings", len(sp))
+	}
+	// Greedy nearest pairing on a regular line pairs adjacent nodes.
+	for _, s := range sp {
+		if math.Abs(s-15) > 1e-9 {
+			t.Errorf("spacing %v, want 15", s)
+		}
+	}
+}
+
+// TestArrayBeatsSinglePair: co-phased multi-pair beamforming delivers
+// more amplitude at the secondary receiver than one pair alone — the
+// scaling Algorithm 3's pairing buys.
+func TestArrayBeatsSinglePair(t *testing.T) {
+	pr := geom.Pt(0, -600)
+	sr := geom.Pt(400, 0)
+	single, err := NewArray(arrayPositions(2), pr, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	triple, err := NewArray(arrayPositions(6), pr, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single.CoPhase(sr)
+	triple.CoPhase(sr)
+	if triple.AmplitudeAt(sr) < 2.5*single.AmplitudeAt(sr) {
+		t.Errorf("3 pairs (%v) should far exceed 1 pair (%v)",
+			triple.AmplitudeAt(sr), single.AmplitudeAt(sr))
+	}
+}

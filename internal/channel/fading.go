@@ -1,0 +1,76 @@
+package channel
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/mathx"
+)
+
+// Rayleigh draws an mt-by-mr flat Rayleigh block-fading channel matrix H
+// with iid CN(0, 1) entries — the channel assumed for every long-haul
+// cooperative MIMO link (Section 2.3). The matrix stays constant for a
+// codeword (block fading) and is redrawn per block.
+func Rayleigh(rng *rand.Rand, mt, mr int) *mathx.CMat {
+	return mathx.NewCMat(mr, mt).RandCN(rng)
+}
+
+// RicianMatrix draws an mt-by-mr Rician channel with K-factor k: a fixed
+// unit-modulus line-of-sight component plus scattered CN entries, each
+// entry normalised to unit mean-square gain.
+func RicianMatrix(rng *rand.Rand, mt, mr int, k float64) *mathx.CMat {
+	if k < 0 {
+		k = 0
+	}
+	h := mathx.NewCMat(mr, mt)
+	los := math.Sqrt(k / (k + 1))
+	scatter := math.Sqrt(1 / (k + 1))
+	for i := range h.Data {
+		z := mathx.ComplexCN(rng, 1)
+		h.Data[i] = complex(los, 0) + z*complex(scatter, 0)
+	}
+	return h
+}
+
+// AWGN adds circularly-symmetric complex Gaussian noise of the given
+// per-sample variance (total power across both components) to each
+// element of y in place.
+func AWGN(rng *rand.Rand, y []complex128, variance float64) {
+	s := math.Sqrt(variance / 2)
+	for i := range y {
+		y[i] += complex(rng.NormFloat64()*s, rng.NormFloat64()*s)
+	}
+}
+
+// BlockFading yields successive channel matrices: Next() redraws H every
+// blockLen uses, modelling a channel whose coherence time spans one
+// space-time codeword.
+type BlockFading struct {
+	rng      *rand.Rand
+	mt, mr   int
+	blockLen int
+	used     int
+	current  *mathx.CMat
+	k        float64 // Rician K; 0 = Rayleigh
+}
+
+// NewBlockFading constructs a block-fading process. blockLen <= 0 redraws
+// on every call.
+func NewBlockFading(rng *rand.Rand, mt, mr, blockLen int, k float64) *BlockFading {
+	return &BlockFading{rng: rng, mt: mt, mr: mr, blockLen: blockLen, k: k}
+}
+
+// Next returns the channel matrix for the next use, redrawing at block
+// boundaries. Callers must not retain the matrix across calls.
+func (b *BlockFading) Next() *mathx.CMat {
+	if b.current == nil || b.blockLen <= 0 || b.used >= b.blockLen {
+		if b.k > 0 {
+			b.current = RicianMatrix(b.rng, b.mt, b.mr, b.k)
+		} else {
+			b.current = Rayleigh(b.rng, b.mt, b.mr)
+		}
+		b.used = 0
+	}
+	b.used++
+	return b.current
+}

@@ -1,0 +1,87 @@
+package channel
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/mathx"
+)
+
+// Shadowing is log-normal large-scale fading: a dB-domain Gaussian
+// offset on top of the deterministic path loss, spatially correlated
+// with an exponential decay (Gudmundson model). The deployment analyses
+// use it for what-if studies beyond the paper's nominal models.
+type Shadowing struct {
+	// SigmaDB is the dB standard deviation (typically 4-8 dB indoors).
+	SigmaDB float64
+	// DecorrDist is the distance at which correlation falls to 1/e.
+	DecorrDist float64
+}
+
+// Draw samples one shadowing value in dB.
+func (s Shadowing) Draw(rng *rand.Rand) float64 {
+	return rng.NormFloat64() * s.SigmaDB
+}
+
+// DrawPair samples shadowing at two points separated by dist metres with
+// the Gudmundson correlation rho = exp(-dist/DecorrDist).
+func (s Shadowing) DrawPair(rng *rand.Rand, dist float64) (a, b float64) {
+	rho := s.Correlation(dist)
+	a = rng.NormFloat64()
+	b = rho*a + math.Sqrt(1-rho*rho)*rng.NormFloat64()
+	return a * s.SigmaDB, b * s.SigmaDB
+}
+
+// Correlation returns the model correlation at the given separation.
+func (s Shadowing) Correlation(dist float64) float64 {
+	if s.DecorrDist <= 0 {
+		return 0
+	}
+	if dist < 0 {
+		dist = -dist
+	}
+	return math.Exp(-dist / s.DecorrDist)
+}
+
+// GaussMarkov is a first-order autoregressive complex fading process:
+// h[n+1] = rho h[n] + sqrt(1-rho^2) w, w ~ CN(0, 1). It models temporal
+// channel correlation between coherence blocks — the middle ground
+// between the paper's block-fading assumption and full Jakes spectra.
+type GaussMarkov struct {
+	// Rho is the one-step correlation in [0, 1).
+	Rho float64
+
+	rng *rand.Rand
+	h   complex128
+	ok  bool
+}
+
+// NewGaussMarkov validates and constructs the process.
+func NewGaussMarkov(rng *rand.Rand, rho float64) (*GaussMarkov, error) {
+	if rho < 0 || rho >= 1 {
+		return nil, fmt.Errorf("channel: Gauss-Markov rho %g outside [0, 1)", rho)
+	}
+	return &GaussMarkov{Rho: rho, rng: rng}, nil
+}
+
+// Next advances the process one step and returns the new coefficient.
+// The stationary distribution is CN(0, 1) regardless of rho.
+func (g *GaussMarkov) Next() complex128 {
+	if !g.ok {
+		g.h = mathx.ComplexCN(g.rng, 1)
+		g.ok = true
+		return g.h
+	}
+	innov := mathx.ComplexCN(g.rng, 1-g.Rho*g.Rho)
+	g.h = complex(g.Rho, 0)*g.h + innov
+	return g.h
+}
+
+// RhoForDoppler maps a normalised Doppler frequency (fd * Ts, Doppler
+// times the block duration) to the AR(1) coefficient via the Jakes
+// autocorrelation rho = J0(2 pi fd Ts), clamped to the model's [0, 1)
+// domain.
+func RhoForDoppler(fdTs float64) float64 {
+	return mathx.Clamp(math.J0(2*math.Pi*fdTs), 0, 0.999999)
+}

@@ -1,0 +1,120 @@
+package channel
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"repro/internal/mathx"
+)
+
+func TestShadowingMoments(t *testing.T) {
+	rng := mathx.NewRand(201)
+	s := Shadowing{SigmaDB: 6, DecorrDist: 20}
+	var acc mathx.Running
+	for i := 0; i < 100000; i++ {
+		acc.Add(s.Draw(rng))
+	}
+	if math.Abs(acc.Mean()) > 0.1 {
+		t.Errorf("shadowing mean = %v, want 0", acc.Mean())
+	}
+	if math.Abs(acc.StdDev()-6) > 0.1 {
+		t.Errorf("shadowing sigma = %v, want 6", acc.StdDev())
+	}
+}
+
+func TestShadowingPairCorrelation(t *testing.T) {
+	rng := mathx.NewRand(202)
+	s := Shadowing{SigmaDB: 4, DecorrDist: 20}
+	for _, dist := range []float64{0, 10, 40, 1000} {
+		var prod, va, vb mathx.Running
+		for i := 0; i < 60000; i++ {
+			a, b := s.DrawPair(rng, dist)
+			prod.Add(a * b)
+			va.Add(a * a)
+			vb.Add(b * b)
+		}
+		got := prod.Mean() / math.Sqrt(va.Mean()*vb.Mean())
+		want := s.Correlation(dist)
+		if math.Abs(got-want) > 0.03 {
+			t.Errorf("dist=%v: correlation %v, want %v", dist, got, want)
+		}
+	}
+	// Degenerate decorrelation distance means uncorrelated.
+	if (Shadowing{SigmaDB: 4}).Correlation(5) != 0 {
+		t.Error("zero DecorrDist should give zero correlation")
+	}
+	// Negative separations are distances too.
+	if s.Correlation(-20) != s.Correlation(20) {
+		t.Error("correlation should be symmetric in distance")
+	}
+}
+
+func TestGaussMarkovValidation(t *testing.T) {
+	rng := mathx.NewRand(203)
+	if _, err := NewGaussMarkov(rng, -0.1); err == nil {
+		t.Error("negative rho should fail")
+	}
+	if _, err := NewGaussMarkov(rng, 1); err == nil {
+		t.Error("rho=1 should fail")
+	}
+}
+
+func TestGaussMarkovStationarity(t *testing.T) {
+	rng := mathx.NewRand(204)
+	g, err := NewGaussMarkov(rng, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pow mathx.Running
+	for i := 0; i < 200000; i++ {
+		h := g.Next()
+		pow.Add(real(h)*real(h) + imag(h)*imag(h))
+	}
+	if math.Abs(pow.Mean()-1) > 0.05 {
+		t.Errorf("stationary power = %v, want 1", pow.Mean())
+	}
+}
+
+func TestGaussMarkovAutocorrelation(t *testing.T) {
+	rng := mathx.NewRand(205)
+	const rho = 0.8
+	g, err := NewGaussMarkov(rng, rho)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 200000
+	hs := make([]complex128, n)
+	for i := range hs {
+		hs[i] = g.Next()
+	}
+	for _, lag := range []int{1, 2, 5} {
+		var corr mathx.Running
+		for i := 0; i+lag < n; i++ {
+			corr.Add(real(hs[i] * cmplx.Conj(hs[i+lag])))
+		}
+		want := math.Pow(rho, float64(lag))
+		if math.Abs(corr.Mean()-want) > 0.02 {
+			t.Errorf("lag %d: autocorrelation %v, want %v", lag, corr.Mean(), want)
+		}
+	}
+}
+
+func TestRhoForDoppler(t *testing.T) {
+	// Slow fading: rho near 1; fast: rho clamped at 0 near J0 zeros.
+	if rho := RhoForDoppler(0.001); rho < 0.999 {
+		t.Errorf("slow-fading rho = %v", rho)
+	}
+	if rho := RhoForDoppler(0.3827); rho > 0.01 { // 2 pi fdTs ~ 2.4048
+		t.Errorf("rho at J0's first zero = %v, want ~0", rho)
+	}
+	// Monotone decreasing over the main lobe.
+	prev := RhoForDoppler(0.0)
+	for f := 0.05; f < 0.38; f += 0.05 {
+		cur := RhoForDoppler(f)
+		if cur >= prev {
+			t.Errorf("rho not decreasing at fdTs=%v", f)
+		}
+		prev = cur
+	}
+}

@@ -1,0 +1,149 @@
+// Package cognitive runs the interweave cognitive cycle end to end:
+// primary users occupy channels following on/off Markov activity,
+// secondary users periodically sense the band with cooperative energy
+// detection, transmit frames on a channel fused as idle, and vacate at
+// the next sensing epoch if the primary returns. This is the loop the
+// paper's introduction ascribes to interweave systems — "sense and learn
+// from the environment in a nonintrusive manner" — built from
+// internal/sensing and the discrete-event engine.
+package cognitive
+
+import (
+	"fmt"
+
+	"repro/internal/mathx"
+	"repro/internal/sensing"
+	"repro/internal/sim"
+)
+
+// CycleConfig parameterises a cognitive-cycle run.
+type CycleConfig struct {
+	// Channels is the number of primary bands available.
+	Channels int
+	// MeanBusy and MeanIdle are the PU activity holding times (s).
+	MeanBusy, MeanIdle float64
+	// SensePeriod is the time between sensing epochs (s).
+	SensePeriod float64
+	// SenseSamples and TargetPfa size the per-SU energy detector.
+	SenseSamples int
+	TargetPfa    float64
+	// Sensors cooperate with the given fusion rule.
+	Sensors int
+	Rule    sensing.FusionRule
+	// PUSNR is the primary's per-sample SNR at the sensing SUs (linear).
+	PUSNR float64
+	// FrameTime is one secondary frame's airtime (s).
+	FrameTime float64
+	// Horizon is the simulated duration (s).
+	Horizon float64
+	// Blind disables sensing: the SU transmits on channel 0 regardless
+	// (the no-cognition baseline).
+	Blind bool
+	// Seed drives everything.
+	Seed int64
+}
+
+// Validate rejects unusable configurations.
+func (c CycleConfig) Validate() error {
+	switch {
+	case c.Channels < 1:
+		return fmt.Errorf("cognitive: need at least one channel, got %d", c.Channels)
+	case c.MeanBusy <= 0 || c.MeanIdle <= 0:
+		return fmt.Errorf("cognitive: holding times must be positive")
+	case c.SensePeriod <= 0:
+		return fmt.Errorf("cognitive: sense period must be positive")
+	case c.FrameTime <= 0 || c.FrameTime > c.SensePeriod:
+		return fmt.Errorf("cognitive: frame time %g must be in (0, sense period %g]", c.FrameTime, c.SensePeriod)
+	case c.Horizon <= c.SensePeriod:
+		return fmt.Errorf("cognitive: horizon %g must exceed the sense period", c.Horizon)
+	case !c.Blind && (c.SenseSamples < 1 || c.Sensors < 1):
+		return fmt.Errorf("cognitive: sensing needs samples and sensors")
+	case !c.Blind && (c.TargetPfa <= 0 || c.TargetPfa >= 1):
+		return fmt.Errorf("cognitive: target Pfa %g outside (0, 1)", c.TargetPfa)
+	}
+	return nil
+}
+
+// CycleResult summarises a run.
+type CycleResult struct {
+	// FramesSent counts secondary transmissions.
+	FramesSent int
+	// CollidedFrames were sent while the chosen channel's PU was
+	// actually busy at the frame start — the harm the cycle exists to
+	// avoid.
+	CollidedFrames int
+	// Epochs and IdleEpochs count sensing rounds and those where an
+	// idle channel was found.
+	Epochs, IdleEpochs int
+	// Utilization is airtime fraction: FramesSent*FrameTime/Horizon.
+	Utilization float64
+	// CollisionRate is CollidedFrames/FramesSent (0 if none sent).
+	CollisionRate float64
+}
+
+// Run executes the cycle.
+func Run(cfg CycleConfig) (CycleResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return CycleResult{}, err
+	}
+	rng := mathx.NewRand(cfg.Seed)
+	var eng sim.Engine
+
+	channels := make([]sensing.Channel, cfg.Channels)
+	for i := range channels {
+		act, err := sensing.NewPUActivity(&eng, rng, cfg.MeanBusy, cfg.MeanIdle)
+		if err != nil {
+			return CycleResult{}, err
+		}
+		channels[i] = sensing.Channel{Activity: act, SNR: cfg.PUSNR}
+	}
+
+	var selector sensing.ChannelSelector
+	if !cfg.Blind {
+		det, err := sensing.NewDetectorForPfa(cfg.SenseSamples, cfg.TargetPfa)
+		if err != nil {
+			return CycleResult{}, err
+		}
+		selector = sensing.ChannelSelector{Detector: det, Sensors: cfg.Sensors, Rule: cfg.Rule}
+	}
+
+	var res CycleResult
+	framesPerEpoch := int(cfg.SensePeriod / cfg.FrameTime)
+
+	var epoch func()
+	epoch = func() {
+		res.Epochs++
+		chosen := -1
+		if cfg.Blind {
+			chosen = 0
+		} else {
+			idx, err := selector.Select(rng, channels)
+			if err == nil {
+				chosen = idx
+			}
+		}
+		if chosen >= 0 {
+			res.IdleEpochs++
+			for f := 0; f < framesPerEpoch; f++ {
+				ch := chosen
+				eng.ScheduleAfter(float64(f)*cfg.FrameTime, func() {
+					res.FramesSent++
+					if channels[ch].Activity.Busy() {
+						res.CollidedFrames++
+					}
+				})
+			}
+		}
+		if eng.Now()+cfg.SensePeriod < cfg.Horizon {
+			eng.ScheduleAfter(cfg.SensePeriod, epoch)
+		}
+	}
+	eng.Schedule(0, epoch)
+	eng.Run(cfg.Horizon)
+
+	res.Utilization = float64(res.FramesSent) * cfg.FrameTime / cfg.Horizon
+	if res.FramesSent > 0 {
+		res.CollisionRate = float64(res.CollidedFrames) / float64(res.FramesSent)
+	}
+	return res, nil
+}

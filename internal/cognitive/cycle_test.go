@@ -1,0 +1,156 @@
+package cognitive
+
+import (
+	"testing"
+
+	"repro/internal/sensing"
+)
+
+func base() CycleConfig {
+	return CycleConfig{
+		Channels: 3,
+		MeanBusy: 2, MeanIdle: 3,
+		SensePeriod:  0.5,
+		SenseSamples: 800, TargetPfa: 0.05,
+		Sensors: 3, Rule: sensing.FusionOR,
+		PUSNR:     0.5,
+		FrameTime: 0.05,
+		Horizon:   2000,
+		Seed:      1,
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := base().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []func(*CycleConfig){
+		func(c *CycleConfig) { c.Channels = 0 },
+		func(c *CycleConfig) { c.MeanBusy = 0 },
+		func(c *CycleConfig) { c.SensePeriod = 0 },
+		func(c *CycleConfig) { c.FrameTime = 0 },
+		func(c *CycleConfig) { c.FrameTime = 1 }, // > sense period
+		func(c *CycleConfig) { c.Horizon = 0.1 },
+		func(c *CycleConfig) { c.SenseSamples = 0 },
+		func(c *CycleConfig) { c.Sensors = 0 },
+		func(c *CycleConfig) { c.TargetPfa = 0 },
+	}
+	for i, mutate := range cases {
+		c := base()
+		mutate(&c)
+		if c.Validate() == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+	// Blind mode skips the sensing parameter checks.
+	blind := base()
+	blind.Blind = true
+	blind.SenseSamples = 0
+	blind.Sensors = 0
+	if err := blind.Validate(); err != nil {
+		t.Errorf("blind config should validate: %v", err)
+	}
+}
+
+// TestSensingProtectsPrimary is the cycle's reason to exist: sensing
+// slashes the fraction of secondary frames that land on a busy primary
+// relative to blind transmission.
+func TestSensingProtectsPrimary(t *testing.T) {
+	sensed, err := Run(base())
+	if err != nil {
+		t.Fatal(err)
+	}
+	blind := base()
+	blind.Blind = true
+	blindRes, err := Run(blind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sensed.FramesSent == 0 || blindRes.FramesSent == 0 {
+		t.Fatalf("no traffic: sensed %d, blind %d", sensed.FramesSent, blindRes.FramesSent)
+	}
+	// Blind collisions track the PU duty cycle (2/5 = 0.4).
+	if blindRes.CollisionRate < 0.3 || blindRes.CollisionRate > 0.5 {
+		t.Errorf("blind collision rate %v, want ~0.4", blindRes.CollisionRate)
+	}
+	if sensed.CollisionRate > blindRes.CollisionRate/4 {
+		t.Errorf("sensing should slash collisions: %v vs blind %v",
+			sensed.CollisionRate, blindRes.CollisionRate)
+	}
+}
+
+// TestMoreChannelsMoreThroughput: extra primary bands give the SU more
+// idle opportunities.
+func TestMoreChannelsMoreThroughput(t *testing.T) {
+	one := base()
+	one.Channels = 1
+	oneRes, err := Run(one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	four := base()
+	four.Channels = 4
+	fourRes, err := Run(four)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fourRes.Utilization <= oneRes.Utilization {
+		t.Errorf("4 channels (%v) should beat 1 (%v)", fourRes.Utilization, oneRes.Utilization)
+	}
+}
+
+func TestUtilizationBounds(t *testing.T) {
+	r, err := Run(base())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Utilization <= 0 || r.Utilization > 1 {
+		t.Errorf("utilization = %v", r.Utilization)
+	}
+	if r.IdleEpochs > r.Epochs {
+		t.Errorf("idle epochs %d exceed epochs %d", r.IdleEpochs, r.Epochs)
+	}
+	if r.Epochs < int(base().Horizon/base().SensePeriod)-2 {
+		t.Errorf("only %d epochs over the horizon", r.Epochs)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, err := Run(base())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(base())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("same seed diverged: %+v vs %+v", a, b)
+	}
+}
+
+// TestConservativeFusionTradesThroughput: OR fusion protects the PU
+// harder than majority but finds fewer transmit opportunities (its
+// fused false-alarm rate is higher).
+func TestConservativeFusionTradesThroughput(t *testing.T) {
+	or := base()
+	or.Rule = sensing.FusionOR
+	orRes, err := Run(or)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maj := base()
+	maj.Rule = sensing.FusionMajority
+	majRes, err := Run(maj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if majRes.Utilization < orRes.Utilization {
+		t.Errorf("majority fusion (%v) should transmit at least as much as OR (%v)",
+			majRes.Utilization, orRes.Utilization)
+	}
+	if orRes.CollisionRate > majRes.CollisionRate+0.02 {
+		t.Errorf("OR (%v) should not collide more than majority (%v)",
+			orRes.CollisionRate, majRes.CollisionRate)
+	}
+}

@@ -1,0 +1,293 @@
+// Package coop simulates the cooperative communication schemes of
+// Section 2.2 at symbol level: one hop of the data relay path between a
+// transmit cluster A (mt nodes, head x) and a receive cluster B (mr
+// nodes, head y).
+//
+//	Step 1  intra/local broadcast at A   (AWGN links; may corrupt copies)
+//	Step 2  long-haul mt-by-mr STBC transmission over flat Rayleigh fading
+//	Step 3  intra/local sample forwarding at B; head decodes jointly
+//
+// Unlike the energy-level analyses (internal/overlay, internal/underlay)
+// this package transports actual bits, so it exposes the effects the
+// closed forms abstract away: intra-cluster bit errors desynchronise the
+// cooperative antennas' copies, the rate-3/4 codes pay their rate
+// penalty, and sample forwarding adds noise before joint decoding.
+package coop
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/channel"
+	"repro/internal/mathx"
+	"repro/internal/modulation"
+	"repro/internal/stbc"
+)
+
+// Config parameterises one cooperative hop simulation.
+type Config struct {
+	// Mt and Mr are the cooperating node counts (1..4 each).
+	Mt, Mr int
+	// B is the constellation size in bits per symbol.
+	B int
+	// SNRPerBit is the long-haul mean per-bit receive SNR scale: the
+	// paper's gamma_b equals ||H||_F^2 * SNRPerBit / mt per codeword.
+	SNRPerBit float64
+	// LocalSNRPerBit is the intra-cluster per-bit SNR for Step 1's
+	// broadcast; +Inf (or 0, meaning "ideal") disables local errors.
+	LocalSNRPerBit float64
+	// ForwardSNR is the Step 3 sample-forwarding SNR (signal-to-added-
+	// noise per sample); 0 means ideal forwarding.
+	ForwardSNR float64
+	// CoherenceBlocks redraws the channel every so many STBC blocks;
+	// <= 0 redraws per block.
+	CoherenceBlocks int
+	// Bits is the number of information bits to push through the hop.
+	Bits int
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// Validate rejects unusable configurations.
+func (c Config) Validate() error {
+	switch {
+	case c.Mt < 1 || c.Mt > 4 || c.Mr < 1 || c.Mr > 4:
+		return fmt.Errorf("coop: node counts %dx%d outside [1, 4]", c.Mt, c.Mr)
+	case c.B < 1 || c.B > 16:
+		return fmt.Errorf("coop: constellation size %d outside [1, 16]", c.B)
+	case c.SNRPerBit <= 0:
+		return fmt.Errorf("coop: SNR per bit %g must be positive", c.SNRPerBit)
+	case c.LocalSNRPerBit < 0:
+		return fmt.Errorf("coop: local SNR %g must be non-negative", c.LocalSNRPerBit)
+	case c.ForwardSNR < 0:
+		return fmt.Errorf("coop: forward SNR %g must be non-negative", c.ForwardSNR)
+	case c.Bits < 1:
+		return fmt.Errorf("coop: bit count %d must be positive", c.Bits)
+	}
+	return nil
+}
+
+// SchemeName returns the paper's name for the hop configuration.
+func (c Config) SchemeName() string {
+	return string(linkKind(c.Mt, c.Mr))
+}
+
+func linkKind(mt, mr int) string {
+	switch {
+	case mt == 1 && mr == 1:
+		return "SISO"
+	case mt > 1 && mr == 1:
+		return "MISO"
+	case mt == 1 && mr > 1:
+		return "SIMO"
+	default:
+		return "MIMO"
+	}
+}
+
+// Result reports one simulated hop.
+type Result struct {
+	// BER is the end-to-end bit error rate measured at the head of B.
+	BER float64
+	// LocalBER is the bit error rate of Step 1's broadcast copies
+	// (zero when mt = 1 or local links are ideal).
+	LocalBER float64
+	// Bits is the number of information bits actually transported
+	// (rounded down to whole STBC blocks).
+	Bits int
+	// Scheme is the link classification.
+	Scheme string
+}
+
+// Run simulates the hop on random source bits and returns measured
+// error rates.
+func Run(cfg Config) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	rng := mathx.NewRand(cfg.Seed)
+	code, err := stbc.ForTransmitters(cfg.Mt)
+	if err != nil {
+		return Result{}, err
+	}
+	bitsPerBlock := code.BlockSymbols() * cfg.B
+	blocks := cfg.Bits / bitsPerBlock
+	if blocks == 0 {
+		blocks = 1
+	}
+	src := make([]byte, blocks*bitsPerBlock)
+	for i := range src {
+		src[i] = byte(rng.Intn(2))
+	}
+	_, res, err := Transport(cfg, src)
+	return res, err
+}
+
+// Transport pushes the given source bits through one cooperative hop and
+// returns the bits decoded at the head of the receive cluster alongside
+// the measured rates. len(src) must be a positive multiple of the STBC
+// block payload (BlockSymbols * b); multi-hop relays chain Transport
+// calls, feeding each hop's output to the next.
+func Transport(cfg Config, src []byte) ([]byte, Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, Result{}, err
+	}
+	rng := mathx.NewRand(cfg.Seed)
+	mod, err := modulation.New(cfg.B)
+	if err != nil {
+		return nil, Result{}, err
+	}
+	code, err := stbc.ForTransmitters(cfg.Mt)
+	if err != nil {
+		return nil, Result{}, err
+	}
+	bitsPerBlock := code.BlockSymbols() * cfg.B
+	if len(src) == 0 || len(src)%bitsPerBlock != 0 {
+		return nil, Result{}, fmt.Errorf("coop: %d source bits not a positive multiple of the %d-bit block",
+			len(src), bitsPerBlock)
+	}
+	blocks := len(src) / bitsPerBlock
+	res := Result{Scheme: cfg.SchemeName(), Bits: len(src)}
+
+	// Per-antenna per-slot symbol energy so that the post-combining
+	// per-bit SNR is ||H||^2 * SNRPerBit / mt, including the code's rate
+	// penalty (see the derivation in scheme_test.go).
+	ea := cfg.SNRPerBit * float64(cfg.B) * code.Rate() / float64(cfg.Mt)
+	scale := complex(math.Sqrt(ea), 0)
+
+	fading := channel.NewBlockFading(rng, cfg.Mt, cfg.Mr, cfg.CoherenceBlocks, 0)
+
+	var bitErrs, localErrs, localBits int
+	out := make([]byte, 0, len(src))
+	copies := make([][]byte, cfg.Mt)
+	for i := range copies {
+		copies[i] = make([]byte, bitsPerBlock)
+	}
+	decided := make([]byte, cfg.B)
+	for blk := 0; blk < blocks; blk++ {
+		blockSrc := src[blk*bitsPerBlock : (blk+1)*bitsPerBlock]
+
+		// Step 1: head x broadcasts; each other member receives its own
+		// noisy copy (the head's copy is exact).
+		copy(copies[0], blockSrc)
+		for m := 1; m < cfg.Mt; m++ {
+			broadcastCopy(rng, mod, blockSrc, copies[m], cfg.LocalSNRPerBit)
+			for i := range blockSrc {
+				localBits++
+				if copies[m][i] != blockSrc[i] {
+					localErrs++
+				}
+			}
+		}
+
+		// Step 2: each antenna encodes its own copy; disagreement between
+		// copies corrupts the space-time structure, exactly as it would
+		// over the air.
+		h := fading.Next()
+		y := transmitPerAntenna(code, mod, copies, scale, h)
+		channel.AWGN(rng, y.Data, 1)
+
+		// Step 3: members forward their samples to head y; forwarding
+		// adds noise per sample when ForwardSNR is finite.
+		if cfg.Mr > 1 && cfg.ForwardSNR > 0 {
+			forwardNoise(rng, y, ea, h, cfg.ForwardSNR)
+		}
+
+		est := code.Decode(y, h)
+		for k, sym := range est {
+			mod.DecideSymbol(sym/scale, decided)
+			for j := 0; j < cfg.B; j++ {
+				if decided[j] != blockSrc[k*cfg.B+j] {
+					bitErrs++
+				}
+			}
+			out = append(out, decided...)
+		}
+	}
+	res.BER = float64(bitErrs) / float64(res.Bits)
+	if localBits > 0 {
+		res.LocalBER = float64(localErrs) / float64(localBits)
+	}
+	return out, res, nil
+}
+
+// broadcastCopy sends bits over one AWGN local link and writes the
+// receiver's hard decisions to dst. localSNR = 0 means ideal.
+func broadcastCopy(rng *rand.Rand, mod *modulation.Scheme, src, dst []byte, localSNR float64) {
+	if localSNR == 0 || math.IsInf(localSNR, 1) {
+		copy(dst, src)
+		return
+	}
+	syms, err := mod.Modulate(src)
+	if err != nil {
+		// Block sizes are whole multiples of b by construction.
+		panic(err)
+	}
+	// Unit-energy symbols; noise variance sets the per-bit SNR:
+	// Es/N0 = b * localSNR.
+	n0 := 1 / (float64(mod.BitsPerSymbol) * localSNR)
+	channel.AWGN(rng, syms, n0)
+	copy(dst, mod.Demodulate(syms))
+}
+
+// transmitPerAntenna builds the received block when each antenna encodes
+// its own (possibly divergent) bit copy. With identical copies this
+// reduces exactly to code.Transmit(code.Encode(...)).
+func transmitPerAntenna(code *stbc.Code, mod *modulation.Scheme, copies [][]byte, scale complex128, h *mathx.CMat) *mathx.CMat {
+	mt := code.Nt()
+	// Encode each antenna's view of the block.
+	perAntenna := make([]*mathx.CMat, mt)
+	for a := 0; a < mt; a++ {
+		syms, err := mod.Modulate(copies[a])
+		if err != nil {
+			panic(err)
+		}
+		for i := range syms {
+			syms[i] *= scale
+		}
+		perAntenna[a] = code.Encode(syms)
+	}
+	// Antenna a transmits column a of its own encoding.
+	x := mathx.NewCMat(perAntenna[0].Rows, mt)
+	for t := 0; t < x.Rows; t++ {
+		for a := 0; a < mt; a++ {
+			x.Set(t, a, perAntenna[a].At(t, a))
+		}
+	}
+	// y[t][j] = sum_a x[t][a] h[j][a].
+	return x.Mul(h.Transpose())
+}
+
+// forwardNoise models Step 3: every sample travelling from a non-head
+// receiver to the head picks up noise proportional to the mean sample
+// power. Receiver 0 is the head and forwards nothing.
+func forwardNoise(rng *rand.Rand, y *mathx.CMat, ea float64, h *mathx.CMat, fwdSNR float64) {
+	meanPower := ea * h.FrobeniusNorm2() / float64(h.Rows)
+	variance := meanPower / fwdSNR
+	for t := 0; t < y.Rows; t++ {
+		for j := 1; j < y.Cols; j++ {
+			y.Set(t, j, y.At(t, j)+mathx.ComplexCN(rng, variance))
+		}
+	}
+}
+
+// PredictBER returns the closed-form BER this hop should approach when
+// the local links are ideal: the paper's eq. (5)/(6) average with the
+// code's rate folded into the energy (rate-1 codes match exactly).
+func PredictBER(cfg Config) float64 {
+	code, err := stbc.ForTransmitters(cfg.Mt)
+	if err != nil {
+		return math.NaN()
+	}
+	pre, k := berShape(cfg.B)
+	return pre * modulation.BERRayleighMRC(cfg.Mt*cfg.Mr, k/2*cfg.SNRPerBit*code.Rate()/float64(cfg.Mt))
+}
+
+func berShape(b int) (pre, k float64) {
+	if b <= 1 {
+		return 1, 2
+	}
+	m := math.Pow(2, float64(b))
+	return 4 / float64(b) * (1 - math.Pow(2, -float64(b)/2)), 3 * float64(b) / (m - 1)
+}

@@ -1,0 +1,82 @@
+package coop
+
+import (
+	"fmt"
+
+	"repro/internal/stbc"
+)
+
+// Timing accounts the airtime of one cooperative hop under the paper's
+// time-slot structure: Step 1's broadcast occupies one local slot,
+// Step 2's space-time codeword stretches payload time by 1/R (the code
+// rate), and Step 3's collection serialises mr-1 local forwards — the
+// latency price of cooperation that the energy equations do not show.
+type Timing struct {
+	// LocalBroadcastS is Step 1's duration (0 when mt = 1).
+	LocalBroadcastS float64
+	// LongHaulS is Step 2's duration including the STBC rate penalty.
+	LongHaulS float64
+	// CollectS is Step 3's duration (0 when mr = 1).
+	CollectS float64
+}
+
+// Total returns the hop's end-to-end airtime.
+func (t Timing) Total() float64 { return t.LocalBroadcastS + t.LongHaulS + t.CollectS }
+
+// HopTiming computes the airtime of transporting n bits over one
+// cooperative hop at symbol rate symbolRate (symbols/s) with
+// constellation size b: every link moves b bits per symbol; local links
+// are uncoded, the long-haul link pays the orthogonal design's rate.
+func HopTiming(mt, mr, b, n int, symbolRate float64) (Timing, error) {
+	if mt < 1 || mr < 1 {
+		return Timing{}, fmt.Errorf("coop: node counts %dx%d must be positive", mt, mr)
+	}
+	if b < 1 || b > 16 {
+		return Timing{}, fmt.Errorf("coop: constellation size %d outside [1, 16]", b)
+	}
+	if n < 1 {
+		return Timing{}, fmt.Errorf("coop: bit count %d must be positive", n)
+	}
+	if symbolRate <= 0 {
+		return Timing{}, fmt.Errorf("coop: symbol rate %g must be positive", symbolRate)
+	}
+	code, err := stbc.ForTransmitters(mt)
+	if err != nil {
+		return Timing{}, err
+	}
+	symbolTime := 1 / symbolRate
+	payloadSymbols := float64(n) / float64(b)
+	var t Timing
+	if mt > 1 {
+		t.LocalBroadcastS = payloadSymbols * symbolTime
+	}
+	t.LongHaulS = payloadSymbols / code.Rate() * symbolTime
+	if mr > 1 {
+		t.CollectS = float64(mr-1) * payloadSymbols / code.Rate() * symbolTime
+	}
+	return t, nil
+}
+
+// SISOBaselineS is the airtime of the same payload over a plain SISO
+// link — the reference the cooperation overhead is measured against.
+func SISOBaselineS(b, n int, symbolRate float64) (float64, error) {
+	t, err := HopTiming(1, 1, b, n, symbolRate)
+	if err != nil {
+		return 0, err
+	}
+	return t.Total(), nil
+}
+
+// CooperationOverhead returns hop airtime relative to the SISO baseline:
+// the "multiple time slots" cost of Section 2.2's schemes.
+func CooperationOverhead(mt, mr, b, n int, symbolRate float64) (float64, error) {
+	hop, err := HopTiming(mt, mr, b, n, symbolRate)
+	if err != nil {
+		return 0, err
+	}
+	base, err := SISOBaselineS(b, n, symbolRate)
+	if err != nil {
+		return 0, err
+	}
+	return hop.Total() / base, nil
+}

@@ -1,0 +1,91 @@
+package coop
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHopTimingValidation(t *testing.T) {
+	cases := []struct{ mt, mr, b, n int }{
+		{0, 1, 1, 100}, {1, 0, 1, 100}, {1, 1, 0, 100},
+		{1, 1, 17, 100}, {1, 1, 1, 0}, {5, 1, 1, 100},
+	}
+	for _, c := range cases {
+		if _, err := HopTiming(c.mt, c.mr, c.b, c.n, 1e5); err == nil {
+			t.Errorf("HopTiming(%+v) should fail", c)
+		}
+	}
+	if _, err := HopTiming(1, 1, 1, 100, 0); err == nil {
+		t.Error("zero symbol rate should fail")
+	}
+}
+
+func TestSISOTiming(t *testing.T) {
+	// 1000 bits, BPSK at 100 ksym/s: 10 ms on air, no local steps.
+	ti, err := HopTiming(1, 1, 1, 1000, 1e5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ti.LocalBroadcastS != 0 || ti.CollectS != 0 {
+		t.Errorf("SISO should have no local steps: %+v", ti)
+	}
+	if math.Abs(ti.LongHaulS-0.01) > 1e-12 {
+		t.Errorf("SISO long-haul = %v, want 0.01", ti.LongHaulS)
+	}
+	base, err := SISOBaselineS(1, 1000, 1e5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base != ti.Total() {
+		t.Errorf("baseline %v != SISO total %v", base, ti.Total())
+	}
+}
+
+func TestTimingComponents(t *testing.T) {
+	// 2x3 Alamouti hop: broadcast (1x) + long-haul (rate 1) + 2 forwards.
+	ti, err := HopTiming(2, 3, 2, 1200, 1e5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sym := 1200.0 / 2 / 1e5 // payload symbols / rate
+	if math.Abs(ti.LocalBroadcastS-sym) > 1e-12 {
+		t.Errorf("broadcast %v, want %v", ti.LocalBroadcastS, sym)
+	}
+	if math.Abs(ti.LongHaulS-sym) > 1e-12 {
+		t.Errorf("long-haul %v, want %v (rate-1 code)", ti.LongHaulS, sym)
+	}
+	if math.Abs(ti.CollectS-2*sym) > 1e-12 {
+		t.Errorf("collect %v, want %v", ti.CollectS, 2*sym)
+	}
+	// 3-antenna hop pays the rate-3/4 stretch on the long haul.
+	t3, err := HopTiming(3, 1, 2, 1200, 1e5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(t3.LongHaulS-sym/0.75) > 1e-12 {
+		t.Errorf("rate-3/4 long-haul %v, want %v", t3.LongHaulS, sym/0.75)
+	}
+}
+
+func TestCooperationOverhead(t *testing.T) {
+	// SISO overhead is exactly 1.
+	if o, err := CooperationOverhead(1, 1, 2, 1000, 1e5); err != nil || o != 1 {
+		t.Errorf("SISO overhead = %v, %v", o, err)
+	}
+	// Cooperation always costs airtime, monotonically with mr.
+	o21, _ := CooperationOverhead(2, 1, 2, 1000, 1e5)
+	o22, _ := CooperationOverhead(2, 2, 2, 1000, 1e5)
+	o23, _ := CooperationOverhead(2, 3, 2, 1000, 1e5)
+	if !(1 < o21 && o21 < o22 && o22 < o23) {
+		t.Errorf("overhead not increasing: %v %v %v", o21, o22, o23)
+	}
+	// 2x1 MISO = broadcast + long haul = 2x SISO airtime.
+	if math.Abs(o21-2) > 1e-12 {
+		t.Errorf("2x1 overhead = %v, want 2", o21)
+	}
+	// Denser constellations do not change the ratio.
+	o16, _ := CooperationOverhead(2, 2, 16, 1600, 1e5)
+	if math.Abs(o16-o22) > 1e-12 {
+		t.Errorf("overhead ratio should be b-independent: %v vs %v", o16, o22)
+	}
+}

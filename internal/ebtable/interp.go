@@ -1,0 +1,38 @@
+package ebtable
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// EbBarInterp looks ēb up for a BER target that may lie between grid
+// points, interpolating log(ēb) linearly in log(p) between the two
+// bracketing grid cells. Within grid tolerance it behaves exactly like
+// EbBar; outside the grid's p range it refuses rather than extrapolate
+// (an extrapolated link budget is a silent lie).
+func (t *Table) EbBarInterp(p float64, b, mt, mr int) (float64, error) {
+	if v, err := t.EbBar(p, b, mt, mr); err == nil {
+		return v, nil
+	}
+	if p <= 0 || p >= 1 {
+		return 0, fmt.Errorf("ebtable: BER %g outside (0, 1)", p)
+	}
+	// Sort the grid BERs ascending and find the bracket.
+	ps := append([]float64(nil), t.Grid.Ps...)
+	sort.Float64s(ps)
+	if p < ps[0] || p > ps[len(ps)-1] {
+		return 0, fmt.Errorf("ebtable: BER %g outside the table range [%g, %g]; refusing to extrapolate",
+			p, ps[0], ps[len(ps)-1])
+	}
+	hiIdx := sort.SearchFloat64s(ps, p)
+	lo, hi := ps[hiIdx-1], ps[hiIdx]
+	vLo, errLo := t.EbBar(lo, b, mt, mr)
+	vHi, errHi := t.EbBar(hi, b, mt, mr)
+	if errLo != nil || errHi != nil {
+		return 0, fmt.Errorf("ebtable: bracket cells missing for b=%d %dx%d (p in [%g, %g])", b, mt, mr, lo, hi)
+	}
+	// log-log interpolation: ēb is near power-law in p.
+	frac := (math.Log(p) - math.Log(lo)) / (math.Log(hi) - math.Log(lo))
+	return math.Exp(math.Log(vLo) + frac*(math.Log(vHi)-math.Log(vLo))), nil
+}

@@ -1,0 +1,87 @@
+package ebtable
+
+import (
+	"math"
+	"testing"
+)
+
+func interpTable(t *testing.T) *Table {
+	t.Helper()
+	tab, err := Build(Analytic{}, Grid{
+		Ps:  []float64{0.05, 0.01, 0.002, 0.0005},
+		Bs:  []int{1, 2},
+		Mts: []int{1, 2},
+		Mrs: []int{1, 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+func TestInterpExactOnGrid(t *testing.T) {
+	tab := interpTable(t)
+	want, _ := tab.EbBar(0.01, 2, 2, 2)
+	got, err := tab.EbBarInterp(0.01, 2, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("on-grid interp %g != lookup %g", got, want)
+	}
+}
+
+func TestInterpBetweenPoints(t *testing.T) {
+	tab := interpTable(t)
+	// Off-grid p between 0.01 and 0.002: compare against the live solver.
+	p := 0.005
+	got, err := tab.EbBarInterp(p, 2, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := Analytic{}.EbBar(p, 2, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got/exact-1) > 0.10 {
+		t.Errorf("interpolated %g vs exact %g (>10%% off)", got, exact)
+	}
+	// Interpolant is bracketed by the neighbouring cells.
+	lo, _ := tab.EbBar(0.01, 2, 2, 2)  // looser target: smaller ēb
+	hi, _ := tab.EbBar(0.002, 2, 2, 2) // tighter: larger ēb
+	if got < lo || got > hi {
+		t.Errorf("interpolant %g outside bracket [%g, %g]", got, lo, hi)
+	}
+}
+
+func TestInterpRefusesExtrapolation(t *testing.T) {
+	tab := interpTable(t)
+	if _, err := tab.EbBarInterp(0.2, 2, 2, 2); err == nil {
+		t.Error("above-range p should fail")
+	}
+	if _, err := tab.EbBarInterp(1e-5, 2, 2, 2); err == nil {
+		t.Error("below-range p should fail")
+	}
+	if _, err := tab.EbBarInterp(0, 2, 2, 2); err == nil {
+		t.Error("p=0 should fail")
+	}
+	if _, err := tab.EbBarInterp(0.005, 4, 2, 2); err == nil {
+		t.Error("off-grid b should fail (missing bracket cells)")
+	}
+}
+
+func TestInterpMonotoneAcrossRange(t *testing.T) {
+	tab := interpTable(t)
+	prev := 0.0
+	// Tighter targets (smaller p) need monotonically more energy.
+	for _, p := range []float64{0.04, 0.02, 0.008, 0.004, 0.001, 0.0006} {
+		v, err := tab.EbBarInterp(p, 1, 2, 1)
+		if err != nil {
+			t.Fatalf("p=%g: %v", p, err)
+		}
+		if v <= prev {
+			t.Errorf("interp not increasing at p=%g: %g <= %g", p, v, prev)
+		}
+		prev = v
+	}
+}

@@ -1,0 +1,108 @@
+// Package energy implements the per-bit energy model of Section 2.3
+// (equations 1–4): the local/intra-cluster transmission and reception
+// costs, and the long-haul cooperative MIMO link costs parameterised by
+// the ebtable quantity ēb(p, b, mt, mr). It also provides the
+// constellation-size optimisation ("determine constellation size b which
+// minimizes ēb") and the distance inversions used by the overlay
+// analysis.
+package energy
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/channel"
+	"repro/internal/units"
+)
+
+// Params carries the system constants of Section 2.3. All derived
+// quantities are linear/SI; the constructor performs the dB conversions.
+type Params struct {
+	// Pct, Pcr, Psyn are the circuit power draws for transmission,
+	// reception and synchronisation, in watts.
+	Pct, Pcr, Psyn units.Watt
+	// G1 is the local path-loss gain factor at one metre (linear; the
+	// paper prints "10mw", treated as the factor 10 — see DESIGN.md).
+	G1 float64
+	// Kappa is the local path-loss exponent (3.5).
+	Kappa float64
+	// Ml is the link margin (linear; 40 dB).
+	Ml float64
+	// Nf is the receiver noise figure (linear; 10 dB).
+	Nf float64
+	// Sigma2 is the AWGN noise spectral density at the local receiver,
+	// in W/Hz (-174 dBm/Hz).
+	Sigma2 float64
+	// N0 is the long-haul noise spectral density in W/Hz (-171 dBm/Hz).
+	N0 float64
+	// GtGr is the combined antenna gain (linear; 5 dBi).
+	GtGr float64
+	// Lambda is the carrier wavelength in metres (0.1199 m ~ 2.5 GHz).
+	Lambda float64
+	// Ttr is the transient/startup duration of the synchroniser (5 us).
+	Ttr units.Second
+	// Bandwidth is the system bandwidth B in Hz.
+	Bandwidth units.Hertz
+	// PacketBits is the information size n per transmission, in bits.
+	PacketBits int
+	// BMax is the largest constellation size considered (paper: 16).
+	BMax int
+}
+
+// Paper returns the constant set of Section 2.3 with the given bandwidth.
+// The paper sweeps B from 10 kHz to 100 kHz.
+func Paper(bandwidth units.Hertz) Params {
+	return Params{
+		Pct:        units.MilliWatt(48.64),
+		Pcr:        units.MilliWatt(62.5),
+		Psyn:       units.MilliWatt(50),
+		G1:         10,
+		Kappa:      3.5,
+		Ml:         units.DB(40).Linear(),
+		Nf:         units.DB(10).Linear(),
+		Sigma2:     units.DBmPerHzToWattsPerHz(-174),
+		N0:         units.DBmPerHzToWattsPerHz(-171),
+		GtGr:       units.DB(5).Linear(),
+		Lambda:     0.1199,
+		Ttr:        5e-6,
+		Bandwidth:  bandwidth,
+		PacketBits: 10000,
+		BMax:       16,
+	}
+}
+
+// Validate reports the first nonsensical constant, if any.
+func (p Params) Validate() error {
+	switch {
+	case p.Bandwidth <= 0:
+		return fmt.Errorf("energy: bandwidth %v must be positive", p.Bandwidth)
+	case p.PacketBits <= 0:
+		return fmt.Errorf("energy: packet size %d must be positive", p.PacketBits)
+	case p.N0 <= 0 || p.Sigma2 <= 0:
+		return fmt.Errorf("energy: noise densities must be positive")
+	case p.Lambda <= 0:
+		return fmt.Errorf("energy: wavelength %g must be positive", p.Lambda)
+	case p.BMax < 1:
+		return fmt.Errorf("energy: BMax %d must be at least 1", p.BMax)
+	}
+	return nil
+}
+
+// Alpha is the power-amplifier inefficiency factor
+// alpha = 3(sqrt(2^b)-1) / (0.35 (sqrt(2^b)+1)), implemented exactly as
+// the paper prints it (it is xi/eta of Cui et al. with the -1 absorbed).
+func Alpha(b int) float64 {
+	s := math.Sqrt(math.Pow(2, float64(b)))
+	return 3 * (s - 1) / (0.35 * (s + 1))
+}
+
+// LocalLoss returns the intra-cluster path-loss model for these params.
+func (p Params) LocalLoss() channel.LocalPathLoss {
+	return channel.LocalPathLoss{G1: p.G1, Kappa: p.Kappa, Ml: p.Ml}
+}
+
+// LongHaulLoss returns the long-haul path-loss model. Nf is folded in,
+// matching eq. (3)'s (4 pi D)^2 / (Gt Gr lambda^2) * Ml * Nf factor.
+func (p Params) LongHaulLoss() channel.LongHaulPathLoss {
+	return channel.LongHaulPathLoss{GtGr: p.GtGr, Lambda: p.Lambda, Ml: p.Ml, Nf: p.Nf}
+}

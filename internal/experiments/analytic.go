@@ -1,0 +1,152 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/ebtable"
+	"repro/internal/energy"
+	"repro/internal/interweave"
+	"repro/internal/mathx"
+	"repro/internal/overlay"
+	"repro/internal/underlay"
+	"repro/internal/units"
+)
+
+// fig6Cases are the (m, bandwidth) series the paper plots.
+var fig6Cases = []struct {
+	M int
+	B units.Hertz
+}{
+	{2, 20e3}, {3, 20e3}, {2, 40e3}, {3, 40e3},
+}
+
+// fig6Sweep runs the overlay analysis over the paper's D1 range.
+// pick selects D2 or D3 from each analysis point.
+func fig6Sweep(id, title, distName string, pick func(overlay.Analysis) float64) (*Report, error) {
+	rep := &Report{
+		ID:     id,
+		Title:  title,
+		Header: []string{"D(Pt,Pr) m"},
+		Notes: []string{
+			"direct BER 0.005, relayed BER 0.0005 (10x better), equal per-node energy",
+			"gamma_b convention: ConvArray (matches the paper's evaluated D3/D2 = sqrt(m); see DESIGN.md)",
+			"absolute distances exceed the paper's by ~2.8x (ideal-MRC ebtable); trends match",
+		},
+	}
+	for _, c := range fig6Cases {
+		rep.Header = append(rep.Header, fmt.Sprintf("m=%d B=%gk", c.M, float64(c.B)/1e3))
+	}
+	type col struct {
+		cfg overlay.Config
+	}
+	cols := make([]col, len(fig6Cases))
+	for i, c := range fig6Cases {
+		model, err := energy.New(energy.Paper(c.B), ebtable.Analytic{Convention: ebtable.ConvArray})
+		if err != nil {
+			return nil, err
+		}
+		cols[i] = col{cfg: overlay.Config{
+			Model: model, M: c.M, DirectBER: 0.005, RelayBER: 0.0005,
+		}}
+	}
+	for d1 := 150.0; d1 <= 350+1e-9; d1 += 25 {
+		row := []string{fmt.Sprintf("%.0f", d1)}
+		for _, c := range cols {
+			a, err := overlay.Analyze(c.cfg, d1)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, fmt.Sprintf("%.0f", pick(a)))
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+	_ = distName
+	return rep, nil
+}
+
+// Fig6a regenerates Figure 6(a): the largest distance the cooperative
+// SUs can stay away from the primary transmitter Pt.
+func Fig6a(opts Options) (*Report, error) {
+	return fig6Sweep("fig6a",
+		"largest SU distance from the primary transmitter Pt vs D(Pt, Pr)",
+		"D2", func(a overlay.Analysis) float64 { return a.D2 })
+}
+
+// Fig6b regenerates Figure 6(b): the largest distance from the primary
+// receiver Pr.
+func Fig6b(opts Options) (*Report, error) {
+	return fig6Sweep("fig6b",
+		"largest SU distance from the primary receiver Pr vs D(Pt, Pr)",
+		"D3", func(a overlay.Analysis) float64 { return a.D3 })
+}
+
+// fig7Pairs are the (mt, mr) series of Figure 7; (1,1) is the
+// no-cooperation SISO reference modelling the primary users.
+var fig7Pairs = [][2]int{{1, 1}, {1, 2}, {2, 1}, {1, 3}, {2, 2}, {2, 3}}
+
+// Fig7 regenerates Figure 7 (upper and lower plots as one table): total
+// PA energy per bit of all SU nodes vs link distance for each (mt, mr).
+func Fig7(opts Options) (*Report, error) {
+	model, err := energy.New(energy.Paper(40e3), ebtable.Analytic{})
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{
+		ID:     "fig7",
+		Title:  "total PA energy per bit (J/bit), d = 1 m, BER 0.001",
+		Header: []string{"D m"},
+		Notes: []string{
+			"mt=1 mr=1 is the no-cooperation SISO reference (the primary model)",
+			"paper reports 2-4 orders SISO/coop; exact-MRC ebtable gives 1.2-2.3 orders (see EXPERIMENTS.md)",
+		},
+	}
+	for _, p := range fig7Pairs {
+		rep.Header = append(rep.Header, fmt.Sprintf("mt=%d mr=%d", p[0], p[1]))
+	}
+	for d := 100.0; d <= 300+1e-9; d += 25 {
+		row := []string{fmt.Sprintf("%.0f", d)}
+		for _, p := range fig7Pairs {
+			r, err := underlay.Analyze(underlay.Config{
+				Model: model, Mt: p[0], Mr: p[1],
+				IntraD: 1, LinkD: d, BER: 0.001,
+			})
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, fmt.Sprintf("%.3e", float64(r.TotalPA)))
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+	return rep, nil
+}
+
+// Table1 regenerates the interweave amplitude table: ten trials of the
+// null-steering pair with randomly scattered primary receivers.
+func Table1(opts Options) (*Report, error) {
+	trials := 10
+	if opts.Quick {
+		trials = 3
+	}
+	rng := mathx.NewRand(opts.Seed)
+	rows, avg, err := interweave.RunTable(interweave.PaperTrialConfig(), rng, trials)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{
+		ID:     "table1",
+		Title:  "amplitude of signal waves from two cooperative SUs (interweave)",
+		Header: []string{"Test", "Picked Pr", "Amplitude at Sr", "Residual at Pr"},
+		Notes: []string{
+			fmt.Sprintf("average amplitude at Sr = %.2f (paper: 1.87; SISO = 1.00)", avg),
+		},
+	}
+	for i, r := range rows {
+		rep.Rows = append(rep.Rows, []string{
+			fmt.Sprintf("%d", i+1),
+			fmt.Sprintf("(%.0f, %.0f)", r.PickedPr.X, r.PickedPr.Y),
+			fmt.Sprintf("%.2f", r.AmplitudeAtSr),
+			fmt.Sprintf("%.3f", r.AmplitudeAtPr),
+		})
+	}
+	return rep, nil
+}

@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteCSV emits the report as RFC-4180 CSV: the header row, then data
+// rows; notes become trailing comment-style rows prefixed with "#".
+func (r *Report) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(r.Header); err != nil {
+		return fmt.Errorf("experiments: csv header: %w", err)
+	}
+	for _, row := range r.Rows {
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("experiments: csv row: %w", err)
+		}
+	}
+	for _, n := range r.Notes {
+		// Pad to the header width so strict RFC-4180 readers (which
+		// require a uniform field count) accept the stream.
+		row := make([]string, len(r.Header))
+		row[0] = "# " + n
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("experiments: csv note: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteJSON emits the report as a single JSON object.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// Format renders the report in the named format: "text" (default),
+// "csv" or "json".
+func (r *Report) Format(format string) (string, error) {
+	switch format {
+	case "", "text":
+		return r.String(), nil
+	case "csv":
+		var b strings.Builder
+		if err := r.WriteCSV(&b); err != nil {
+			return "", err
+		}
+		return b.String(), nil
+	case "json":
+		var b strings.Builder
+		if err := r.WriteJSON(&b); err != nil {
+			return "", err
+		}
+		return b.String(), nil
+	default:
+		return "", fmt.Errorf("experiments: unknown format %q (text, csv, json)", format)
+	}
+}

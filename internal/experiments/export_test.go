@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func sampleReport() *Report {
+	return &Report{
+		ID:     "fig0",
+		Title:  "sample",
+		Header: []string{"x", "y"},
+		Rows:   [][]string{{"1", "2"}, {"3", "4,5"}},
+		Notes:  []string{"a note"},
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var b strings.Builder
+	if err := sampleReport().WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(strings.NewReader(b.String())).ReadAll()
+	if err != nil {
+		t.Fatalf("emitted invalid CSV: %v\n%s", err, b.String())
+	}
+	if len(recs) != 4 { // header + 2 rows + 1 note
+		t.Fatalf("%d records", len(recs))
+	}
+	if recs[0][0] != "x" || recs[2][1] != "4,5" {
+		t.Errorf("records mangled: %v", recs)
+	}
+	if !strings.HasPrefix(recs[3][0], "# ") {
+		t.Errorf("note row = %v", recs[3])
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	var b strings.Builder
+	if err := sampleReport().WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal([]byte(b.String()), &back); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if back.ID != "fig0" || len(back.Rows) != 2 || back.Rows[1][1] != "4,5" {
+		t.Errorf("round trip mangled: %+v", back)
+	}
+}
+
+func TestFormat(t *testing.T) {
+	r := sampleReport()
+	for _, f := range []string{"", "text", "csv", "json"} {
+		out, err := r.Format(f)
+		if err != nil {
+			t.Fatalf("format %q: %v", f, err)
+		}
+		if !strings.Contains(out, "fig0") && f != "csv" {
+			t.Errorf("format %q output missing id:\n%s", f, out)
+		}
+		if out == "" {
+			t.Errorf("format %q empty", f)
+		}
+	}
+	if _, err := r.Format("yaml"); err == nil {
+		t.Error("unknown format should fail")
+	}
+}
+
+func TestRealReportFormats(t *testing.T) {
+	rep, err := Run("table1", Options{Seed: 1, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	csvOut, err := rep.Format("csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := csv.NewReader(strings.NewReader(csvOut)).ReadAll(); err != nil {
+		t.Errorf("table1 CSV invalid: %v", err)
+	}
+	jsonOut, err := rep.Format("json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid([]byte(jsonOut)) {
+		t.Error("table1 JSON invalid")
+	}
+}

@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestGoldenRendering pins the exact text layout of the report renderer
+// on a synthetic report, so accidental formatting drift is caught by CI
+// rather than by readers of regenerated artifacts.
+func TestGoldenRendering(t *testing.T) {
+	r := &Report{
+		ID:     "fig0",
+		Title:  "golden sample",
+		Header: []string{"col", "value"},
+		Rows: [][]string{
+			{"a", "1"},
+			{"long-row", "2.5"},
+		},
+		Notes: []string{"a note"},
+	}
+	want := strings.Join([]string{
+		"== fig0: golden sample ==",
+		"col       value",
+		"--------  -----",
+		"a         1    ",
+		"long-row  2.5  ",
+		"note: a note",
+		"",
+	}, "\n")
+	if got := r.String(); got != want {
+		t.Errorf("rendering drifted:\n--- got ---\n%q\n--- want ---\n%q", got, want)
+	}
+}
+
+// TestGoldenExtConv pins the ext-conv experiment end to end: it is fully
+// deterministic (no Monte Carlo), so the exact numbers are a regression
+// anchor for the whole analytic stack (ebtable -> energy -> overlay).
+func TestGoldenExtConv(t *testing.T) {
+	rep, err := Run("ext-conv", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 2 {
+		t.Fatalf("rows: %v", rep.Rows)
+	}
+	// Paper-equation row: symmetric coefficients, D3 just under D2.
+	if rep.Rows[0][1] != "721" || rep.Rows[0][2] != "671" {
+		t.Errorf("ConvPaper row drifted: %v", rep.Rows[0])
+	}
+	// As-evaluated row: D3/D2 approaches sqrt(3).
+	if rep.Rows[1][1] != "721" || rep.Rows[1][2] != "1162" {
+		t.Errorf("ConvArray row drifted: %v", rep.Rows[1])
+	}
+	if rep.Rows[1][3] != "1.61" {
+		t.Errorf("ratio drifted: %v", rep.Rows[1][3])
+	}
+}

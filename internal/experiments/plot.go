@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// plotSymbols mark the series in a Plot, in column order.
+var plotSymbols = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// Plot renders the report's numeric columns as an ASCII chart: the
+// first column is the x axis, every further column one series. Figure
+// experiments (fig6a, fig6b, fig7, fig8) regenerate the paper's plots
+// this way in a terminal; logY suits fig7's orders-of-magnitude spread.
+func (r *Report) Plot(width, height int, logY bool) (string, error) {
+	if width < 16 || height < 4 {
+		return "", fmt.Errorf("experiments: plot needs at least 16x4, got %dx%d", width, height)
+	}
+	if len(r.Header) < 2 || len(r.Rows) < 2 {
+		return "", fmt.Errorf("experiments: plot needs >=2 columns and >=2 rows")
+	}
+	nSeries := len(r.Header) - 1
+	if nSeries > len(plotSymbols) {
+		nSeries = len(plotSymbols)
+	}
+	xs := make([]float64, len(r.Rows))
+	ys := make([][]float64, nSeries)
+	for s := range ys {
+		ys[s] = make([]float64, len(r.Rows))
+	}
+	for i, row := range r.Rows {
+		x, err := strconv.ParseFloat(strings.TrimSpace(row[0]), 64)
+		if err != nil {
+			return "", fmt.Errorf("experiments: non-numeric x %q (row %d)", row[0], i)
+		}
+		xs[i] = x
+		for s := 0; s < nSeries; s++ {
+			v, err := strconv.ParseFloat(strings.TrimSuffix(strings.TrimSpace(row[s+1]), "%"), 64)
+			if err != nil {
+				return "", fmt.Errorf("experiments: non-numeric cell %q (row %d col %d)", row[s+1], i, s+1)
+			}
+			ys[s][i] = v
+		}
+	}
+	tr := func(v float64) float64 { return v }
+	if logY {
+		tr = func(v float64) float64 {
+			if v <= 0 {
+				return math.Inf(-1)
+			}
+			return math.Log10(v)
+		}
+	}
+	yLo, yHi := math.Inf(1), math.Inf(-1)
+	xLo, xHi := xs[0], xs[0]
+	for _, x := range xs {
+		xLo = math.Min(xLo, x)
+		xHi = math.Max(xHi, x)
+	}
+	for s := 0; s < nSeries; s++ {
+		for _, v := range ys[s] {
+			t := tr(v)
+			if math.IsInf(t, -1) {
+				continue
+			}
+			yLo = math.Min(yLo, t)
+			yHi = math.Max(yHi, t)
+		}
+	}
+	if xHi == xLo {
+		xHi = xLo + 1
+	}
+	if yHi <= yLo {
+		yHi = yLo + 1
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for s := 0; s < nSeries; s++ {
+		for i := range xs {
+			t := tr(ys[s][i])
+			if math.IsInf(t, -1) {
+				continue
+			}
+			cx := int(math.Round((xs[i] - xLo) / (xHi - xLo) * float64(width-1)))
+			cy := int(math.Round((t - yLo) / (yHi - yLo) * float64(height-1)))
+			row := height - 1 - cy
+			grid[row][cx] = plotSymbols[s]
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (%s)\n", r.Title, yAxisLabel(logY))
+	fmt.Fprintf(&b, "y: %.4g .. %.4g\n", untr(yLo, logY), untr(yHi, logY))
+	for _, row := range grid {
+		b.WriteString("| ")
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	b.WriteString("+-")
+	b.WriteString(strings.Repeat("-", width))
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "x: %.4g .. %.4g (%s)\n", xLo, xHi, r.Header[0])
+	for s := 0; s < nSeries; s++ {
+		fmt.Fprintf(&b, "  %c %s\n", plotSymbols[s], r.Header[s+1])
+	}
+	return b.String(), nil
+}
+
+func yAxisLabel(logY bool) string {
+	if logY {
+		return "log scale"
+	}
+	return "linear scale"
+}
+
+func untr(v float64, logY bool) float64 {
+	if logY {
+		return math.Pow(10, v)
+	}
+	return v
+}

@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPlotValidation(t *testing.T) {
+	r := sampleReport()
+	if _, err := r.Plot(8, 2, false); err == nil {
+		t.Error("tiny plot should fail")
+	}
+	// sampleReport has a non-numeric row value "a".
+	if _, err := r.Plot(40, 10, false); err == nil {
+		t.Error("non-numeric x should fail")
+	}
+	thin := &Report{Header: []string{"x", "y"}, Rows: [][]string{{"1", "2"}}}
+	if _, err := thin.Plot(40, 10, false); err == nil {
+		t.Error("single row should fail")
+	}
+}
+
+func TestPlotFig6a(t *testing.T) {
+	rep, err := Run("fig6a", Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := rep.Plot(60, 16, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All four series legends present.
+	for _, sym := range []string{"* m=2 B=20k", "o m=3 B=20k", "+ m=2 B=40k", "x m=3 B=40k"} {
+		if !strings.Contains(out, sym) {
+			t.Errorf("legend missing %q:\n%s", sym, out)
+		}
+	}
+	if !strings.Contains(out, "x: 150 .. 350") {
+		t.Errorf("x range missing:\n%s", out)
+	}
+	// The canvas is the requested height.
+	lines := strings.Split(out, "\n")
+	canvas := 0
+	for _, l := range lines {
+		if strings.HasPrefix(l, "| ") {
+			canvas++
+		}
+	}
+	if canvas != 16 {
+		t.Errorf("canvas %d rows, want 16", canvas)
+	}
+}
+
+func TestPlotFig7Log(t *testing.T) {
+	rep, err := Run("fig7", Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := rep.Plot(60, 18, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "log scale") {
+		t.Errorf("log label missing:\n%s", out)
+	}
+	// The SISO series (*) and cheapest coop series must both be drawn.
+	body := out[:strings.Index(out, "+-")]
+	if !strings.Contains(body, "*") {
+		t.Error("SISO series not drawn")
+	}
+}
+
+func TestPlotPercentCells(t *testing.T) {
+	// Percent-suffixed cells (table formats) parse.
+	r := &Report{
+		ID: "p", Title: "percent", Header: []string{"x", "y"},
+		Rows: [][]string{{"1", "10.5%"}, {"2", "20%"}, {"3", "40%"}},
+	}
+	out, err := r.Plot(30, 8, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "*") {
+		t.Error("series not drawn")
+	}
+}

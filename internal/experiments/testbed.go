@@ -1,0 +1,158 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/testbed"
+)
+
+// Table2 regenerates the single-relay overlay BER table: three
+// experiment runs plus the average, with and without cooperation.
+func Table2(opts Options) (*Report, error) {
+	rep := &Report{
+		ID:     "table2",
+		Title:  "BER results for the single-relay overlay testbed",
+		Header: []string{"Experiment", "with cooperation", "without cooperation"},
+		Notes: []string{
+			"paper: 2.46% avg with cooperation, 10.87% without",
+			"simulated indoor testbed substitute for GNU Radio/USRP (see DESIGN.md)",
+		},
+	}
+	var sumC, sumD float64
+	runs := 3
+	for i := 0; i < runs; i++ {
+		x := testbed.Table2Setup(opts.Seed + int64(i))
+		if opts.Quick {
+			x.Bits = 20000
+		}
+		r, err := x.Run()
+		if err != nil {
+			return nil, err
+		}
+		sumC += r.CoopBER
+		sumD += r.DirectBER
+		rep.Rows = append(rep.Rows, []string{
+			fmt.Sprintf("%d", i+1),
+			fmt.Sprintf("%.2f%%", 100*r.CoopBER),
+			fmt.Sprintf("%.2f%%", 100*r.DirectBER),
+		})
+	}
+	rep.Rows = append(rep.Rows, []string{
+		"Average",
+		fmt.Sprintf("%.2f%%", 100*sumC/float64(runs)),
+		fmt.Sprintf("%.2f%%", 100*sumD/float64(runs)),
+	})
+	return rep, nil
+}
+
+// Table3 regenerates the multi-relay overlay BER table: three relays vs
+// the single middle relay vs the direct link.
+func Table3(opts Options) (*Report, error) {
+	bits := 100000
+	if opts.Quick {
+		bits = 20000
+	}
+	run := func(relays int) (testbed.OverlayResult, error) {
+		x := testbed.Table3Setup(opts.Seed, relays)
+		x.Bits = bits
+		return x.Run()
+	}
+	direct, err := run(0)
+	if err != nil {
+		return nil, err
+	}
+	single, err := run(1)
+	if err != nil {
+		return nil, err
+	}
+	multi, err := run(3)
+	if err != nil {
+		return nil, err
+	}
+	return &Report{
+		ID:     "table3",
+		Title:  "BER results for the multi-relay overlay testbed",
+		Header: []string{"Multi-relay", "Single-relay", "without cooperation"},
+		Rows: [][]string{{
+			fmt.Sprintf("%.2f%%", 100*multi.CoopBER),
+			fmt.Sprintf("%.2f%%", 100*single.CoopBER),
+			fmt.Sprintf("%.2f%%", 100*direct.DirectBER),
+		}},
+		Notes: []string{
+			"paper: 2.93% / 10.57% / 22.74%",
+			"more relays, lower bit errors — the ordering the experiment verifies",
+		},
+	}, nil
+}
+
+// Table4 regenerates the underlay PER table: image transfer at
+// amplitudes 800/600/400 with two cooperative transmitters vs one.
+func Table4(opts Options) (*Report, error) {
+	x := testbed.PaperUnderlay(opts.Seed)
+	if opts.Quick {
+		img, err := testbed.NewImage(100, 1500, opts.Seed)
+		if err != nil {
+			return nil, err
+		}
+		x.Image = img
+	}
+	rows, err := x.RunTable(nil)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{
+		ID:     "table4",
+		Title:  "PER results for the underlay testbed (474-packet image, GMSK)",
+		Header: []string{"Amplitude", "with cooperation", "without cooperation"},
+		Notes: []string{
+			"paper: coop {0, 6.12%, 13.72%}, without {24.85%, 70.28%, 97.1%}",
+		},
+	}
+	var sumC, sumD float64
+	for _, r := range rows {
+		sumC += r.CoopPER
+		sumD += r.DirectPER
+		rep.Rows = append(rep.Rows, []string{
+			fmt.Sprintf("%.0f", r.Amplitude),
+			fmt.Sprintf("%.2f%%", 100*r.CoopPER),
+			fmt.Sprintf("%.2f%%", 100*r.DirectPER),
+		})
+	}
+	rep.Rows = append(rep.Rows, []string{
+		"Average",
+		fmt.Sprintf("%.2f%%", 100*sumC/float64(len(rows))),
+		fmt.Sprintf("%.2f%%", 100*sumD/float64(len(rows))),
+	})
+	return rep, nil
+}
+
+// Fig8 regenerates the cooperative beamformer pattern: designed null at
+// 120 degrees, receiver on a 1 m semicircle in 20-degree steps.
+func Fig8(opts Options) (*Report, error) {
+	x := testbed.PaperInterweave(opts.Seed)
+	if opts.Quick {
+		x.Averages = 16
+	}
+	pts, err := x.Run(nil)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{
+		ID:     "fig8",
+		Title:  "cooperative beamformer pattern vs SISO (null at 120 deg)",
+		Header: []string{"Angle deg", "simulated pattern", "measured (multipath)", "SISO"},
+		Notes: []string{
+			"multipath keeps the measured null above zero, as in the paper's in-door runs",
+			"beamformer exceeds SISO outside +/-20 deg of the null (the diversity-gain claim)",
+		},
+	}
+	for _, p := range pts {
+		rep.Rows = append(rep.Rows, []string{
+			fmt.Sprintf("%.0f", p.AngleDeg),
+			fmt.Sprintf("%.3f", p.Ideal),
+			fmt.Sprintf("%.3f", p.Measured),
+			fmt.Sprintf("%.3f", p.SISO),
+		})
+	}
+	return rep, nil
+}

@@ -1,0 +1,58 @@
+package interweave
+
+import (
+	"fmt"
+
+	"repro/internal/energy"
+	"repro/internal/underlay"
+)
+
+// TransmissionPlan is the outcome of Algorithm 3's Step 2: after
+// pairing, the data transmission runs Algorithm 2 over a
+// floor(mt/2)-by-mr MIMO link, so the energy accounting is the underlay
+// hop's with halved transmit diversity — the price of the null.
+type TransmissionPlan struct {
+	// Pairs is floor(mt/2).
+	Pairs int
+	// Receivers is mr.
+	Receivers int
+	// Report is the Algorithm 2 accounting for the effective link.
+	Report underlay.HopReport
+	// NullOverheadRatio compares the plan's total PA energy against the
+	// same hop without pairing (full mt transmitters, no null): the
+	// interference protection's energy cost factor.
+	NullOverheadRatio float64
+}
+
+// PlanTransmission sizes Algorithm 3's data phase: mt transmitters pair
+// up and run Algorithm 2 toward mr receivers over linkD metres at the
+// target BER.
+func PlanTransmission(model *energy.Model, mt, mr int, intraD, linkD, ber float64) (TransmissionPlan, error) {
+	pairs, receivers, err := EffectiveLink(mt, mr)
+	if err != nil {
+		return TransmissionPlan{}, err
+	}
+	if model == nil {
+		return TransmissionPlan{}, fmt.Errorf("interweave: nil energy model")
+	}
+	paired, err := underlay.Analyze(underlay.Config{
+		Model: model, Mt: pairs, Mr: receivers,
+		IntraD: intraD, LinkD: linkD, BER: ber,
+	})
+	if err != nil {
+		return TransmissionPlan{}, fmt.Errorf("interweave: paired hop: %w", err)
+	}
+	unpaired, err := underlay.Analyze(underlay.Config{
+		Model: model, Mt: mt, Mr: receivers,
+		IntraD: intraD, LinkD: linkD, BER: ber,
+	})
+	if err != nil {
+		return TransmissionPlan{}, fmt.Errorf("interweave: unpaired reference: %w", err)
+	}
+	return TransmissionPlan{
+		Pairs:             pairs,
+		Receivers:         receivers,
+		Report:            paired,
+		NullOverheadRatio: float64(paired.TotalPA) / float64(unpaired.TotalPA),
+	}, nil
+}

@@ -1,0 +1,71 @@
+package interweave
+
+import (
+	"testing"
+
+	"repro/internal/ebtable"
+	"repro/internal/energy"
+)
+
+func planModel(t *testing.T) *energy.Model {
+	t.Helper()
+	m, err := energy.New(energy.Paper(40e3), ebtable.Analytic{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestPlanTransmission(t *testing.T) {
+	m := planModel(t)
+	p, err := PlanTransmission(m, 4, 2, 1, 200, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Pairs != 2 || p.Receivers != 2 {
+		t.Errorf("effective link %dx%d, want 2x2", p.Pairs, p.Receivers)
+	}
+	if p.Report.TotalPA <= 0 {
+		t.Errorf("empty report: %+v", p.Report)
+	}
+	// Halving the transmit diversity costs energy: the null has a price.
+	if p.NullOverheadRatio <= 1 {
+		t.Errorf("null overhead ratio = %v, want > 1", p.NullOverheadRatio)
+	}
+	if p.NullOverheadRatio > 20 {
+		t.Errorf("null overhead ratio = %v suspiciously large", p.NullOverheadRatio)
+	}
+}
+
+func TestPlanValidation(t *testing.T) {
+	m := planModel(t)
+	if _, err := PlanTransmission(m, 1, 2, 1, 200, 0.001); err == nil {
+		t.Error("mt=1 cannot pair")
+	}
+	if _, err := PlanTransmission(nil, 4, 2, 1, 200, 0.001); err == nil {
+		t.Error("nil model should fail")
+	}
+	if _, err := PlanTransmission(m, 4, 0, 1, 200, 0.001); err == nil {
+		t.Error("mr=0 should fail")
+	}
+	if _, err := PlanTransmission(m, 4, 2, 1, 0, 0.001); err == nil {
+		t.Error("zero distance should fail")
+	}
+}
+
+func TestPlanScalesWithPairs(t *testing.T) {
+	m := planModel(t)
+	two, err := PlanTransmission(m, 4, 2, 1, 200, 0.001) // 2 pairs
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, err := PlanTransmission(m, 2, 2, 1, 200, 0.001) // 1 pair
+	if err != nil {
+		t.Fatal(err)
+	}
+	// More pairs = more diversity on the effective link = less total PA.
+	if two.Report.TotalPA >= one.Report.TotalPA {
+		t.Errorf("2 pairs (%v) should need less PA than 1 (%v)",
+			two.Report.TotalPA, one.Report.TotalPA)
+	}
+}

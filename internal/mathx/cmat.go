@@ -1,0 +1,154 @@
+package mathx
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"math/rand"
+)
+
+// CMat is a dense complex matrix stored row-major. It is deliberately
+// small-scale: cooperative-MIMO channel matrices are at most 4x4, so a
+// flat slice with explicit indices beats any clever layout.
+type CMat struct {
+	Rows, Cols int
+	Data       []complex128
+}
+
+// NewCMat allocates an r-by-c zero matrix.
+func NewCMat(r, c int) *CMat {
+	if r <= 0 || c <= 0 {
+		panic(fmt.Sprintf("mathx: invalid CMat dims %dx%d", r, c))
+	}
+	return &CMat{Rows: r, Cols: c, Data: make([]complex128, r*c)}
+}
+
+// At returns element (i, j).
+func (m *CMat) At(i, j int) complex128 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *CMat) Set(i, j int, v complex128) { m.Data[i*m.Cols+j] = v }
+
+// Clone returns a deep copy.
+func (m *CMat) Clone() *CMat {
+	c := NewCMat(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// FrobeniusNorm2 returns ||M||_F^2 = sum |m_ij|^2. The paper's receive
+// SNR gamma_b is proportional to ||H||_F^2 (Section 2.3, eq. 5/6).
+func (m *CMat) FrobeniusNorm2() float64 {
+	s := 0.0
+	for _, v := range m.Data {
+		re, im := real(v), imag(v)
+		s += re*re + im*im
+	}
+	return s
+}
+
+// FrobeniusNorm returns ||M||_F.
+func (m *CMat) FrobeniusNorm() float64 { return math.Sqrt(m.FrobeniusNorm2()) }
+
+// Transpose returns M^T without conjugation.
+func (m *CMat) Transpose() *CMat {
+	t := NewCMat(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			t.Set(j, i, m.At(i, j))
+		}
+	}
+	return t
+}
+
+// ConjTranspose returns M^H.
+func (m *CMat) ConjTranspose() *CMat {
+	t := NewCMat(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			t.Set(j, i, cmplx.Conj(m.At(i, j)))
+		}
+	}
+	return t
+}
+
+// Mul returns the matrix product m*o.
+func (m *CMat) Mul(o *CMat) *CMat {
+	if m.Cols != o.Rows {
+		panic(fmt.Sprintf("mathx: CMat dims mismatch %dx%d * %dx%d", m.Rows, m.Cols, o.Rows, o.Cols))
+	}
+	p := NewCMat(m.Rows, o.Cols)
+	for i := 0; i < m.Rows; i++ {
+		for k := 0; k < m.Cols; k++ {
+			a := m.At(i, k)
+			if a == 0 {
+				continue
+			}
+			for j := 0; j < o.Cols; j++ {
+				p.Data[i*p.Cols+j] += a * o.At(k, j)
+			}
+		}
+	}
+	return p
+}
+
+// MulVec returns M*x for a column vector x.
+func (m *CMat) MulVec(x []complex128) []complex128 {
+	if len(x) != m.Cols {
+		panic(fmt.Sprintf("mathx: CMat.MulVec dim mismatch %d vs %d", len(x), m.Cols))
+	}
+	y := make([]complex128, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		var s complex128
+		for j := 0; j < m.Cols; j++ {
+			s += m.At(i, j) * x[j]
+		}
+		y[i] = s
+	}
+	return y
+}
+
+// Scale multiplies every entry by a in place and returns m.
+func (m *CMat) Scale(a complex128) *CMat {
+	for i := range m.Data {
+		m.Data[i] *= a
+	}
+	return m
+}
+
+// RandCN fills the matrix with iid circularly-symmetric complex Gaussian
+// entries CN(0, 1) — the flat Rayleigh fading assumption of the paper —
+// drawn from rng, and returns m.
+func (m *CMat) RandCN(rng *rand.Rand) *CMat {
+	const s = 1 / math.Sqrt2
+	for i := range m.Data {
+		m.Data[i] = complex(rng.NormFloat64()*s, rng.NormFloat64()*s)
+	}
+	return m
+}
+
+// Equal reports elementwise equality within tol on both components.
+func (m *CMat) Equal(o *CMat, tol float64) bool {
+	if m.Rows != o.Rows || m.Cols != o.Cols {
+		return false
+	}
+	for i, v := range m.Data {
+		w := o.Data[i]
+		if math.Abs(real(v)-real(w)) > tol || math.Abs(imag(v)-imag(w)) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the matrix for debugging and failed-test output.
+func (m *CMat) String() string {
+	s := ""
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			s += fmt.Sprintf("%8.3f%+8.3fi ", real(m.At(i, j)), imag(m.At(i, j)))
+		}
+		s += "\n"
+	}
+	return s
+}

@@ -1,0 +1,161 @@
+package mathx
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCMatBasics(t *testing.T) {
+	m := NewCMat(2, 3)
+	m.Set(0, 0, 1+2i)
+	m.Set(1, 2, -3i)
+	if m.At(0, 0) != 1+2i || m.At(1, 2) != -3i || m.At(0, 1) != 0 {
+		t.Error("Set/At mismatch")
+	}
+	c := m.Clone()
+	c.Set(0, 0, 9)
+	if m.At(0, 0) != 1+2i {
+		t.Error("Clone aliases data")
+	}
+}
+
+func TestCMatInvalidDims(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewCMat(0, 1) should panic")
+		}
+	}()
+	NewCMat(0, 1)
+}
+
+func TestFrobeniusNorm(t *testing.T) {
+	m := NewCMat(2, 2)
+	m.Set(0, 0, 3)
+	m.Set(0, 1, 4i)
+	if got := m.FrobeniusNorm2(); got != 25 {
+		t.Errorf("FrobeniusNorm2 = %v", got)
+	}
+	if got := m.FrobeniusNorm(); got != 5 {
+		t.Errorf("FrobeniusNorm = %v", got)
+	}
+}
+
+func TestConjTranspose(t *testing.T) {
+	m := NewCMat(2, 3)
+	m.Set(0, 1, 1+2i)
+	m.Set(1, 0, -1i)
+	h := m.ConjTranspose()
+	if h.Rows != 3 || h.Cols != 2 {
+		t.Fatalf("dims %dx%d", h.Rows, h.Cols)
+	}
+	if h.At(1, 0) != 1-2i || h.At(0, 1) != 1i {
+		t.Error("conjugate transpose wrong")
+	}
+	// (M^H)^H == M
+	if !h.ConjTranspose().Equal(m, 0) {
+		t.Error("double conjugate transpose differs")
+	}
+}
+
+func TestMulIdentity(t *testing.T) {
+	rng := NewRand(1)
+	m := NewCMat(3, 3).RandCN(rng)
+	id := NewCMat(3, 3)
+	for i := 0; i < 3; i++ {
+		id.Set(i, i, 1)
+	}
+	if !m.Mul(id).Equal(m, 1e-15) || !id.Mul(m).Equal(m, 1e-15) {
+		t.Error("identity product differs")
+	}
+}
+
+func TestMulKnown(t *testing.T) {
+	a := NewCMat(2, 2)
+	a.Set(0, 0, 1)
+	a.Set(0, 1, 1i)
+	a.Set(1, 0, 2)
+	a.Set(1, 1, 0)
+	b := NewCMat(2, 1)
+	b.Set(0, 0, 3)
+	b.Set(1, 0, 1-1i)
+	p := a.Mul(b)
+	// row0: 3 + i(1-i) = 3 + i + 1 = 4+i ; row1: 6
+	if p.At(0, 0) != 4+1i || p.At(1, 0) != 6 {
+		t.Errorf("Mul wrong: %v", p)
+	}
+}
+
+func TestMulVecMatchesMul(t *testing.T) {
+	rng := NewRand(7)
+	m := NewCMat(3, 4).RandCN(rng)
+	x := make([]complex128, 4)
+	for i := range x {
+		x[i] = ComplexCN(rng, 1)
+	}
+	col := NewCMat(4, 1)
+	copy(col.Data, x)
+	want := m.Mul(col)
+	got := m.MulVec(x)
+	for i := range got {
+		if d := got[i] - want.At(i, 0); math.Hypot(real(d), imag(d)) > 1e-12 {
+			t.Errorf("MulVec[%d] = %v, want %v", i, got[i], want.At(i, 0))
+		}
+	}
+}
+
+func TestMulDimPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("dim mismatch should panic")
+		}
+	}()
+	NewCMat(2, 3).Mul(NewCMat(2, 3))
+}
+
+func TestScale(t *testing.T) {
+	m := NewCMat(1, 2)
+	m.Set(0, 0, 1)
+	m.Set(0, 1, 2i)
+	m.Scale(2i)
+	if m.At(0, 0) != 2i || m.At(0, 1) != -4 {
+		t.Error("Scale wrong")
+	}
+}
+
+func TestRandCNStatistics(t *testing.T) {
+	rng := NewRand(42)
+	m := NewCMat(100, 100).RandCN(rng)
+	// E||H||_F^2 = rows*cols for unit-variance entries.
+	got := m.FrobeniusNorm2() / 1e4
+	if math.Abs(got-1) > 0.05 {
+		t.Errorf("mean |h|^2 = %v, want ~1", got)
+	}
+	// Real and imaginary parts should each carry half the power.
+	var re2 float64
+	for _, v := range m.Data {
+		re2 += real(v) * real(v)
+	}
+	if r := re2 / m.FrobeniusNorm2(); math.Abs(r-0.5) > 0.03 {
+		t.Errorf("real-part power fraction = %v, want ~0.5", r)
+	}
+}
+
+func TestFrobeniusInvariantUnderTranspose(t *testing.T) {
+	f := func(seed int64) bool {
+		m := NewCMat(3, 2).RandCN(NewRand(seed))
+		return math.Abs(m.FrobeniusNorm2()-m.ConjTranspose().FrobeniusNorm2()) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	m := NewCMat(1, 1)
+	m.Set(0, 0, 1+2i)
+	if s := m.String(); !strings.Contains(s, "1.000") || !strings.Contains(s, "2.000") {
+		t.Errorf("String = %q", s)
+	}
+}

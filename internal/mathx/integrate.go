@@ -1,0 +1,55 @@
+package mathx
+
+import "math"
+
+// Integrate computes the definite integral of f over [a, b] using
+// adaptive Simpson quadrature with absolute tolerance tol.
+//
+// The exact Rayleigh-average BER expressions used to cross-check the
+// Monte-Carlo ebtable are one-dimensional integrals over the channel-gain
+// density; adaptive Simpson handles their mild endpoint behaviour well.
+func Integrate(f func(float64) float64, a, b, tol float64) float64 {
+	if a == b {
+		return 0
+	}
+	if a > b {
+		return -Integrate(f, b, a, tol)
+	}
+	fa, fb := f(a), f(b)
+	m := (a + b) / 2
+	fm := f(m)
+	whole := simpson(a, b, fa, fm, fb)
+	return adaptiveSimpson(f, a, b, fa, fm, fb, whole, tol, 50)
+}
+
+func simpson(a, b, fa, fm, fb float64) float64 {
+	return (b - a) / 6 * (fa + 4*fm + fb)
+}
+
+func adaptiveSimpson(f func(float64) float64, a, b, fa, fm, fb, whole, tol float64, depth int) float64 {
+	m := (a + b) / 2
+	lm, rm := (a+m)/2, (m+b)/2
+	flm, frm := f(lm), f(rm)
+	left := simpson(a, m, fa, flm, fm)
+	right := simpson(m, b, fm, frm, fb)
+	delta := left + right - whole
+	if depth <= 0 || math.Abs(delta) <= 15*tol {
+		return left + right + delta/15
+	}
+	return adaptiveSimpson(f, a, m, fa, flm, fm, left, tol/2, depth-1) +
+		adaptiveSimpson(f, m, b, fm, frm, fb, right, tol/2, depth-1)
+}
+
+// IntegrateExpTail computes the integral of f over [a, +inf) for
+// integrands with (at least) exponential decay, by mapping t in (0, 1]
+// to x = a - ln(t) and integrating the transformed integrand.
+func IntegrateExpTail(f func(float64) float64, a, tol float64) float64 {
+	g := func(t float64) float64 {
+		if t <= 0 {
+			return 0
+		}
+		x := a - math.Log(t)
+		return f(x) / t
+	}
+	return Integrate(g, 0, 1, tol)
+}

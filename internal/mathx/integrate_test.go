@@ -1,0 +1,60 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+)
+
+func TestIntegratePolynomial(t *testing.T) {
+	// integral of x^2 over [0,3] = 9.
+	got := Integrate(func(x float64) float64 { return x * x }, 0, 3, 1e-12)
+	if math.Abs(got-9) > 1e-9 {
+		t.Errorf("Integrate x^2 = %v, want 9", got)
+	}
+}
+
+func TestIntegrateReversedAndEmpty(t *testing.T) {
+	f := func(x float64) float64 { return x }
+	if got := Integrate(f, 2, 2, 1e-9); got != 0 {
+		t.Errorf("empty interval = %v", got)
+	}
+	fwd := Integrate(f, 0, 1, 1e-12)
+	rev := Integrate(f, 1, 0, 1e-12)
+	if math.Abs(fwd+rev) > 1e-12 {
+		t.Errorf("reversed interval should negate: %v vs %v", fwd, rev)
+	}
+}
+
+func TestIntegrateOscillatory(t *testing.T) {
+	// integral of sin over [0, pi] = 2.
+	got := Integrate(math.Sin, 0, math.Pi, 1e-12)
+	if math.Abs(got-2) > 1e-9 {
+		t.Errorf("Integrate sin = %v, want 2", got)
+	}
+}
+
+func TestIntegrateGaussian(t *testing.T) {
+	// integral of pdf over [-8, 8] ~ 1.
+	got := Integrate(gaussPDF, -8, 8, 1e-12)
+	if math.Abs(got-1) > 1e-9 {
+		t.Errorf("Integrate gaussPDF = %v, want 1", got)
+	}
+}
+
+func TestIntegrateExpTail(t *testing.T) {
+	// integral of e^-x over [a, inf) = e^-a.
+	for _, a := range []float64{0, 1, 5} {
+		got := IntegrateExpTail(func(x float64) float64 { return math.Exp(-x) }, a, 1e-12)
+		want := math.Exp(-a)
+		if math.Abs(got-want) > 1e-8*want {
+			t.Errorf("IntegrateExpTail a=%v: %v, want %v", a, got, want)
+		}
+	}
+	// Rayleigh-average BPSK BER: integral over gamma of Q(sqrt(2 gamma)) e^-gamma
+	// = 0.5 (1 - sqrt(gbar/(1+gbar))) with gbar = 1.
+	got := IntegrateExpTail(func(g float64) float64 { return Q(math.Sqrt(2*g)) * math.Exp(-g) }, 0, 1e-12)
+	want := 0.5 * (1 - math.Sqrt(0.5))
+	if math.Abs(got-want) > 1e-8 {
+		t.Errorf("Rayleigh BPSK BER = %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,144 @@
+package mathx
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrNoBracket reports that a root finder was given an interval whose
+// endpoints do not straddle a sign change.
+var ErrNoBracket = errors.New("mathx: f(a) and f(b) have the same sign")
+
+// Bisect finds x in [a, b] with f(x) = 0 to within tol using bisection.
+// f(a) and f(b) must have opposite signs. Bisection is used for the
+// ebtable inversion because the Monte-Carlo BER estimate is monotone in
+// the transmit energy but noisy enough that derivative-based methods
+// misbehave.
+func Bisect(f func(float64) float64, a, b, tol float64) (float64, error) {
+	fa, fb := f(a), f(b)
+	if fa == 0 {
+		return a, nil
+	}
+	if fb == 0 {
+		return b, nil
+	}
+	if math.Signbit(fa) == math.Signbit(fb) {
+		return 0, fmt.Errorf("%w: f(%g)=%g, f(%g)=%g", ErrNoBracket, a, fa, b, fb)
+	}
+	for i := 0; i < 200 && b-a > tol; i++ {
+		m := a + (b-a)/2
+		fm := f(m)
+		if fm == 0 {
+			return m, nil
+		}
+		if math.Signbit(fm) == math.Signbit(fa) {
+			a, fa = m, fm
+		} else {
+			b = m
+		}
+	}
+	return a + (b-a)/2, nil
+}
+
+// BisectLog runs bisection on a logarithmic grid, converging when the
+// interval's ratio b/a falls below 1+rtol. It suits quantities spanning
+// many decades, such as per-bit energies between 1e-21 and 1e-12 J.
+func BisectLog(f func(float64) float64, a, b, rtol float64) (float64, error) {
+	if a <= 0 || b <= 0 || a >= b {
+		return 0, fmt.Errorf("mathx: BisectLog needs 0 < a < b, got [%g, %g]", a, b)
+	}
+	g := func(u float64) float64 { return f(math.Exp(u)) }
+	u, err := Bisect(g, math.Log(a), math.Log(b), math.Log1p(rtol))
+	if err != nil {
+		return 0, err
+	}
+	return math.Exp(u), nil
+}
+
+// Brent finds a root of f in [a, b] using Brent's method: inverse
+// quadratic interpolation with bisection fallback. It converges much
+// faster than Bisect for smooth deterministic functions, e.g. the
+// distance inversions of the overlay analysis (Section 6.1).
+func Brent(f func(float64) float64, a, b, tol float64) (float64, error) {
+	fa, fb := f(a), f(b)
+	if fa == 0 {
+		return a, nil
+	}
+	if fb == 0 {
+		return b, nil
+	}
+	if math.Signbit(fa) == math.Signbit(fb) {
+		return 0, fmt.Errorf("%w: f(%g)=%g, f(%g)=%g", ErrNoBracket, a, fa, b, fb)
+	}
+	if math.Abs(fa) < math.Abs(fb) {
+		a, b = b, a
+		fa, fb = fb, fa
+	}
+	c, fc := a, fa
+	mflag := true
+	var d float64
+	for i := 0; i < 200; i++ {
+		if fb == 0 || math.Abs(b-a) < tol {
+			return b, nil
+		}
+		var s float64
+		if fa != fc && fb != fc {
+			// Inverse quadratic interpolation.
+			s = a*fb*fc/((fa-fb)*(fa-fc)) +
+				b*fa*fc/((fb-fa)*(fb-fc)) +
+				c*fa*fb/((fc-fa)*(fc-fb))
+		} else {
+			// Secant.
+			s = b - fb*(b-a)/(fb-fa)
+		}
+		lo, hi := (3*a+b)/4, b
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		cond := s < lo || s > hi ||
+			(mflag && math.Abs(s-b) >= math.Abs(b-c)/2) ||
+			(!mflag && math.Abs(s-b) >= math.Abs(c-d)/2) ||
+			(mflag && math.Abs(b-c) < tol) ||
+			(!mflag && math.Abs(c-d) < tol)
+		if cond {
+			s = (a + b) / 2
+			mflag = true
+		} else {
+			mflag = false
+		}
+		fs := f(s)
+		d = c
+		c, fc = b, fb
+		if math.Signbit(fa) != math.Signbit(fs) {
+			b, fb = s, fs
+		} else {
+			a, fa = s, fs
+		}
+		if math.Abs(fa) < math.Abs(fb) {
+			a, b = b, a
+			fa, fb = fb, fa
+		}
+	}
+	return b, nil
+}
+
+// MinimizeGrid evaluates f on n+1 evenly spaced points of [a, b] and
+// returns the abscissa and value of the minimum. The constellation-size
+// optimisation of the paper is a small discrete search, but several
+// analyses also need a coarse continuous minimiser; this keeps both honest
+// and deterministic.
+func MinimizeGrid(f func(float64) float64, a, b float64, n int) (x, fx float64) {
+	if n < 1 {
+		n = 1
+	}
+	bestX, bestF := a, f(a)
+	for i := 1; i <= n; i++ {
+		xi := a + (b-a)*float64(i)/float64(n)
+		fi := f(xi)
+		if fi < bestF {
+			bestX, bestF = xi, fi
+		}
+	}
+	return bestX, bestF
+}

@@ -1,0 +1,76 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestQKnownValues(t *testing.T) {
+	cases := []struct {
+		x, want float64
+	}{
+		{0, 0.5},
+		{1, 0.15865525393145707},
+		{2, 0.022750131948179195},
+		{3, 0.0013498980316300933},
+		{-1, 0.8413447460685429},
+		{6, 9.865876450376946e-10},
+	}
+	for _, c := range cases {
+		if got := Q(c.x); math.Abs(got-c.want) > 1e-12*math.Max(1, math.Abs(c.want)/1e-3) {
+			t.Errorf("Q(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestQMonotoneDecreasing(t *testing.T) {
+	f := func(a, b float64) bool {
+		a = math.Mod(a, 10)
+		b = math.Mod(b, 10)
+		if math.IsNaN(a) || math.IsNaN(b) || a == b {
+			return true
+		}
+		if a > b {
+			a, b = b, a
+		}
+		return Q(a) >= Q(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQInvRoundTrip(t *testing.T) {
+	for _, p := range []float64{0.5, 0.4, 0.1, 0.01, 1e-3, 1e-5, 1e-9, 0.9, 0.9999} {
+		x := QInv(p)
+		if got := Q(x); math.Abs(got-p) > 1e-10*math.Max(p, 1e-10) && math.Abs(got-p) > 1e-12 {
+			t.Errorf("Q(QInv(%v)) = %v", p, got)
+		}
+	}
+}
+
+func TestQInvDomain(t *testing.T) {
+	for _, p := range []float64{0, 1, -0.1, 1.1, math.NaN()} {
+		if x := QInv(p); !math.IsNaN(x) {
+			t.Errorf("QInv(%v) = %v, want NaN", p, x)
+		}
+	}
+	if x := QInv(0.5); x != 0 {
+		t.Errorf("QInv(0.5) = %v, want 0", x)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	cases := []struct{ v, lo, hi, want float64 }{
+		{5, 0, 10, 5},
+		{-1, 0, 10, 0},
+		{11, 0, 10, 10},
+		{0, 0, 0, 0},
+	}
+	for _, c := range cases {
+		if got := Clamp(c.v, c.lo, c.hi); got != c.want {
+			t.Errorf("Clamp(%v,%v,%v) = %v, want %v", c.v, c.lo, c.hi, got, c.want)
+		}
+	}
+}

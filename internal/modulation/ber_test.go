@@ -1,0 +1,136 @@
+package modulation
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mathx"
+)
+
+func TestBERAWGNKnownPoints(t *testing.T) {
+	// b=1 at gammaB: Q(sqrt(2*g)).
+	if got, want := BERAWGN(1, 0), 0.5; got != want {
+		t.Errorf("BPSK at 0 SNR = %v", got)
+	}
+	g := 4.0
+	if got, want := BERAWGN(1, g), mathx.Q(math.Sqrt(8)); math.Abs(got-want) > 1e-15 {
+		t.Errorf("BPSK = %v, want %v", got, want)
+	}
+	// b=2 reduces to Q(sqrt(2*g)) as well (QPSK == BPSK per bit).
+	if a, b := BERAWGN(2, g), BERAWGN(1, g); math.Abs(a-b) > 1e-15 {
+		t.Errorf("QPSK per-bit BER %v != BPSK %v", a, b)
+	}
+	// Negative SNR clamps.
+	if got := BERAWGN(1, -5); got != 0.5 {
+		t.Errorf("negative SNR = %v", got)
+	}
+}
+
+func TestBERAWGNOrderingInB(t *testing.T) {
+	// At fixed per-bit SNR, denser constellations err more (b >= 2).
+	// The ordering holds in the waterfall region; at low SNR the
+	// nearest-neighbour approximation saturates and it need not.
+	g := 100.0
+	prev := BERAWGN(2, g)
+	for b := 4; b <= 16; b += 2 {
+		cur := BERAWGN(b, g)
+		if cur <= prev {
+			t.Errorf("BER should grow with b: b=%d gives %v <= %v", b, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestBERAWGNDecreasingInSNR(t *testing.T) {
+	for _, b := range []int{1, 2, 4, 6} {
+		prev := BERAWGN(b, 0.1)
+		for g := 0.2; g < 100; g *= 2 {
+			cur := BERAWGN(b, g)
+			if cur >= prev {
+				t.Errorf("b=%d: BER not decreasing at g=%v", b, g)
+			}
+			prev = cur
+		}
+	}
+}
+
+func TestBERRayleighBPSK(t *testing.T) {
+	if got := BERRayleighBPSK(0); got != 0.5 {
+		t.Errorf("zero SNR = %v", got)
+	}
+	// Monte-Carlo check: average Q(sqrt(2*g*X)) over X ~ Exp(1).
+	rng := mathx.NewRand(41)
+	gbar := 10.0
+	var acc mathx.Running
+	for i := 0; i < 300000; i++ {
+		x := rng.ExpFloat64()
+		acc.Add(mathx.Q(math.Sqrt(2 * gbar * x)))
+	}
+	want := BERRayleighBPSK(gbar)
+	if math.Abs(acc.Mean()-want) > 0.03*want {
+		t.Errorf("MC %v vs closed form %v", acc.Mean(), want)
+	}
+	// Asymptote 1/(4*gbar).
+	if got, want := BERRayleighBPSK(1e4), 1/(4e4); math.Abs(got/want-1) > 0.01 {
+		t.Errorf("asymptote: %v vs %v", got, want)
+	}
+}
+
+func TestBERRayleighMRCDiversityOrder(t *testing.T) {
+	// Slope on a log-log plot equals the diversity order L.
+	for _, l := range []int{1, 2, 4} {
+		p1 := BERRayleighMRC(l, 100)
+		p2 := BERRayleighMRC(l, 1000)
+		slope := math.Log10(p1 / p2) // decades of BER per decade of SNR
+		if math.Abs(slope-float64(l)) > 0.15 {
+			t.Errorf("L=%d: diversity slope = %v", l, slope)
+		}
+	}
+	// L=1 must agree with the closed-form single-branch expression.
+	if a, b := BERRayleighMRC(1, 7), BERRayleighBPSK(7); math.Abs(a-b) > 1e-12 {
+		t.Errorf("MRC(1) %v != Rayleigh %v", a, b)
+	}
+	// Degenerate l < 1 clamps to 1.
+	if a, b := BERRayleighMRC(0, 7), BERRayleighMRC(1, 7); a != b {
+		t.Errorf("MRC(0) should clamp to L=1")
+	}
+}
+
+func TestGMSKBER(t *testing.T) {
+	// GMSK pays a fixed dB penalty versus BPSK.
+	g := 5.0
+	if GMSKBERAWGN(g) <= BERAWGN(1, g) {
+		t.Error("GMSK should err more than BPSK at equal SNR")
+	}
+	if GMSKBERAWGN(-1) != GMSKBERAWGN(0) {
+		t.Error("negative SNR should clamp")
+	}
+	// alpha=0.68: GMSK at g equals BPSK at 0.68*g.
+	if a, b := GMSKBERAWGN(g), BERAWGN(1, 0.68*g); math.Abs(a-b) > 1e-15 {
+		t.Errorf("GMSK alpha mismatch: %v vs %v", a, b)
+	}
+}
+
+func TestRequiredGammaB(t *testing.T) {
+	for _, b := range []int{1, 2, 4, 8} {
+		for _, p := range []float64{0.1, 0.005, 0.0005} {
+			g := RequiredGammaB(b, p)
+			if math.IsInf(g, 1) {
+				t.Fatalf("b=%d p=%v: unreachable", b, p)
+			}
+			if got := BERAWGN(b, g); math.Abs(got-p) > 1e-6*p+1e-12 {
+				t.Errorf("b=%d p=%v: BER(required)=%v", b, p, got)
+			}
+		}
+	}
+	if !math.IsInf(RequiredGammaB(1, 0), 1) {
+		t.Error("p=0 should be unreachable")
+	}
+	if RequiredGammaB(1, 0.6) != 0 {
+		t.Error("trivially-met target should need 0 SNR")
+	}
+	// Higher b needs more SNR at the same BER target.
+	if RequiredGammaB(4, 1e-3) <= RequiredGammaB(2, 1e-3) {
+		t.Error("denser constellation should need more SNR")
+	}
+}

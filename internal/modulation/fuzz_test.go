@@ -1,0 +1,34 @@
+package modulation
+
+import "testing"
+
+// FuzzModulateRoundTrip drives arbitrary bit patterns through every
+// constellation and requires noiseless demodulation to be the identity.
+func FuzzModulateRoundTrip(f *testing.F) {
+	f.Add(uint8(1), []byte{0, 1, 1, 0})
+	f.Add(uint8(4), []byte{1, 1, 1, 1})
+	f.Add(uint8(16), make([]byte, 32))
+	f.Fuzz(func(t *testing.T, bRaw uint8, bits []byte) {
+		b := int(bRaw)%16 + 1
+		s := MustNew(b)
+		// Trim to a whole number of symbols and force bits binary.
+		n := (len(bits) / b) * b
+		bits = bits[:n]
+		for i := range bits {
+			bits[i] &= 1
+		}
+		syms, err := s.Modulate(bits)
+		if err != nil {
+			t.Fatalf("b=%d len=%d: %v", b, n, err)
+		}
+		back := s.Demodulate(syms)
+		if len(back) != len(bits) {
+			t.Fatalf("length changed: %d -> %d", len(bits), len(back))
+		}
+		for i := range bits {
+			if back[i] != bits[i] {
+				t.Fatalf("b=%d: bit %d corrupted without noise", b, i)
+			}
+		}
+	})
+}

@@ -1,0 +1,71 @@
+package modulation
+
+import (
+	"fmt"
+	"math"
+)
+
+// LLR computes per-bit max-log log-likelihood ratios for one received
+// symbol y observed as y = s + n with complex noise variance n0 (total
+// across both components): llr_i > 0 favours bit 0, < 0 favours bit 1,
+// matching the sign convention llr = log P(b=0|y) - log P(b=1|y).
+//
+// Soft outputs feed decoders and combiners that outperform the
+// hard-decision path of DecideSymbol; the max-log approximation
+// evaluates min-distance constellation points per hypothesis, which is
+// exact for BPSK and within a fraction of a dB elsewhere.
+func (s *Scheme) LLR(y complex128, n0 float64, dst []float64) error {
+	if len(dst) != s.BitsPerSymbol {
+		return fmt.Errorf("modulation: LLR needs %d outputs, got %d", s.BitsPerSymbol, len(dst))
+	}
+	if n0 <= 0 {
+		return fmt.Errorf("modulation: noise variance %g must be positive", n0)
+	}
+	// The I and Q rails are independent Gray-coded PAM constellations;
+	// compute each rail's bit LLRs separately.
+	s.railLLR(real(y), s.bi, n0, dst[:s.bi])
+	if s.bq > 0 {
+		s.railLLR(imag(y), s.bq, n0, dst[s.bi:])
+	}
+	return nil
+}
+
+// railLLR computes max-log LLRs for one PAM rail carrying k bits.
+func (s *Scheme) railLLR(x float64, k int, n0 float64, dst []float64) {
+	l := 1 << k
+	// Per-component noise variance is n0/2.
+	inv := 1 / n0
+	for bit := 0; bit < k; bit++ {
+		best0 := math.Inf(1)
+		best1 := math.Inf(1)
+		for idx := 0; idx < l; idx++ {
+			level := pamLevel(grayEncode(uint(idx)), l) * s.scale
+			d := x - level
+			metric := d * d * inv * 2 // (x-s)^2 / (n0/2)
+			// Bit value at this position (MSB first, pre-Gray value).
+			b := (idx >> (k - 1 - bit)) & 1
+			if b == 0 {
+				if metric < best0 {
+					best0 = metric
+				}
+			} else {
+				if metric < best1 {
+					best1 = metric
+				}
+			}
+		}
+		dst[bit] = (best1 - best0) / 2
+	}
+}
+
+// HardFromLLR converts soft values back to hard bits (1 when the LLR
+// favours bit 1).
+func HardFromLLR(llrs []float64, dst []byte) {
+	for i, l := range llrs {
+		if l < 0 {
+			dst[i] = 1
+		} else {
+			dst[i] = 0
+		}
+	}
+}

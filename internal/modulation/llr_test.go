@@ -1,0 +1,132 @@
+package modulation
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mathx"
+)
+
+func TestLLRValidation(t *testing.T) {
+	s := MustNew(2)
+	if err := s.LLR(0, 1, make([]float64, 1)); err == nil {
+		t.Error("wrong output length should fail")
+	}
+	if err := s.LLR(0, 0, make([]float64, 2)); err == nil {
+		t.Error("zero noise variance should fail")
+	}
+}
+
+// TestBPSKLLRClosedForm: for BPSK the exact LLR is 4*Re(y)*scale/n0 up
+// to the sign convention; max-log is exact here.
+func TestBPSKLLRClosedForm(t *testing.T) {
+	s := MustNew(1)
+	llr := make([]float64, 1)
+	for _, y := range []float64{-2, -0.3, 0.4, 1.7} {
+		if err := s.LLR(complex(y, 0), 0.5, llr); err != nil {
+			t.Fatal(err)
+		}
+		// Bit 0 maps to -1 and bit 1 to +1 (Gray-PAM convention), so
+		// llr = (d1 - d0)/n0 = ((y-1)^2 - (y+1)^2)/n0 = -4y/n0: positive
+		// received amplitude favours bit 1 (negative LLR).
+		want := -4 * y / 0.5
+		if math.Abs(llr[0]-want) > 1e-9 {
+			t.Errorf("y=%v: llr=%v want %v", y, llr[0], want)
+		}
+	}
+}
+
+// TestLLRSignsMatchHardDecision: hard bits recovered from LLRs must
+// agree with DecideSymbol for every constellation.
+func TestLLRSignsMatchHardDecision(t *testing.T) {
+	rng := mathx.NewRand(221)
+	for _, b := range []int{1, 2, 3, 4, 6} {
+		s := MustNew(b)
+		llrs := make([]float64, b)
+		soft := make([]byte, b)
+		hard := make([]byte, b)
+		for trial := 0; trial < 500; trial++ {
+			y := mathx.ComplexCN(rng, 2)
+			if err := s.LLR(y, 0.8, llrs); err != nil {
+				t.Fatal(err)
+			}
+			HardFromLLR(llrs, soft)
+			s.DecideSymbol(y, hard)
+			for i := range soft {
+				if soft[i] != hard[i] {
+					t.Fatalf("b=%d y=%v: soft %v != hard %v (llrs %v)", b, y, soft, hard, llrs)
+				}
+			}
+		}
+	}
+}
+
+// TestLLRMagnitudeGrowsWithConfidence: a symbol right on a constellation
+// point yields larger |LLR| at lower noise.
+func TestLLRMagnitudeGrowsWithConfidence(t *testing.T) {
+	s := MustNew(2)
+	point := s.MapSymbol([]byte{0, 0})
+	low := make([]float64, 2)
+	high := make([]float64, 2)
+	if err := s.LLR(point, 1.0, low); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.LLR(point, 0.1, high); err != nil {
+		t.Fatal(err)
+	}
+	for i := range low {
+		if math.Abs(high[i]) <= math.Abs(low[i]) {
+			t.Errorf("bit %d: |LLR| should grow as noise falls: %v vs %v", i, high[i], low[i])
+		}
+		if low[i] < 0 {
+			t.Errorf("bit %d: transmitted 0 should give positive LLR, got %v", i, low[i])
+		}
+	}
+}
+
+// TestSoftBeatsHardWithRepetition: combining two noisy observations by
+// summing LLRs (soft) must beat majority-of-hard-decisions, the textbook
+// motivation for soft outputs.
+func TestSoftBeatsHardWithRepetition(t *testing.T) {
+	rng := mathx.NewRand(222)
+	s := MustNew(1)
+	const n0 = 1.4
+	const trials = 60000
+	llr := make([]float64, 1)
+	softErr, hardErr := 0, 0
+	for i := 0; i < trials; i++ {
+		bit := byte(rng.Intn(2))
+		x := s.MapSymbol([]byte{bit})
+		var llrSum float64
+		votes := 0
+		for rep := 0; rep < 3; rep++ {
+			y := x + mathx.ComplexCN(rng, n0)
+			if err := s.LLR(y, n0, llr); err != nil {
+				t.Fatal(err)
+			}
+			llrSum += llr[0]
+			d := make([]byte, 1)
+			s.DecideSymbol(y, d)
+			if d[0] == 1 {
+				votes++
+			}
+		}
+		var soft byte
+		if llrSum < 0 {
+			soft = 1
+		}
+		var hard byte
+		if votes >= 2 {
+			hard = 1
+		}
+		if soft != bit {
+			softErr++
+		}
+		if hard != bit {
+			hardErr++
+		}
+	}
+	if softErr >= hardErr {
+		t.Errorf("soft combining (%d errors) should beat hard majority (%d)", softErr, hardErr)
+	}
+}

@@ -1,0 +1,146 @@
+// Package modulation implements the constellations the paper's links use
+// — BPSK (b = 1), Gray-coded rectangular/square MQAM (b = 2..16), and a
+// GMSK approximation for the underlay testbed — together with the
+// theoretical BER expressions of Section 2.3 (eqs. 5 and 6) that define
+// the ebtable.
+package modulation
+
+import (
+	"fmt"
+	"math"
+)
+
+// Scheme is a memoryless constellation mapper with unit average symbol
+// energy.
+type Scheme struct {
+	// BitsPerSymbol is the constellation size exponent b; M = 2^b.
+	BitsPerSymbol int
+
+	bi, bq int // bits on the I and Q rails
+	scale  float64
+}
+
+// New returns the constellation carrying b bits per symbol. b = 1 is
+// BPSK; even b is square MQAM; odd b >= 3 is rectangular QAM with
+// ceil(b/2) bits on I and floor(b/2) on Q. b outside [1, 16] errors —
+// the paper sweeps exactly that range.
+func New(b int) (*Scheme, error) {
+	if b < 1 || b > 16 {
+		return nil, fmt.Errorf("modulation: constellation size b=%d outside [1, 16]", b)
+	}
+	s := &Scheme{BitsPerSymbol: b}
+	s.bi = (b + 1) / 2
+	s.bq = b / 2
+	li, lq := 1<<s.bi, 1<<s.bq
+	// Per-rail mean energies for odd-integer levels {±1, ±3, ...}.
+	e := float64(li*li-1) / 3
+	if lq > 1 {
+		e += float64(lq*lq-1) / 3
+	}
+	s.scale = 1 / math.Sqrt(e)
+	return s, nil
+}
+
+// MustNew is New for constant b known valid at compile time.
+func MustNew(b int) *Scheme {
+	s, err := New(b)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// M returns the constellation order 2^b.
+func (s *Scheme) M() int { return 1 << s.BitsPerSymbol }
+
+// Modulate maps bits (len must be a multiple of b) to unit-energy complex
+// symbols.
+func (s *Scheme) Modulate(bits []byte) ([]complex128, error) {
+	if len(bits)%s.BitsPerSymbol != 0 {
+		return nil, fmt.Errorf("modulation: %d bits not a multiple of b=%d", len(bits), s.BitsPerSymbol)
+	}
+	out := make([]complex128, len(bits)/s.BitsPerSymbol)
+	for i := range out {
+		out[i] = s.MapSymbol(bits[i*s.BitsPerSymbol : (i+1)*s.BitsPerSymbol])
+	}
+	return out, nil
+}
+
+// MapSymbol maps exactly b bits to one symbol.
+func (s *Scheme) MapSymbol(bits []byte) complex128 {
+	if len(bits) != s.BitsPerSymbol {
+		panic(fmt.Sprintf("modulation: MapSymbol got %d bits, want %d", len(bits), s.BitsPerSymbol))
+	}
+	iBits := bitsToUint(bits[:s.bi])
+	re := pamLevel(grayEncode(iBits), 1<<s.bi)
+	im := 0.0
+	if s.bq > 0 {
+		qBits := bitsToUint(bits[s.bi:])
+		im = pamLevel(grayEncode(qBits), 1<<s.bq)
+	}
+	return complex(re*s.scale, im*s.scale)
+}
+
+// Demodulate hard-decides received symbols back to bits.
+func (s *Scheme) Demodulate(syms []complex128) []byte {
+	bits := make([]byte, 0, len(syms)*s.BitsPerSymbol)
+	buf := make([]byte, s.BitsPerSymbol)
+	for _, y := range syms {
+		s.DecideSymbol(y, buf)
+		bits = append(bits, buf...)
+	}
+	return bits
+}
+
+// DecideSymbol hard-decides one received symbol into dst (len b).
+func (s *Scheme) DecideSymbol(y complex128, dst []byte) {
+	iIdx := pamDecide(real(y)/s.scale, 1<<s.bi)
+	uintToBits(grayDecode(iIdx), dst[:s.bi])
+	if s.bq > 0 {
+		qIdx := pamDecide(imag(y)/s.scale, 1<<s.bq)
+		uintToBits(grayDecode(qIdx), dst[s.bi:])
+	}
+}
+
+// pamLevel maps a Gray-coded index in [0, L) to the odd-integer grid
+// {-(L-1), ..., -1, 1, ..., L-1}.
+func pamLevel(gray uint, l int) float64 {
+	return float64(2*int(gray) - (l - 1))
+}
+
+// pamDecide maps an unnormalised coordinate back to the nearest index.
+func pamDecide(x float64, l int) uint {
+	idx := int(math.Round((x + float64(l-1)) / 2))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx > l-1 {
+		idx = l - 1
+	}
+	return uint(idx)
+}
+
+func grayEncode(v uint) uint { return v ^ (v >> 1) }
+
+func grayDecode(g uint) uint {
+	v := g
+	for shift := uint(1); shift < 32; shift <<= 1 {
+		v ^= v >> shift
+	}
+	return v
+}
+
+func bitsToUint(bits []byte) uint {
+	var v uint
+	for _, b := range bits {
+		v = v<<1 | uint(b&1)
+	}
+	return v
+}
+
+func uintToBits(v uint, dst []byte) {
+	for i := len(dst) - 1; i >= 0; i-- {
+		dst[i] = byte(v & 1)
+		v >>= 1
+	}
+}

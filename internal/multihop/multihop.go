@@ -1,0 +1,128 @@
+// Package multihop chains symbol-level cooperative hops (internal/coop)
+// along a CoMIMONet backbone route: "the data transmitted from the
+// source node to the final destination node usually takes multiple
+// hops" (Section 2.2). Each hop decodes at the receive cluster's head
+// and re-encodes for the next hop, so errors accumulate hop by hop —
+// approximately additively while per-hop BERs are small.
+package multihop
+
+import (
+	"fmt"
+
+	"repro/internal/coop"
+	"repro/internal/mathx"
+)
+
+// Hop describes one backbone hop.
+type Hop struct {
+	// Mt and Mr are the cooperating node counts of the transmit and
+	// receive clusters.
+	Mt, Mr int
+	// SNRPerBit is the hop's long-haul mean per-bit SNR (linear).
+	SNRPerBit float64
+}
+
+// Config describes a route transport.
+type Config struct {
+	// Hops in path order.
+	Hops []Hop
+	// B is the constellation size used on every hop.
+	B int
+	// LocalSNRPerBit is the intra-cluster SNR (0 = ideal).
+	LocalSNRPerBit float64
+	// Bits is the payload size; rounded up to whole blocks per hop.
+	Bits int
+	// Seed drives the run.
+	Seed int64
+}
+
+// Validate rejects unusable routes.
+func (c Config) Validate() error {
+	if len(c.Hops) == 0 {
+		return fmt.Errorf("multihop: empty route")
+	}
+	if c.Bits < 1 {
+		return fmt.Errorf("multihop: bit count %d must be positive", c.Bits)
+	}
+	for i, h := range c.Hops {
+		hopCfg := coop.Config{
+			Mt: h.Mt, Mr: h.Mr, B: c.B,
+			SNRPerBit: h.SNRPerBit, Bits: c.Bits, Seed: 1,
+		}
+		if err := hopCfg.Validate(); err != nil {
+			return fmt.Errorf("multihop: hop %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Result reports a route transport.
+type Result struct {
+	// EndToEndBER compares delivered bits against the source.
+	EndToEndBER float64
+	// PerHopBER is each hop's own error rate (against its input).
+	PerHopBER []float64
+	// PredictedBER is the small-error approximation: the sum of each
+	// hop's closed-form BER.
+	PredictedBER float64
+	// Bits transported.
+	Bits int
+}
+
+// Run transports a random payload along the route.
+func Run(cfg Config) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	rng := mathx.NewRand(cfg.Seed)
+	seeds := mathx.DeriveSeeds(cfg.Seed, len(cfg.Hops))
+
+	// Block payloads may differ per hop (mt fixes the STBC); use a bit
+	// count divisible by every hop's block size: blocks are at most
+	// 3 symbols * 16 bits = 48 bits, so lcm <= 48*... simply round up to
+	// a multiple of the product of distinct block sizes.
+	bits := roundUpToBlocks(cfg)
+	src := make([]byte, bits)
+	for i := range src {
+		src[i] = byte(rng.Intn(2))
+	}
+
+	res := Result{Bits: bits, PerHopBER: make([]float64, len(cfg.Hops))}
+	cur := src
+	for i, h := range cfg.Hops {
+		hopCfg := coop.Config{
+			Mt: h.Mt, Mr: h.Mr, B: cfg.B,
+			SNRPerBit:      h.SNRPerBit,
+			LocalSNRPerBit: cfg.LocalSNRPerBit,
+			Bits:           bits,
+			Seed:           seeds[i],
+		}
+		out, hopRes, err := coop.Transport(hopCfg, cur)
+		if err != nil {
+			return Result{}, fmt.Errorf("multihop: hop %d: %w", i, err)
+		}
+		res.PerHopBER[i] = hopRes.BER
+		res.PredictedBER += coop.PredictBER(hopCfg)
+		cur = out
+	}
+	errs := 0
+	for i := range src {
+		if cur[i] != src[i] {
+			errs++
+		}
+	}
+	res.EndToEndBER = float64(errs) / float64(bits)
+	return res, nil
+}
+
+// roundUpToBlocks returns the smallest bit count >= cfg.Bits divisible
+// by every hop's STBC block payload. Block payloads are K*b with
+// K in {1, 2, 3}, so 6*b always works as the common block unit.
+func roundUpToBlocks(cfg Config) int {
+	unit := 6 * cfg.B
+	n := cfg.Bits
+	if rem := n % unit; rem != 0 {
+		n += unit - rem
+	}
+	return n
+}

@@ -1,0 +1,177 @@
+package network
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/sim"
+)
+
+// CSMAConfig parameterises the CSMA/CA MAC used "to avoid the
+// communication collisions at the link layer" (Section 2.1). Times are
+// in seconds of simulated time.
+type CSMAConfig struct {
+	// SlotTime is one backoff slot.
+	SlotTime float64
+	// DIFS is the idle period sensed before contending.
+	DIFS float64
+	// CWMin and CWMax bound the binary-exponential contention window.
+	CWMin, CWMax int
+	// MaxRetries aborts a frame after this many collisions.
+	MaxRetries int
+}
+
+// DefaultCSMA matches 802.11-style magnitudes scaled to the paper's
+// kilobit links.
+func DefaultCSMA() CSMAConfig {
+	return CSMAConfig{SlotTime: 20e-6, DIFS: 50e-6, CWMin: 16, CWMax: 1024, MaxRetries: 7}
+}
+
+// CSMAStats accumulates MAC-level outcomes.
+type CSMAStats struct {
+	Delivered  int
+	Collisions int
+	Dropped    int
+	// BusyTime is the total simulated time the medium carried a frame.
+	BusyTime float64
+}
+
+// csmaStation is one contender.
+type csmaStation struct {
+	id       NodeID
+	pending  int
+	duration float64
+	cw       int
+	retries  int
+	backoff  int
+	deferred bool
+}
+
+// CSMAMedium is a single shared broadcast medium: every station hears
+// every other (the intra-cluster situation of the cooperative schemes,
+// where all members are within range d of each other). The simulation is
+// slot-synchronous on the discrete-event engine: any two stations whose
+// backoff expires in the same slot collide.
+type CSMAMedium struct {
+	Config   CSMAConfig
+	Engine   *sim.Engine
+	Stats    CSMAStats
+	rng      *rand.Rand
+	stations []*csmaStation
+	busy     bool
+}
+
+// NewCSMAMedium creates a medium with the given contenders.
+func NewCSMAMedium(cfg CSMAConfig, eng *sim.Engine, rng *rand.Rand, ids []NodeID) (*CSMAMedium, error) {
+	if cfg.SlotTime <= 0 || cfg.DIFS < 0 || cfg.CWMin < 1 || cfg.CWMax < cfg.CWMin || cfg.MaxRetries < 0 {
+		return nil, fmt.Errorf("network: invalid CSMA config %+v", cfg)
+	}
+	m := &CSMAMedium{Config: cfg, Engine: eng, rng: rng}
+	for _, id := range ids {
+		m.stations = append(m.stations, &csmaStation{id: id, cw: cfg.CWMin})
+	}
+	return m, nil
+}
+
+// Enqueue hands a station frames to send, each occupying the medium for
+// duration seconds.
+func (m *CSMAMedium) Enqueue(id NodeID, frames int, duration float64) error {
+	for _, s := range m.stations {
+		if s.id == id {
+			s.pending += frames
+			s.duration = duration
+			return nil
+		}
+	}
+	return fmt.Errorf("network: station %d not on this medium", id)
+}
+
+// Run drives the contention until every queue drains or the engine
+// reaches horizon, returning the accumulated stats.
+func (m *CSMAMedium) Run(horizon float64) CSMAStats {
+	m.scheduleSlot()
+	m.Engine.Run(horizon)
+	return m.Stats
+}
+
+func (m *CSMAMedium) scheduleSlot() {
+	anyPending := false
+	for _, s := range m.stations {
+		if s.pending > 0 {
+			anyPending = true
+			break
+		}
+	}
+	if !anyPending {
+		return
+	}
+	m.Engine.ScheduleAfter(m.Config.SlotTime, m.slot)
+}
+
+// slot advances one backoff slot for every contender and resolves
+// transmissions.
+func (m *CSMAMedium) slot() {
+	if m.busy {
+		m.scheduleSlot()
+		return
+	}
+	var ready []*csmaStation
+	for _, s := range m.stations {
+		if s.pending == 0 {
+			continue
+		}
+		if !s.deferred {
+			// Fresh contention: draw a backoff after DIFS.
+			s.backoff = m.rng.Intn(s.cw)
+			s.deferred = true
+			continue
+		}
+		if s.backoff > 0 {
+			s.backoff--
+			continue
+		}
+		ready = append(ready, s)
+	}
+	switch len(ready) {
+	case 0:
+		// Nothing fired this slot.
+	case 1:
+		s := ready[0]
+		m.transmit(s)
+	default:
+		// Collision: all colliders double their windows and redraw.
+		m.Stats.Collisions += len(ready)
+		for _, s := range ready {
+			s.retries++
+			if s.retries > m.Config.MaxRetries {
+				s.pending--
+				m.Stats.Dropped++
+				s.retries = 0
+				s.cw = m.Config.CWMin
+				s.deferred = s.pending > 0
+				if s.pending == 0 {
+					continue
+				}
+			}
+			if s.cw*2 <= m.Config.CWMax {
+				s.cw *= 2
+			}
+			s.backoff = m.rng.Intn(s.cw)
+		}
+	}
+	m.scheduleSlot()
+}
+
+func (m *CSMAMedium) transmit(s *csmaStation) {
+	m.busy = true
+	dur := m.Config.DIFS + s.duration
+	m.Stats.BusyTime += s.duration
+	m.Engine.ScheduleAfter(dur, func() {
+		m.busy = false
+		s.pending--
+		s.retries = 0
+		s.cw = m.Config.CWMin
+		s.deferred = s.pending > 0
+		m.Stats.Delivered++
+	})
+}

@@ -1,0 +1,120 @@
+package network
+
+import (
+	"testing"
+
+	"repro/internal/mathx"
+	"repro/internal/sim"
+)
+
+func newMedium(t *testing.T, seed int64, n int) *CSMAMedium {
+	t.Helper()
+	ids := make([]NodeID, n)
+	for i := range ids {
+		ids[i] = NodeID(i)
+	}
+	m, err := NewCSMAMedium(DefaultCSMA(), &sim.Engine{}, mathx.NewRand(seed), ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestCSMAConfigValidation(t *testing.T) {
+	bad := DefaultCSMA()
+	bad.SlotTime = 0
+	if _, err := NewCSMAMedium(bad, &sim.Engine{}, mathx.NewRand(1), nil); err == nil {
+		t.Error("zero slot time should fail")
+	}
+	bad = DefaultCSMA()
+	bad.CWMax = 1
+	if _, err := NewCSMAMedium(bad, &sim.Engine{}, mathx.NewRand(1), nil); err == nil {
+		t.Error("CWMax < CWMin should fail")
+	}
+}
+
+func TestCSMASingleStationDeliversAll(t *testing.T) {
+	m := newMedium(t, 1, 1)
+	if err := m.Enqueue(0, 20, 1e-3); err != nil {
+		t.Fatal(err)
+	}
+	st := m.Run(10)
+	if st.Delivered != 20 {
+		t.Errorf("delivered %d of 20", st.Delivered)
+	}
+	if st.Collisions != 0 {
+		t.Errorf("a lone station collided %d times", st.Collisions)
+	}
+	if st.BusyTime < 0.019 || st.BusyTime > 0.021 {
+		t.Errorf("busy time = %v, want ~0.02", st.BusyTime)
+	}
+}
+
+func TestCSMAEnqueueUnknownStation(t *testing.T) {
+	m := newMedium(t, 1, 2)
+	if err := m.Enqueue(99, 1, 1e-3); err == nil {
+		t.Error("unknown station should fail")
+	}
+}
+
+func TestCSMAContentionDeliversAll(t *testing.T) {
+	const stations, frames = 5, 10
+	m := newMedium(t, 7, stations)
+	for i := 0; i < stations; i++ {
+		if err := m.Enqueue(NodeID(i), frames, 5e-4); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := m.Run(60)
+	total := st.Delivered + st.Dropped
+	if total != stations*frames {
+		t.Errorf("accounted %d frames of %d (delivered %d, dropped %d)",
+			total, stations*frames, st.Delivered, st.Dropped)
+	}
+	if st.Delivered < stations*frames*9/10 {
+		t.Errorf("delivered only %d of %d", st.Delivered, stations*frames)
+	}
+}
+
+func TestCSMACollisionsGrowWithLoad(t *testing.T) {
+	run := func(n int) CSMAStats {
+		m := newMedium(t, 11, n)
+		for i := 0; i < n; i++ {
+			m.Enqueue(NodeID(i), 20, 2e-4)
+		}
+		return m.Run(120)
+	}
+	light := run(2)
+	heavy := run(10)
+	if heavy.Collisions <= light.Collisions {
+		t.Errorf("collisions should grow with contenders: %d (2 stn) vs %d (10 stn)",
+			light.Collisions, heavy.Collisions)
+	}
+}
+
+func TestCSMADeterminism(t *testing.T) {
+	run := func() CSMAStats {
+		m := newMedium(t, 42, 4)
+		for i := 0; i < 4; i++ {
+			m.Enqueue(NodeID(i), 8, 3e-4)
+		}
+		return m.Run(30)
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Errorf("same seed diverged: %+v vs %+v", a, b)
+	}
+}
+
+func TestCSMAMediumNeverDoubleBooked(t *testing.T) {
+	// BusyTime can never exceed the simulated clock: the medium is a
+	// single resource.
+	m := newMedium(t, 3, 8)
+	for i := 0; i < 8; i++ {
+		m.Enqueue(NodeID(i), 12, 1e-3)
+	}
+	st := m.Run(50)
+	if st.BusyTime > m.Engine.Now() {
+		t.Errorf("busy %v exceeds elapsed %v", st.BusyTime, m.Engine.Now())
+	}
+}

@@ -1,0 +1,98 @@
+package network
+
+import (
+	"fmt"
+	"math"
+)
+
+// LifetimeConfig drives the reconfiguration study: the paper makes the
+// clusters and backbone "reconfigurable" precisely so the coordination
+// burden (which falls on head nodes) rotates with remaining battery.
+type LifetimeConfig struct {
+	// HeadCostJ is the per-round energy a head node spends coordinating
+	// and relaying for its cluster.
+	HeadCostJ float64
+	// MemberCostJ is the per-round cost of an ordinary member.
+	MemberCostJ float64
+	// Reconfigure re-elects heads by remaining battery every this many
+	// rounds; 0 keeps the initial heads for the whole run (the paper's
+	// reconfiguration turned off).
+	Reconfigure int
+	// MaxRounds bounds the simulation.
+	MaxRounds int
+}
+
+// LifetimeResult summarises one run.
+type LifetimeResult struct {
+	// Rounds is how many full rounds completed before the first node
+	// died (the standard first-death network lifetime).
+	Rounds int
+	// DeadNode is the first node to die, or -1 if none died within
+	// MaxRounds.
+	DeadNode NodeID
+	// MinRemainingJ and MaxRemainingJ bound the surviving batteries.
+	MinRemainingJ, MaxRemainingJ float64
+	// Elections counts head re-elections performed.
+	Elections int
+}
+
+// SimulateLifetime drains batteries round by round and reports the
+// first-death lifetime. It mutates the deployment's battery levels; run
+// it on a dedicated clustering.
+func SimulateLifetime(cl *Clustering, cfg LifetimeConfig) (LifetimeResult, error) {
+	if cfg.HeadCostJ <= 0 || cfg.MemberCostJ < 0 {
+		return LifetimeResult{}, fmt.Errorf("network: costs must be positive (head) and non-negative (member)")
+	}
+	if cfg.HeadCostJ <= cfg.MemberCostJ {
+		return LifetimeResult{}, fmt.Errorf("network: head cost %g must exceed member cost %g (it carries the burden)",
+			cfg.HeadCostJ, cfg.MemberCostJ)
+	}
+	if cfg.MaxRounds < 1 {
+		return LifetimeResult{}, fmt.Errorf("network: max rounds %d must be positive", cfg.MaxRounds)
+	}
+	res := LifetimeResult{DeadNode: -1}
+	dep := cl.Graph.Deployment
+	for round := 0; round < cfg.MaxRounds; round++ {
+		if cfg.Reconfigure > 0 && round%cfg.Reconfigure == 0 && round > 0 {
+			cl.ElectHeads()
+			res.Elections++
+		}
+		// Drain this round.
+		for i := range cl.Clusters {
+			c := &cl.Clusters[i]
+			for _, id := range c.Members {
+				n := dep.ByID(id)
+				if id == c.Head {
+					n.BatteryJ -= cfg.HeadCostJ
+				} else {
+					n.BatteryJ -= cfg.MemberCostJ
+				}
+			}
+		}
+		// First death ends the lifetime.
+		for i := range dep.Nodes {
+			if dep.Nodes[i].BatteryJ <= 0 {
+				res.Rounds = round
+				res.DeadNode = dep.Nodes[i].ID
+				res.MinRemainingJ, res.MaxRemainingJ = batteryBounds(dep)
+				return res, nil
+			}
+		}
+		res.Rounds = round + 1
+	}
+	res.MinRemainingJ, res.MaxRemainingJ = batteryBounds(dep)
+	return res, nil
+}
+
+func batteryBounds(dep *Deployment) (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for _, n := range dep.Nodes {
+		if n.BatteryJ < lo {
+			lo = n.BatteryJ
+		}
+		if n.BatteryJ > hi {
+			hi = n.BatteryJ
+		}
+	}
+	return lo, hi
+}

@@ -1,0 +1,113 @@
+package network
+
+import (
+	"testing"
+
+	"repro/internal/mathx"
+)
+
+// lifetimeClustering builds a fresh clustering over a tight 4-node
+// cluster with equal batteries for lifetime experiments.
+func lifetimeClustering(t *testing.T, batteryJ float64) *Clustering {
+	t.Helper()
+	rng := mathx.NewRand(101)
+	dep := RandomDeployment(rng, 12, 20, 20, batteryJ, batteryJ)
+	g, err := NewGraph(dep, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := DCluster(g, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cl
+}
+
+func TestLifetimeValidation(t *testing.T) {
+	cl := lifetimeClustering(t, 100)
+	bad := []LifetimeConfig{
+		{HeadCostJ: 0, MemberCostJ: 0, MaxRounds: 10},
+		{HeadCostJ: 1, MemberCostJ: 2, MaxRounds: 10}, // head must cost more
+		{HeadCostJ: 2, MemberCostJ: 1, MaxRounds: 0},
+		{HeadCostJ: 2, MemberCostJ: -1, MaxRounds: 10},
+	}
+	for i, cfg := range bad {
+		if _, err := SimulateLifetime(cl, cfg); err == nil {
+			t.Errorf("config %d should fail", i)
+		}
+	}
+}
+
+// TestRotationExtendsLifetime is the reconfiguration claim: re-electing
+// heads by remaining battery spreads the coordination burden and delays
+// the first death substantially.
+func TestRotationExtendsLifetime(t *testing.T) {
+	static, err := SimulateLifetime(lifetimeClustering(t, 100), LifetimeConfig{
+		HeadCostJ: 5, MemberCostJ: 1, Reconfigure: 0, MaxRounds: 10000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rotated, err := SimulateLifetime(lifetimeClustering(t, 100), LifetimeConfig{
+		HeadCostJ: 5, MemberCostJ: 1, Reconfigure: 1, MaxRounds: 10000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if static.DeadNode < 0 || rotated.DeadNode < 0 {
+		t.Fatalf("both runs should end in a death: %+v vs %+v", static, rotated)
+	}
+	// Static heads hit zero during round battery/headCost = 20, so 19
+	// full rounds complete; rotation approaches battery over the
+	// cluster-averaged cost.
+	if static.Rounds != 19 {
+		t.Errorf("static lifetime = %d rounds, want 19", static.Rounds)
+	}
+	if rotated.Rounds < static.Rounds*3/2 {
+		t.Errorf("rotation should extend lifetime: %d vs %d", rotated.Rounds, static.Rounds)
+	}
+	if rotated.Elections == 0 {
+		t.Error("rotation performed no elections")
+	}
+	if static.Elections != 0 {
+		t.Error("static run should not elect")
+	}
+}
+
+func TestLifetimeSurvivesMaxRounds(t *testing.T) {
+	cl := lifetimeClustering(t, 1e9)
+	r, err := SimulateLifetime(cl, LifetimeConfig{
+		HeadCostJ: 2, MemberCostJ: 1, MaxRounds: 50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.DeadNode != -1 || r.Rounds != 50 {
+		t.Errorf("huge batteries should survive: %+v", r)
+	}
+	if r.MinRemainingJ <= 0 || r.MaxRemainingJ < r.MinRemainingJ {
+		t.Errorf("battery bounds wrong: %+v", r)
+	}
+}
+
+func TestLifetimeBurdenFallsOnHeads(t *testing.T) {
+	cl := lifetimeClustering(t, 1000)
+	heads := map[NodeID]bool{}
+	for i := range cl.Clusters {
+		heads[cl.Clusters[i].Head] = true
+	}
+	if _, err := SimulateLifetime(cl, LifetimeConfig{
+		HeadCostJ: 5, MemberCostJ: 1, MaxRounds: 10,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range cl.Graph.Deployment.Nodes {
+		want := 1000 - 10.0
+		if heads[n.ID] {
+			want = 1000 - 50.0
+		}
+		if n.BatteryJ != want {
+			t.Errorf("node %d battery %v, want %v", n.ID, n.BatteryJ, want)
+		}
+	}
+}

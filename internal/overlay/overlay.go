@@ -1,0 +1,197 @@
+// Package overlay implements Algorithm 1 and the Section 6.1 analysis:
+// m secondary users cooperatively relay a primary transmission — the
+// primary transmitter reaches the SU cluster over a 1-by-m SIMO link,
+// and the cluster forwards to the primary receiver over an m-by-1 MISO
+// link — under the constraint that every party spends no more per-bit
+// energy than the direct SISO primary link would have.
+package overlay
+
+import (
+	"fmt"
+
+	"repro/internal/energy"
+	"repro/internal/units"
+)
+
+// Config sets up the overlay relay analysis.
+type Config struct {
+	// Model is the energy model (constants + ēb provider).
+	Model *energy.Model
+	// M is the number of cooperating relay SUs.
+	M int
+	// DirectBER is the BER the direct primary link tolerates (paper:
+	// 0.005).
+	DirectBER float64
+	// RelayBER is the (tighter) BER target of the relayed path (paper:
+	// 0.0005 — ten times better).
+	RelayBER float64
+}
+
+// Validate rejects nonsensical configurations.
+func (c Config) Validate() error {
+	switch {
+	case c.Model == nil:
+		return fmt.Errorf("overlay: nil energy model")
+	case c.M < 1:
+		return fmt.Errorf("overlay: m=%d relays, need at least 1", c.M)
+	case c.DirectBER <= 0 || c.DirectBER >= 1:
+		return fmt.Errorf("overlay: direct BER %g outside (0, 1)", c.DirectBER)
+	case c.RelayBER <= 0 || c.RelayBER >= 1:
+		return fmt.Errorf("overlay: relay BER %g outside (0, 1)", c.RelayBER)
+	}
+	return nil
+}
+
+// Analysis is the outcome of the three-step distance computation of
+// Section 6.1 for one primary-pair separation D1.
+type Analysis struct {
+	// D1 is the Pt-Pr separation in metres.
+	D1 float64
+	// E1 is the per-bit energy of the direct SISO primary link at D1 and
+	// the direct BER target, minimised over the constellation size.
+	E1 units.JoulePerBit
+	// BDirect is the constellation that achieves E1.
+	BDirect int
+	// D2 is the largest Pt-to-SUs distance: the 1-by-m SIMO link Pt can
+	// drive with energy E1 at the relay BER target, maximised over b.
+	D2 float64
+	// B2 is the constellation achieving D2.
+	B2 int
+	// D3 is the largest SUs-to-Pr distance: the m-by-1 MISO link each SU
+	// can drive with per-node budget E1 (transmit + long-haul receive
+	// cost), maximised over b.
+	D3 float64
+	// B3 is the constellation achieving D3.
+	B3 int
+}
+
+// Analyze runs the Section 6.1 procedure for one D1.
+func Analyze(cfg Config, d1 float64) (Analysis, error) {
+	if err := cfg.Validate(); err != nil {
+		return Analysis{}, err
+	}
+	if d1 <= 0 {
+		return Analysis{}, fmt.Errorf("overlay: D1=%g must be positive", d1)
+	}
+	m := cfg.Model
+	// Step 1: E1 = min_b e_MIMOt(1, 1) at D1 and the loose direct target.
+	direct, err := m.OptimalMIMOB(cfg.DirectBER, 1, 1, d1, nil)
+	if err != nil {
+		return Analysis{}, fmt.Errorf("overlay: direct link at D1=%g: %w", d1, err)
+	}
+	a := Analysis{D1: d1, E1: direct.Cost.Total(), BDirect: direct.B}
+
+	// Step 2: D2 from E_Pt = E1 on the 1-by-m SIMO link at the tight
+	// relay target, taking the best constellation.
+	a.D2, a.B2, err = maxDistanceOverB(m, a.E1, cfg.RelayBER, 1, cfg.M, 0)
+	if err != nil {
+		return Analysis{}, fmt.Errorf("overlay: SIMO step: %w", err)
+	}
+
+	// Step 3: D3 from E_S = e_MIMOt(m, 1) + e_MIMOr = E1; the long-haul
+	// receive cost e_MIMOr(b) comes off the budget first.
+	a.D3, a.B3, err = maxDistanceOverB(m, a.E1, cfg.RelayBER, cfg.M, 1, 1)
+	if err != nil {
+		return Analysis{}, fmt.Errorf("overlay: MISO step: %w", err)
+	}
+	return a, nil
+}
+
+// maxDistanceOverB maximises the reachable link length over b given a
+// per-node budget. rxLegs counts how many long-haul receive costs are
+// charged against the budget before transmitting.
+func maxDistanceOverB(m *energy.Model, budget units.JoulePerBit, p float64, mt, mr, rxLegs int) (float64, int, error) {
+	bestD, bestB := 0.0, -1
+	for b := 1; b <= m.P.BMax; b++ {
+		avail := budget
+		if rxLegs > 0 {
+			rx, err := m.MIMORx(b)
+			if err != nil {
+				continue
+			}
+			avail -= units.JoulePerBit(rxLegs) * rx.Total()
+		}
+		if avail <= 0 {
+			continue
+		}
+		d, err := m.MIMOTxDistance(avail, p, b, mt, mr)
+		if err != nil {
+			continue
+		}
+		if d > bestD {
+			bestD, bestB = d, b
+		}
+	}
+	if bestB < 0 {
+		return 0, 0, fmt.Errorf("overlay: no constellation reaches any distance within budget %v", budget)
+	}
+	return bestD, bestB, nil
+}
+
+// EnergyBreakdown itemises who spends what per relayed bit when the
+// relay distances are fixed (Algorithm 1's accounting).
+type EnergyBreakdown struct {
+	// EPt is the primary transmitter's cost on the 1-by-m SIMO leg.
+	EPt units.JoulePerBit
+	// ESr is each SU's receive cost on that leg (e_MIMOr).
+	ESr units.JoulePerBit
+	// ESt is each SU's transmit cost on the m-by-1 MISO leg.
+	ESt units.JoulePerBit
+	// EPr is the primary receiver's cost (e_MIMOr).
+	EPr units.JoulePerBit
+}
+
+// ES returns the total per-SU cost E_S = E_St + E_Sr.
+func (e EnergyBreakdown) ES() units.JoulePerBit { return e.ESt + e.ESr }
+
+// Breakdown evaluates Algorithm 1's per-party energies for concrete leg
+// lengths dPtSU (Pt to the cluster) and dSUPr (cluster to Pr), choosing
+// the constellation that minimises each leg's transmit cost.
+func Breakdown(cfg Config, dPtSU, dSUPr float64) (EnergyBreakdown, error) {
+	if err := cfg.Validate(); err != nil {
+		return EnergyBreakdown{}, err
+	}
+	if dPtSU <= 0 || dSUPr <= 0 {
+		return EnergyBreakdown{}, fmt.Errorf("overlay: leg lengths must be positive, got %g and %g", dPtSU, dSUPr)
+	}
+	m := cfg.Model
+	simo, err := m.OptimalMIMOB(cfg.RelayBER, 1, cfg.M, dPtSU, nil)
+	if err != nil {
+		return EnergyBreakdown{}, fmt.Errorf("overlay: SIMO leg: %w", err)
+	}
+	miso, err := m.OptimalMIMOB(cfg.RelayBER, cfg.M, 1, dSUPr, nil)
+	if err != nil {
+		return EnergyBreakdown{}, fmt.Errorf("overlay: MISO leg: %w", err)
+	}
+	rxSIMO, err := m.MIMORx(simo.B)
+	if err != nil {
+		return EnergyBreakdown{}, err
+	}
+	rxMISO, err := m.MIMORx(miso.B)
+	if err != nil {
+		return EnergyBreakdown{}, err
+	}
+	return EnergyBreakdown{
+		EPt: simo.Cost.Total(),
+		ESr: rxSIMO.Total(),
+		ESt: miso.Cost.Total(),
+		EPr: rxMISO.Total(),
+	}, nil
+}
+
+// Sweep runs Analyze over a D1 range with the given step, producing the
+// series behind Figures 6(a) and 6(b).
+func Sweep(cfg Config, d1Lo, d1Hi, step float64) ([]Analysis, error) {
+	if step <= 0 || d1Hi < d1Lo {
+		return nil, fmt.Errorf("overlay: bad sweep [%g, %g] step %g", d1Lo, d1Hi, step)
+	}
+	var out []Analysis
+	for d1 := d1Lo; d1 <= d1Hi+1e-9; d1 += step {
+		a, err := Analyze(cfg, d1)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}

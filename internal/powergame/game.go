@@ -1,0 +1,158 @@
+// Package powergame implements the game-theoretic underlay baseline the
+// paper positions itself against (Section 1, refs [1, 4, 5]): each
+// secondary transmitter selfishly picks its power to maximise a utility
+// u_i = log(1 + SINR_i) - c * p_i via iterated best response. The
+// paper's criticism — "the maximization of the game utility function
+// represents an incentive to reduce the interference at the PUs'
+// receiver, but not a guarantee" — is exactly what the ext-game
+// experiment measures: the Nash point's aggregate interference at the
+// primary receiver can exceed the noise floor when SUs sit close to it,
+// while Algorithm 2's cooperative budget satisfies the constraint by
+// construction.
+package powergame
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+)
+
+// Player is one secondary transmitter-receiver pair.
+type Player struct {
+	// Tx and Rx are the pair's endpoints.
+	Tx, Rx geom.Point
+	// Power is the current transmit power (linear). Best response
+	// updates it in place.
+	Power float64
+}
+
+// Config describes the game.
+type Config struct {
+	// Players are the competing SU links.
+	Players []Player
+	// PrimaryRx is the protected primary receiver's position.
+	PrimaryRx geom.Point
+	// NoisePower is the receiver noise floor (linear) at every receiver.
+	NoisePower float64
+	// PriceC is the power price c in the utility.
+	PriceC float64
+	// MaxPower caps every player's strategy space.
+	MaxPower float64
+	// PathLossExp is the propagation exponent.
+	PathLossExp float64
+	// MaxIterations bounds the best-response sweeps.
+	MaxIterations int
+	// Tolerance declares convergence when no player moves more than
+	// this fraction of MaxPower in one sweep.
+	Tolerance float64
+}
+
+// Validate rejects unusable configurations.
+func (c Config) Validate() error {
+	switch {
+	case len(c.Players) < 1:
+		return fmt.Errorf("powergame: need at least one player")
+	case c.NoisePower <= 0:
+		return fmt.Errorf("powergame: noise power must be positive")
+	case c.PriceC <= 0:
+		return fmt.Errorf("powergame: power price must be positive")
+	case c.MaxPower <= 0:
+		return fmt.Errorf("powergame: power cap must be positive")
+	case c.PathLossExp <= 0:
+		return fmt.Errorf("powergame: path-loss exponent must be positive")
+	case c.MaxIterations < 1:
+		return fmt.Errorf("powergame: need at least one iteration")
+	case c.Tolerance <= 0:
+		return fmt.Errorf("powergame: tolerance must be positive")
+	}
+	return nil
+}
+
+// gain returns the link power gain between two points.
+func (c Config) gain(a, b geom.Point) float64 {
+	d := a.Dist(b)
+	if d < 1 {
+		d = 1
+	}
+	return math.Pow(d, -c.PathLossExp)
+}
+
+// Result reports the converged (or iteration-capped) game state.
+type Result struct {
+	// Powers are the final strategies.
+	Powers []float64
+	// SINRs are each player's achieved SINR.
+	SINRs []float64
+	// InterferenceAtPU is the aggregate secondary power arriving at the
+	// primary receiver.
+	InterferenceAtPU float64
+	// Converged reports whether a sweep moved no player beyond the
+	// tolerance before the iteration cap.
+	Converged bool
+	// Iterations used.
+	Iterations int
+}
+
+// Run iterates synchronous best responses until convergence or the cap.
+//
+// The best response to u_i = log(1 + p_i g_ii / I_i) - c p_i is the
+// water-filling point p_i = 1/c - I_i/g_ii clipped to [0, MaxPower],
+// where I_i is the noise-plus-interference the player sees.
+func Run(cfg Config) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	players := append([]Player(nil), cfg.Players...)
+	n := len(players)
+	res := Result{Powers: make([]float64, n), SINRs: make([]float64, n)}
+	for it := 0; it < cfg.MaxIterations; it++ {
+		res.Iterations = it + 1
+		maxMove := 0.0
+		for i := range players {
+			interf := cfg.NoisePower
+			for j := range players {
+				if j == i {
+					continue
+				}
+				interf += players[j].Power * cfg.gain(players[j].Tx, players[i].Rx)
+			}
+			gii := cfg.gain(players[i].Tx, players[i].Rx)
+			best := 1/cfg.PriceC - interf/gii
+			if best < 0 {
+				best = 0
+			}
+			if best > cfg.MaxPower {
+				best = cfg.MaxPower
+			}
+			if move := math.Abs(best - players[i].Power); move > maxMove {
+				maxMove = move
+			}
+			players[i].Power = best
+		}
+		if maxMove <= cfg.Tolerance*cfg.MaxPower {
+			res.Converged = true
+			break
+		}
+	}
+	for i := range players {
+		res.Powers[i] = players[i].Power
+		interf := cfg.NoisePower
+		for j := range players {
+			if j == i {
+				continue
+			}
+			interf += players[j].Power * cfg.gain(players[j].Tx, players[i].Rx)
+		}
+		res.SINRs[i] = players[i].Power * cfg.gain(players[i].Tx, players[i].Rx) / interf
+		res.InterferenceAtPU += players[i].Power * cfg.gain(players[i].Tx, cfg.PrimaryRx)
+	}
+	return res, nil
+}
+
+// InterferenceMargin is the game's aggregate interference at the primary
+// receiver relative to the noise floor: > 1 violates the underlay
+// constraint the paper's cooperative scheme guarantees.
+func (r Result) InterferenceMargin(noisePower float64) float64 {
+	return r.InterferenceAtPU / noisePower
+}

@@ -1,0 +1,172 @@
+package powergame
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func baseCfg() Config {
+	return Config{
+		Players: []Player{
+			{Tx: geom.Pt(0, 0), Rx: geom.Pt(10, 0)},
+			{Tx: geom.Pt(0, 50), Rx: geom.Pt(10, 50)},
+			{Tx: geom.Pt(0, 100), Rx: geom.Pt(10, 100)},
+		},
+		PrimaryRx:     geom.Pt(200, 50),
+		NoisePower:    1e-9,
+		PriceC:        1e4,
+		MaxPower:      1e-3,
+		PathLossExp:   3,
+		MaxIterations: 200,
+		Tolerance:     1e-9,
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := baseCfg().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	mutations := []func(*Config){
+		func(c *Config) { c.Players = nil },
+		func(c *Config) { c.NoisePower = 0 },
+		func(c *Config) { c.PriceC = 0 },
+		func(c *Config) { c.MaxPower = 0 },
+		func(c *Config) { c.PathLossExp = 0 },
+		func(c *Config) { c.MaxIterations = 0 },
+		func(c *Config) { c.Tolerance = 0 },
+	}
+	for i, m := range mutations {
+		c := baseCfg()
+		m(&c)
+		if c.Validate() == nil {
+			t.Errorf("mutation %d should fail", i)
+		}
+	}
+}
+
+func TestConvergence(t *testing.T) {
+	r, err := Run(baseCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Converged {
+		t.Fatalf("did not converge in %d iterations", r.Iterations)
+	}
+	for i, p := range r.Powers {
+		if p < 0 || p > baseCfg().MaxPower {
+			t.Errorf("player %d power %v outside [0, cap]", i, p)
+		}
+	}
+	for i, s := range r.SINRs {
+		if s <= 0 {
+			t.Errorf("player %d SINR %v", i, s)
+		}
+	}
+}
+
+func TestNashStability(t *testing.T) {
+	// At the converged point, no unilateral deviation improves utility.
+	cfg := baseCfg()
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	utility := func(powers []float64, i int, pi float64) float64 {
+		interf := cfg.NoisePower
+		for j := range powers {
+			if j == i {
+				continue
+			}
+			interf += powers[j] * cfg.gain(cfg.Players[j].Tx, cfg.Players[i].Rx)
+		}
+		g := cfg.gain(cfg.Players[i].Tx, cfg.Players[i].Rx)
+		return math.Log(1+pi*g/interf) - cfg.PriceC*pi
+	}
+	for i := range r.Powers {
+		base := utility(r.Powers, i, r.Powers[i])
+		for _, dev := range []float64{0.5, 0.9, 1.1, 2} {
+			alt := r.Powers[i] * dev
+			if alt > cfg.MaxPower {
+				continue
+			}
+			if u := utility(r.Powers, i, alt); u > base+1e-9 {
+				t.Errorf("player %d improves by deviating x%v: %v > %v", i, dev, u, base)
+			}
+		}
+	}
+}
+
+// TestHigherPriceLowersPower: the pricing knob is the game's only
+// interference control.
+func TestHigherPriceLowersPower(t *testing.T) {
+	cheap := baseCfg()
+	cheap.PriceC = 1e3
+	expensive := baseCfg()
+	expensive.PriceC = 1e5
+	rc, err := Run(cheap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re, err := Run(expensive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rc.Powers {
+		if re.Powers[i] > rc.Powers[i] {
+			t.Errorf("player %d: higher price raised power %v -> %v", i, rc.Powers[i], re.Powers[i])
+		}
+	}
+	if re.InterferenceAtPU > rc.InterferenceAtPU {
+		t.Error("higher price should reduce interference at the PU")
+	}
+}
+
+// TestNoGuaranteeNearPU is the paper's Section 1 point: the same game
+// that behaves when SUs are far from the primary receiver violates the
+// noise-floor constraint when they are close — the utility gives an
+// incentive, not a guarantee.
+func TestNoGuaranteeNearPU(t *testing.T) {
+	far := baseCfg()
+	far.PrimaryRx = geom.Pt(500, 50)
+	rFar, err := Run(far)
+	if err != nil {
+		t.Fatal(err)
+	}
+	near := baseCfg()
+	near.PrimaryRx = geom.Pt(12, 50) // right next to player 2's receiver
+	rNear, err := Run(near)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := rFar.InterferenceMargin(far.NoisePower); m > 1 {
+		t.Errorf("far PU: margin %v should satisfy the constraint", m)
+	}
+	if m := rNear.InterferenceMargin(near.NoisePower); m < 10 {
+		t.Errorf("near PU: margin %v should violate the constraint badly", m)
+	}
+	// The game's powers do not even change: the PU is not in any
+	// player's utility.
+	for i := range rFar.Powers {
+		if math.Abs(rFar.Powers[i]-rNear.Powers[i]) > 1e-15 {
+			t.Errorf("player %d power changed with PU position: the game cannot see the PU", i)
+		}
+	}
+}
+
+func TestIterationCap(t *testing.T) {
+	c := baseCfg()
+	c.MaxIterations = 1
+	c.Tolerance = 1e-300
+	r, err := Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Converged {
+		t.Error("one sweep at absurd tolerance should not be declared converged")
+	}
+	if r.Iterations != 1 {
+		t.Errorf("iterations = %d", r.Iterations)
+	}
+}

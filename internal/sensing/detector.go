@@ -1,0 +1,154 @@
+// Package sensing implements the spectrum-sensing substrate the
+// interweave paradigm stands on (Sections 1 and 5): primary users are
+// sensed "in a nonintrusive manner" before secondary transmissions are
+// planned around them. It provides an energy detector with closed-form
+// operating characteristics, cooperative decision fusion across multiple
+// SUs, a two-state Markov primary-activity model on the discrete-event
+// engine, and the channel selector Algorithm 3's Step 1 uses.
+package sensing
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/mathx"
+)
+
+// EnergyDetector integrates N complex baseband samples and compares the
+// total energy against a threshold.
+type EnergyDetector struct {
+	// Samples is the sensing window length N.
+	Samples int
+	// Threshold is the decision level on the normalised statistic
+	// T = sum |y_i|^2 / sigma^2.
+	Threshold float64
+}
+
+// NewDetectorForPfa sizes the threshold for a target false-alarm
+// probability using the Gaussian approximation of the chi-square
+// statistic: under noise only, T ~ Normal(N, N).
+func NewDetectorForPfa(samples int, pfa float64) (EnergyDetector, error) {
+	if samples < 1 {
+		return EnergyDetector{}, fmt.Errorf("sensing: sample count %d must be positive", samples)
+	}
+	if pfa <= 0 || pfa >= 1 {
+		return EnergyDetector{}, fmt.Errorf("sensing: Pfa %g outside (0, 1)", pfa)
+	}
+	n := float64(samples)
+	return EnergyDetector{
+		Samples:   samples,
+		Threshold: n + math.Sqrt(n)*mathx.QInv(pfa),
+	}, nil
+}
+
+// Pfa returns the theoretical false-alarm probability.
+func (d EnergyDetector) Pfa() float64 {
+	n := float64(d.Samples)
+	return mathx.Q((d.Threshold - n) / math.Sqrt(n))
+}
+
+// Pd returns the theoretical detection probability for a primary signal
+// at the given per-sample SNR (linear): under H1 the statistic is
+// approximately Normal(N(1+snr), N(1+snr)^2) for a Gaussian-like
+// primary waveform.
+func (d EnergyDetector) Pd(snr float64) float64 {
+	if snr < 0 {
+		snr = 0
+	}
+	n := float64(d.Samples)
+	mean := n * (1 + snr)
+	std := math.Sqrt(n) * (1 + snr)
+	return mathx.Q((d.Threshold - mean) / std)
+}
+
+// Sense runs one detection on simulated samples: primary present with
+// the given per-sample SNR (0 = absent), unit-variance complex noise.
+// It returns the decision and the normalised statistic.
+func (d EnergyDetector) Sense(rng *rand.Rand, present bool, snr float64) (bool, float64) {
+	var t float64
+	amp := math.Sqrt(snr)
+	for i := 0; i < d.Samples; i++ {
+		y := mathx.ComplexCN(rng, 1)
+		if present {
+			// Gaussian-like primary waveform at the given SNR.
+			y += mathx.ComplexCN(rng, 1) * complex(amp, 0)
+		}
+		t += real(y)*real(y) + imag(y)*imag(y)
+	}
+	return t > d.Threshold, t
+}
+
+// FusionRule combines per-SU hard decisions.
+type FusionRule int
+
+// Fusion rules.
+const (
+	// FusionOR declares the primary present if any SU detects it — the
+	// conservative choice protecting the PU hardest.
+	FusionOR FusionRule = iota
+	// FusionAND requires every SU to detect.
+	FusionAND
+	// FusionMajority requires more than half.
+	FusionMajority
+)
+
+// Fuse combines hard decisions under the rule.
+func Fuse(rule FusionRule, votes []bool) (bool, error) {
+	if len(votes) == 0 {
+		return false, fmt.Errorf("sensing: no votes to fuse")
+	}
+	n := 0
+	for _, v := range votes {
+		if v {
+			n++
+		}
+	}
+	switch rule {
+	case FusionOR:
+		return n > 0, nil
+	case FusionAND:
+		return n == len(votes), nil
+	case FusionMajority:
+		return 2*n > len(votes), nil
+	default:
+		return false, fmt.Errorf("sensing: unknown fusion rule %d", rule)
+	}
+}
+
+// CooperativePd returns the fused detection probability for k SUs with
+// iid per-SU probability p under the rule.
+func CooperativePd(rule FusionRule, k int, p float64) (float64, error) {
+	if k < 1 {
+		return 0, fmt.Errorf("sensing: need at least one SU, got %d", k)
+	}
+	if p < 0 || p > 1 {
+		return 0, fmt.Errorf("sensing: probability %g outside [0, 1]", p)
+	}
+	switch rule {
+	case FusionOR:
+		return 1 - math.Pow(1-p, float64(k)), nil
+	case FusionAND:
+		return math.Pow(p, float64(k)), nil
+	case FusionMajority:
+		need := k/2 + 1
+		var sum float64
+		for i := need; i <= k; i++ {
+			sum += binom(k, i) * math.Pow(p, float64(i)) * math.Pow(1-p, float64(k-i))
+		}
+		return sum, nil
+	default:
+		return 0, fmt.Errorf("sensing: unknown fusion rule %d", rule)
+	}
+}
+
+func binom(n, k int) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	r := 1.0
+	for i := 1; i <= k; i++ {
+		r *= float64(n-k+i) / float64(i)
+	}
+	return r
+}

@@ -1,0 +1,122 @@
+package sim
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/mathx"
+)
+
+// chunkSize is the number of trials served by one PRNG stream. Chunks —
+// not workers — own random streams, which is what makes a run independent
+// of the worker count: chunk i always uses the i-th derived seed and
+// always covers the same trial indices, so parallelism changes wall-clock
+// time but never the answer.
+const chunkSize = 2048
+
+// MonteCarlo distributes independent trials over a worker pool.
+//
+// Reproducibility contract: the trial set is split into fixed-size chunks;
+// chunk i is always driven by the i-th seed derived from Seed via
+// splitmix64, and per-chunk results are merged in chunk order. Any Workers
+// value therefore yields bit-identical statistics.
+type MonteCarlo struct {
+	// Seed is the master seed all chunk streams derive from.
+	Seed int64
+	// Workers caps the pool size; 0 means GOMAXPROCS.
+	Workers int
+}
+
+// RunMean executes trials calls of trial, each with a chunk-local PRNG,
+// and returns merged streaming statistics of the returned values.
+func (mc MonteCarlo) RunMean(trials int, trial func(rng *rand.Rand) float64) mathx.Running {
+	parts := mc.runChunks(trials, func(rng *rand.Rand, n int) mathx.Running {
+		var acc mathx.Running
+		for i := 0; i < n; i++ {
+			acc.Add(trial(rng))
+		}
+		return acc
+	})
+	var total mathx.Running
+	for _, p := range parts {
+		total.Merge(p)
+	}
+	return total
+}
+
+// RunCount executes trials calls of trial and returns how many returned
+// true, e.g. bit errors out of bits sent.
+func (mc MonteCarlo) RunCount(trials int, trial func(rng *rand.Rand) bool) int64 {
+	parts := mc.runChunks(trials, func(rng *rand.Rand, n int) mathx.Running {
+		var acc mathx.Running
+		for i := 0; i < n; i++ {
+			if trial(rng) {
+				acc.Add(1)
+			} else {
+				acc.Add(0)
+			}
+		}
+		return acc
+	})
+	var total int64
+	for _, p := range parts {
+		total += int64(p.Mean()*float64(p.N()) + 0.5)
+	}
+	return total
+}
+
+// RunBatches partitions trials into chunks and hands each chunk's size to
+// batch, so trial loops that amortise setup (e.g. drawing one channel
+// matrix and sending many symbols through it) can run without per-trial
+// overhead. Batch results merge in chunk order.
+func (mc MonteCarlo) RunBatches(trials int, batch func(rng *rand.Rand, n int) mathx.Running) mathx.Running {
+	parts := mc.runChunks(trials, batch)
+	var total mathx.Running
+	for _, p := range parts {
+		total.Merge(p)
+	}
+	return total
+}
+
+// runChunks fans the chunk list out to the worker pool and returns the
+// per-chunk results indexed by chunk.
+func (mc MonteCarlo) runChunks(trials int, batch func(rng *rand.Rand, n int) mathx.Running) []mathx.Running {
+	if trials <= 0 {
+		return nil
+	}
+	chunks := (trials + chunkSize - 1) / chunkSize
+	seeds := mathx.DeriveSeeds(mc.Seed, chunks)
+	parts := make([]mathx.Running, chunks)
+
+	workers := mc.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > chunks {
+		workers = chunks
+	}
+
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				c := int(next.Add(1)) - 1
+				if c >= chunks {
+					return
+				}
+				n := chunkSize
+				if c == chunks-1 {
+					n = trials - c*chunkSize
+				}
+				parts[c] = batch(mathx.NewRand(seeds[c]), n)
+			}
+		}()
+	}
+	wg.Wait()
+	return parts
+}

@@ -1,0 +1,115 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/mathx"
+)
+
+func TestRunMeanUniform(t *testing.T) {
+	mc := MonteCarlo{Seed: 1}
+	r := mc.RunMean(200000, func(rng *rand.Rand) float64 { return rng.Float64() })
+	if r.N() != 200000 {
+		t.Fatalf("N = %d", r.N())
+	}
+	if math.Abs(r.Mean()-0.5) > 0.005 {
+		t.Errorf("mean = %v, want ~0.5", r.Mean())
+	}
+	if math.Abs(r.Variance()-1.0/12) > 0.005 {
+		t.Errorf("variance = %v, want ~1/12", r.Variance())
+	}
+}
+
+func TestDeterminismAcrossWorkerCounts(t *testing.T) {
+	trial := func(rng *rand.Rand) float64 { return rng.NormFloat64() }
+	ref := MonteCarlo{Seed: 42, Workers: 1}.RunMean(10000, trial)
+	for _, w := range []int{2, 3, 4, 7, 16} {
+		got := MonteCarlo{Seed: 42, Workers: w}.RunMean(10000, trial)
+		if got.N() != ref.N() {
+			t.Fatalf("workers=%d: N=%d want %d", w, got.N(), ref.N())
+		}
+		if math.Abs(got.Mean()-ref.Mean()) > 1e-12 {
+			t.Errorf("workers=%d: mean=%v want %v", w, got.Mean(), ref.Mean())
+		}
+		if math.Abs(got.Variance()-ref.Variance()) > 1e-9 {
+			t.Errorf("workers=%d: var=%v want %v", w, got.Variance(), ref.Variance())
+		}
+	}
+}
+
+func TestRunCount(t *testing.T) {
+	mc := MonteCarlo{Seed: 9}
+	n := mc.RunCount(100000, func(rng *rand.Rand) bool { return rng.Float64() < 0.3 })
+	if p := float64(n) / 100000; math.Abs(p-0.3) > 0.01 {
+		t.Errorf("fraction = %v, want ~0.3", p)
+	}
+	// Deterministic across worker counts too.
+	a := MonteCarlo{Seed: 5, Workers: 1}.RunCount(5000, func(rng *rand.Rand) bool { return rng.Intn(2) == 0 })
+	b := MonteCarlo{Seed: 5, Workers: 8}.RunCount(5000, func(rng *rand.Rand) bool { return rng.Intn(2) == 0 })
+	if a != b {
+		t.Errorf("RunCount not deterministic: %d vs %d", a, b)
+	}
+}
+
+func TestRunBatches(t *testing.T) {
+	mc := MonteCarlo{Seed: 3, Workers: 4}
+	r := mc.RunBatches(100000, func(rng *rand.Rand, n int) mathx.Running {
+		var acc mathx.Running
+		for i := 0; i < n; i++ {
+			acc.Add(rng.Float64())
+		}
+		return acc
+	})
+	if r.N() != 100000 {
+		t.Fatalf("N = %d", r.N())
+	}
+	if math.Abs(r.Mean()-0.5) > 0.01 {
+		t.Errorf("mean = %v", r.Mean())
+	}
+}
+
+func TestEdgeCases(t *testing.T) {
+	mc := MonteCarlo{Seed: 1, Workers: 64}
+	// More workers than trials must not deadlock or double-count.
+	r := mc.RunMean(3, func(rng *rand.Rand) float64 { return 1 })
+	if r.N() != 3 || r.Mean() != 1 {
+		t.Errorf("N=%d mean=%v", r.N(), r.Mean())
+	}
+	// Zero trials.
+	r = mc.RunMean(0, func(rng *rand.Rand) float64 { return 1 })
+	if r.N() != 0 {
+		t.Errorf("zero trials N=%d", r.N())
+	}
+	if c := mc.RunCount(0, func(rng *rand.Rand) bool { return true }); c != 0 {
+		t.Errorf("zero trials count=%d", c)
+	}
+}
+
+func TestChunkingCoversExactly(t *testing.T) {
+	// Trial counts straddling chunk boundaries must all be visited exactly
+	// once: the merged N is the proof.
+	for _, n := range []int{1, chunkSize - 1, chunkSize, chunkSize + 1, 3*chunkSize + 17} {
+		r := MonteCarlo{Seed: 2, Workers: 5}.RunMean(n, func(rng *rand.Rand) float64 { return 1 })
+		if r.N() != int64(n) {
+			t.Errorf("trials=%d: N=%d", n, r.N())
+		}
+	}
+}
+
+func TestRunBatchesDeterministicAcrossWorkers(t *testing.T) {
+	batch := func(rng *rand.Rand, n int) mathx.Running {
+		var acc mathx.Running
+		for i := 0; i < n; i++ {
+			acc.Add(rng.NormFloat64())
+		}
+		return acc
+	}
+	ref := MonteCarlo{Seed: 77, Workers: 1}.RunBatches(3*chunkSize+5, batch)
+	got := MonteCarlo{Seed: 77, Workers: 9}.RunBatches(3*chunkSize+5, batch)
+	if ref.N() != got.N() || math.Abs(ref.Mean()-got.Mean()) > 1e-15 {
+		t.Errorf("RunBatches not worker-count independent: %v/%v vs %v/%v",
+			ref.N(), ref.Mean(), got.N(), got.Mean())
+	}
+}

@@ -1,0 +1,234 @@
+// Package stbc implements the space-time block codes the cooperative
+// links are "coded with ... (such as Alamouti code)" (Section 2.3):
+// SISO passthrough, the Alamouti code for two cooperative transmitters,
+// and the rate-3/4 complex orthogonal designs for three and four
+// transmitters, plus the MRC/EGC receive combiners the testbed uses.
+//
+// Codes are described by a symbolic T-by-Nt generator whose entries are
+// 0, ±s_k, or ±conj(s_k); encoding instantiates the generator, and
+// decoding builds the equivalent real-valued channel matrix, which for
+// orthogonal designs is column-orthogonal, so matched filtering is
+// maximum-likelihood per symbol.
+package stbc
+
+import (
+	"fmt"
+	"math/cmplx"
+
+	"repro/internal/mathx"
+)
+
+// entry is one generator cell: Coef * s_Sym, conjugated if Conj.
+// Sym < 0 means the cell transmits nothing.
+type entry struct {
+	Sym  int
+	Conj bool
+	Coef complex128
+}
+
+// Code is an orthogonal space-time block code.
+type Code struct {
+	name string
+	nt   int       // transmit antennas
+	k    int       // symbols per block
+	gen  [][]entry // T x Nt generator
+}
+
+// Name returns the code's human-readable name.
+func (c *Code) Name() string { return c.name }
+
+// Nt returns the number of transmit antennas.
+func (c *Code) Nt() int { return c.nt }
+
+// BlockSymbols returns K, the symbols carried per block.
+func (c *Code) BlockSymbols() int { return c.k }
+
+// BlockLen returns T, the channel uses per block.
+func (c *Code) BlockLen() int { return len(c.gen) }
+
+// Rate returns K/T.
+func (c *Code) Rate() float64 { return float64(c.k) / float64(len(c.gen)) }
+
+// SISO is the trivial single-antenna "code".
+func SISO() *Code {
+	return &Code{
+		name: "SISO",
+		nt:   1,
+		k:    1,
+		gen:  [][]entry{{{Sym: 0, Coef: 1}}},
+	}
+}
+
+// Alamouti is the rate-1 orthogonal design for two transmit antennas.
+func Alamouti() *Code {
+	return &Code{
+		name: "Alamouti",
+		nt:   2,
+		k:    2,
+		gen: [][]entry{
+			{{Sym: 0, Coef: 1}, {Sym: 1, Coef: 1}},
+			{{Sym: 1, Conj: true, Coef: -1}, {Sym: 0, Conj: true, Coef: 1}},
+		},
+	}
+}
+
+// OSTBC3 is the rate-3/4 complex orthogonal design for three antennas.
+func OSTBC3() *Code {
+	n := entry{Sym: -1}
+	return &Code{
+		name: "OSTBC3 (rate 3/4)",
+		nt:   3,
+		k:    3,
+		gen: [][]entry{
+			{{Sym: 0, Coef: 1}, {Sym: 1, Coef: 1}, {Sym: 2, Coef: 1}},
+			{{Sym: 1, Conj: true, Coef: -1}, {Sym: 0, Conj: true, Coef: 1}, n},
+			{{Sym: 2, Conj: true, Coef: -1}, n, {Sym: 0, Conj: true, Coef: 1}},
+			{n, {Sym: 2, Conj: true, Coef: -1}, {Sym: 1, Conj: true, Coef: 1}},
+		},
+	}
+}
+
+// OSTBC4 is the rate-3/4 complex orthogonal design for four antennas.
+func OSTBC4() *Code {
+	n := entry{Sym: -1}
+	return &Code{
+		name: "OSTBC4 (rate 3/4)",
+		nt:   4,
+		k:    3,
+		gen: [][]entry{
+			{{Sym: 0, Coef: 1}, {Sym: 1, Coef: 1}, {Sym: 2, Coef: 1}, n},
+			{{Sym: 1, Conj: true, Coef: -1}, {Sym: 0, Conj: true, Coef: 1}, n, {Sym: 2, Coef: 1}},
+			{{Sym: 2, Conj: true, Coef: -1}, n, {Sym: 0, Conj: true, Coef: 1}, {Sym: 1, Coef: -1}},
+			{n, {Sym: 2, Conj: true, Coef: -1}, {Sym: 1, Conj: true, Coef: 1}, {Sym: 0, Coef: 1}},
+		},
+	}
+}
+
+// ForTransmitters returns the code the paper's clusters would run for the
+// given cooperative transmitter count (1..4).
+func ForTransmitters(mt int) (*Code, error) {
+	switch mt {
+	case 1:
+		return SISO(), nil
+	case 2:
+		return Alamouti(), nil
+	case 3:
+		return OSTBC3(), nil
+	case 4:
+		return OSTBC4(), nil
+	default:
+		return nil, fmt.Errorf("stbc: no orthogonal design registered for mt=%d", mt)
+	}
+}
+
+// Encode maps one block of K symbols to the T-by-Nt transmit matrix
+// (row = channel use, column = antenna).
+func (c *Code) Encode(syms []complex128) *mathx.CMat {
+	if len(syms) != c.k {
+		panic(fmt.Sprintf("stbc: %s encodes %d symbols, got %d", c.name, c.k, len(syms)))
+	}
+	x := mathx.NewCMat(len(c.gen), c.nt)
+	for t, row := range c.gen {
+		for a, e := range row {
+			if e.Sym < 0 {
+				continue
+			}
+			s := syms[e.Sym]
+			if e.Conj {
+				s = cmplx.Conj(s)
+			}
+			x.Set(t, a, e.Coef*s)
+		}
+	}
+	return x
+}
+
+// Transmit passes an encoded block through channel h (mr-by-nt) and
+// returns the noiseless T-by-mr receive matrix. Per-antenna amplitudes
+// are not rescaled here; energy policy belongs to the caller.
+func (c *Code) Transmit(x *mathx.CMat, h *mathx.CMat) *mathx.CMat {
+	if h.Cols != c.nt {
+		panic(fmt.Sprintf("stbc: channel has %d tx ports, code needs %d", h.Cols, c.nt))
+	}
+	// y[t][j] = sum_a x[t][a] * h[j][a]  =>  Y = X * H^T.
+	return x.Mul(h.Transpose())
+}
+
+// Decode matched-filters the received T-by-mr block y against channel h
+// and returns the K soft symbol estimates. For orthogonal designs this is
+// exact per-symbol maximum likelihood; estimates are normalised so that,
+// absent noise, Decode(Transmit(Encode(s), h), h) == s.
+func (c *Code) Decode(y, h *mathx.CMat) []complex128 {
+	t, mr := y.Rows, y.Cols
+	if t != len(c.gen) {
+		panic(fmt.Sprintf("stbc: block length %d, code uses %d", t, len(c.gen)))
+	}
+	dim := 2 * t * mr
+	// Real-valued receive vector.
+	yv := make([]float64, dim)
+	for i := 0; i < t; i++ {
+		for j := 0; j < mr; j++ {
+			yv[2*(i*mr+j)] = real(y.At(i, j))
+			yv[2*(i*mr+j)+1] = imag(y.At(i, j))
+		}
+	}
+	out := make([]complex128, c.k)
+	basis := make([]complex128, c.k)
+	col := make([]float64, dim)
+	for k := 0; k < c.k; k++ {
+		var reDot, reN2, imDot, imN2 float64
+		for part := 0; part < 2; part++ {
+			for i := range basis {
+				basis[i] = 0
+			}
+			if part == 0 {
+				basis[k] = 1
+			} else {
+				basis[k] = 1i
+			}
+			c.noiselessColumn(basis, h, col)
+			dot, n2 := 0.0, 0.0
+			for i, v := range col {
+				dot += v * yv[i]
+				n2 += v * v
+			}
+			if part == 0 {
+				reDot, reN2 = dot, n2
+			} else {
+				imDot, imN2 = dot, n2
+			}
+		}
+		re, im := 0.0, 0.0
+		if reN2 > 0 {
+			re = reDot / reN2
+		}
+		if imN2 > 0 {
+			im = imDot / imN2
+		}
+		out[k] = complex(re, im)
+	}
+	return out
+}
+
+// noiselessColumn writes the real-valued receive vector produced by the
+// given symbol block through h into dst.
+func (c *Code) noiselessColumn(syms []complex128, h *mathx.CMat, dst []float64) {
+	mr := h.Rows
+	for t, row := range c.gen {
+		for j := 0; j < mr; j++ {
+			var acc complex128
+			for a, e := range row {
+				if e.Sym < 0 {
+					continue
+				}
+				s := syms[e.Sym]
+				if e.Conj {
+					s = cmplx.Conj(s)
+				}
+				acc += e.Coef * s * h.At(j, a)
+			}
+			dst[2*(t*mr+j)] = real(acc)
+			dst[2*(t*mr+j)+1] = imag(acc)
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package stbc
+
+// The rate-1/2 generalised complex orthogonal designs of Tarokh,
+// Jafarkhani and Calderbank: four symbols over eight channel uses for
+// three and four transmit antennas. They trade half the rate of the
+// rate-3/4 designs for a simpler constant-modulus structure; the
+// half-rate ablation benchmark contrasts the two.
+
+// G3Half is the rate-1/2 design for three transmit antennas.
+func G3Half() *Code {
+	rows := [][3]spec{
+		{{0, +1}, {1, +1}, {2, +1}},
+		{{1, -1}, {0, +1}, {3, -1}},
+		{{2, -1}, {3, +1}, {0, +1}},
+		{{3, -1}, {2, -1}, {1, +1}},
+	}
+	return &Code{
+		name: "G3 (rate 1/2)",
+		nt:   3,
+		k:    4,
+		gen:  buildHalfRate(rows[:]),
+	}
+}
+
+// G4Half is the rate-1/2 design for four transmit antennas.
+func G4Half() *Code {
+	rows := [][4]spec{
+		{{0, +1}, {1, +1}, {2, +1}, {3, +1}},
+		{{1, -1}, {0, +1}, {3, -1}, {2, +1}},
+		{{2, -1}, {3, +1}, {0, +1}, {1, -1}},
+		{{3, -1}, {2, -1}, {1, +1}, {0, +1}},
+	}
+	gen := make([][]entry, 0, 8)
+	for conj := 0; conj < 2; conj++ {
+		for _, r := range rows {
+			row := make([]entry, 4)
+			for a, s := range r {
+				row[a] = entry{Sym: s.sym, Conj: conj == 1, Coef: complex(s.sign, 0)}
+			}
+			gen = append(gen, row)
+		}
+	}
+	return &Code{
+		name: "G4 (rate 1/2)",
+		nt:   4,
+		k:    4,
+		gen:  gen,
+	}
+}
+
+// spec is a compact (symbol index, sign) cell used to build the
+// half-rate generators: the second four rows repeat the first four with
+// every symbol conjugated.
+type spec struct {
+	sym  int
+	sign float64
+}
+
+func buildHalfRate(rows [][3]spec) [][]entry {
+	gen := make([][]entry, 0, 8)
+	for conj := 0; conj < 2; conj++ {
+		for _, r := range rows {
+			row := make([]entry, 3)
+			for a, s := range r {
+				row[a] = entry{Sym: s.sym, Conj: conj == 1, Coef: complex(s.sign, 0)}
+			}
+			gen = append(gen, row)
+		}
+	}
+	return gen
+}

@@ -1,0 +1,116 @@
+package testbed
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math/rand"
+)
+
+// Frame is one link-layer packet: a sequence number, a payload, and a
+// CRC-32 trailer. The underlay experiment transmits a 474-frame image
+// with 1500-byte payloads, exactly as in Section 6.4.
+type Frame struct {
+	Seq     uint16
+	Payload []byte
+}
+
+// frameOverhead is the wire overhead: 2 sequence bytes + 4 CRC bytes.
+const frameOverhead = 6
+
+// Marshal serialises the frame with its CRC-32 (IEEE) trailer.
+func (f Frame) Marshal() []byte {
+	buf := make([]byte, 2+len(f.Payload)+4)
+	binary.BigEndian.PutUint16(buf[:2], f.Seq)
+	copy(buf[2:], f.Payload)
+	crc := crc32.ChecksumIEEE(buf[:2+len(f.Payload)])
+	binary.BigEndian.PutUint32(buf[2+len(f.Payload):], crc)
+	return buf
+}
+
+// UnmarshalFrame parses a received buffer, verifying the CRC. A CRC
+// mismatch is the packet-error event the PER metric counts.
+func UnmarshalFrame(buf []byte) (Frame, error) {
+	if len(buf) < frameOverhead {
+		return Frame{}, fmt.Errorf("testbed: frame too short (%d bytes)", len(buf))
+	}
+	body := buf[:len(buf)-4]
+	want := binary.BigEndian.Uint32(buf[len(buf)-4:])
+	if crc32.ChecksumIEEE(body) != want {
+		return Frame{}, fmt.Errorf("testbed: CRC mismatch on frame %d", binary.BigEndian.Uint16(buf[:2]))
+	}
+	return Frame{
+		Seq:     binary.BigEndian.Uint16(buf[:2]),
+		Payload: append([]byte(nil), body[2:]...),
+	}, nil
+}
+
+// Bits expands bytes to one bit per entry, MSB first.
+func Bits(data []byte) []byte {
+	out := make([]byte, len(data)*8)
+	for i, b := range data {
+		for j := 0; j < 8; j++ {
+			out[i*8+j] = (b >> (7 - j)) & 1
+		}
+	}
+	return out
+}
+
+// Bytes packs bits (len must be a multiple of 8) back into bytes.
+func Bytes(bits []byte) ([]byte, error) {
+	if len(bits)%8 != 0 {
+		return nil, fmt.Errorf("testbed: %d bits not a multiple of 8", len(bits))
+	}
+	out := make([]byte, len(bits)/8)
+	for i := range out {
+		var b byte
+		for j := 0; j < 8; j++ {
+			b = b<<1 | (bits[i*8+j] & 1)
+		}
+		out[i] = b
+	}
+	return out, nil
+}
+
+// Image is the test payload standing in for the paper's image file:
+// deterministic pseudo-random pixel bytes split into fixed-size frames.
+type Image struct {
+	Frames []Frame
+}
+
+// NewImage builds an image of the given frame count and payload size,
+// seeded deterministically (pixel content does not affect PER, but
+// determinism keeps runs reproducible).
+func NewImage(frames, payloadBytes int, seed int64) (*Image, error) {
+	if frames < 1 || frames > 1<<16 {
+		return nil, fmt.Errorf("testbed: frame count %d outside [1, 65536]", frames)
+	}
+	if payloadBytes < 1 {
+		return nil, fmt.Errorf("testbed: payload size %d must be positive", payloadBytes)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	img := &Image{Frames: make([]Frame, frames)}
+	for i := range img.Frames {
+		payload := make([]byte, payloadBytes)
+		rng.Read(payload)
+		img.Frames[i] = Frame{Seq: uint16(i), Payload: payload}
+	}
+	return img, nil
+}
+
+// PaperImage is the Section 6.4 payload: 474 frames of 1500 bytes.
+func PaperImage(seed int64) *Image {
+	img, err := NewImage(474, 1500, seed)
+	if err != nil {
+		panic(err) // constants are valid by construction
+	}
+	return img
+}
+
+// BitsPerFrame returns the on-air size of one frame in bits.
+func (img *Image) BitsPerFrame() int {
+	if len(img.Frames) == 0 {
+		return 0
+	}
+	return (len(img.Frames[0].Payload) + frameOverhead) * 8
+}

@@ -1,0 +1,109 @@
+package testbed
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"repro/internal/beamform"
+	"repro/internal/geom"
+	"repro/internal/mathx"
+)
+
+// InterweaveExperiment reproduces the Figure 8 measurement: two transmit
+// radios form a null-steering beamformer; the receiver walks a
+// semicircle of the given radius around the pair midpoint and records
+// the signal amplitude at each angle. Indoor multipath adds a scattered
+// component, so the measured null is deep but not perfect — exactly the
+// effect the paper observes ("the received signal amplitude in the null
+// direction is not zero").
+type InterweaveExperiment struct {
+	// Spacing is the element separation in metres.
+	Spacing float64
+	// Wavelength of the 2.45 GHz carrier.
+	Wavelength float64
+	// NullAngleDeg is the steered null direction (paper: 120 degrees).
+	NullAngleDeg float64
+	// Radius of the receiver semicircle (paper: 1 m).
+	Radius float64
+	// MultipathFrac is the RMS amplitude of the scattered component
+	// relative to one element's direct field.
+	MultipathFrac float64
+	// Averages is how many fading draws are averaged per angle.
+	Averages int
+	// Seed drives the multipath draws.
+	Seed int64
+}
+
+// PaperInterweave returns the calibrated Figure 8 configuration.
+func PaperInterweave(seed int64) InterweaveExperiment {
+	return InterweaveExperiment{
+		Spacing:       0.0612, // half wavelength at 2.45 GHz
+		Wavelength:    0.1224,
+		NullAngleDeg:  120,
+		Radius:        1,
+		MultipathFrac: 0.18,
+		Averages:      64,
+		Seed:          seed,
+	}
+}
+
+// PatternPoint is one Figure 8 sample.
+type PatternPoint struct {
+	AngleDeg float64
+	// Ideal is the simulated (free-space) beamformer amplitude.
+	Ideal float64
+	// Measured is the beamformer amplitude with indoor multipath.
+	Measured float64
+	// SISO is the single-transmitter amplitude with the same multipath,
+	// the baseline curve of Figure 8.
+	SISO float64
+}
+
+// Run samples the pattern at the given angles in degrees (the paper
+// walks 0..180 in 20-degree steps).
+func (x InterweaveExperiment) Run(anglesDeg []float64) ([]PatternPoint, error) {
+	if x.Spacing <= 0 || x.Wavelength <= 0 || x.Radius <= 0 {
+		return nil, fmt.Errorf("testbed: interweave geometry must be positive")
+	}
+	if x.Averages < 1 {
+		return nil, fmt.Errorf("testbed: averages %d must be positive", x.Averages)
+	}
+	if len(anglesDeg) == 0 {
+		for a := 0.0; a <= 180; a += 20 {
+			anglesDeg = append(anglesDeg, a)
+		}
+	}
+	st1 := geom.Pt(-x.Spacing/2, 0)
+	st2 := geom.Pt(x.Spacing/2, 0)
+	pair := &beamform.Pair{
+		St1: st1, St2: st2,
+		Wavelength: x.Wavelength,
+		Delta1:     beamform.DesignNullAt(st1, st2, x.Wavelength, x.NullAngleDeg*math.Pi/180),
+		Amp1:       1, Amp2: 1,
+	}
+	rng := mathx.NewRand(x.Seed)
+	out := make([]PatternPoint, 0, len(anglesDeg))
+	for _, deg := range anglesDeg {
+		q := geom.PolarPoint(geom.Pt(0, 0), x.Radius, deg*math.Pi/180)
+		ideal := pair.AmplitudeAt(q)
+		field := pair.FieldAt(q)
+		var meas, siso mathx.Running
+		for i := 0; i < x.Averages; i++ {
+			// The scattered component is common to the environment but
+			// independent per draw; the beamformer's two elements each
+			// contribute scatter, the SISO baseline one.
+			mp := mathx.ComplexCN(rng, 2*x.MultipathFrac*x.MultipathFrac)
+			meas.Add(cmplx.Abs(field + mp))
+			mpS := mathx.ComplexCN(rng, x.MultipathFrac*x.MultipathFrac)
+			siso.Add(cmplx.Abs(complex(1, 0) + mpS))
+		}
+		out = append(out, PatternPoint{
+			AngleDeg: deg,
+			Ideal:    ideal,
+			Measured: meas.Mean(),
+			SISO:     siso.Mean(),
+		})
+	}
+	return out, nil
+}

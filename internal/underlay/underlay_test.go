@@ -1,0 +1,262 @@
+package underlay
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/ebtable"
+	"repro/internal/energy"
+	"repro/internal/units"
+)
+
+func model(t *testing.T) *energy.Model {
+	t.Helper()
+	m, err := energy.New(energy.Paper(40e3), ebtable.Analytic{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func baseCfg(t *testing.T, mt, mr int) Config {
+	return Config{
+		Model: model(t), Mt: mt, Mr: mr,
+		IntraD: 1, LinkD: 200, BER: 0.001,
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := baseCfg(t, 2, 3)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []func(*Config){
+		func(c *Config) { c.Model = nil },
+		func(c *Config) { c.Mt = 0 },
+		func(c *Config) { c.Mr = -1 },
+		func(c *Config) { c.IntraD = 0 },
+		func(c *Config) { c.LinkD = 0 },
+		func(c *Config) { c.BER = 0 },
+		func(c *Config) { c.BER = 1 },
+	}
+	for i, mutate := range cases {
+		c := baseCfg(t, 2, 3)
+		mutate(&c)
+		if c.Validate() == nil {
+			t.Errorf("case %d should fail validation", i)
+		}
+	}
+	// SISO with zero intra distance is fine: no local steps exist.
+	siso := baseCfg(t, 1, 1)
+	siso.IntraD = 0
+	if err := siso.Validate(); err != nil {
+		t.Errorf("SISO with d=0 should validate: %v", err)
+	}
+}
+
+func TestAnalyzeSISOBaseline(t *testing.T) {
+	r, err := Analyze(baseCfg(t, 1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No local steps: total PA is exactly the single long-haul PA.
+	if r.TotalPA != r.MIMOTxPA {
+		t.Errorf("SISO TotalPA %v != MIMOTxPA %v", r.TotalPA, r.MIMOTxPA)
+	}
+	if r.LocalTxPA != 0 {
+		t.Errorf("SISO should have no local PA, got %v", r.LocalTxPA)
+	}
+	if r.PeakPA != r.TotalPA {
+		t.Errorf("SISO peak %v != total %v", r.PeakPA, r.TotalPA)
+	}
+}
+
+// TestFigure7Headline reproduces Section 6.2's main claim: the
+// no-cooperative SISO system needs orders of magnitude more PA energy
+// than cooperative MIMO at the same BER and distance. The paper reports
+// 2-4 orders from its private ēb table; our exact Rayleigh/MRC closed
+// form yields 1.2-2.3 orders with the same ordering (savings grow with
+// diversity order) — see EXPERIMENTS.md.
+func TestFigure7Headline(t *testing.T) {
+	siso, err := Analyze(baseCfg(t, 1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := 0.0
+	for _, pair := range [][2]int{{1, 2}, {2, 1}, {1, 3}, {2, 2}, {2, 3}, {3, 3}, {4, 4}} {
+		coop, err := Analyze(baseCfg(t, pair[0], pair[1]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ratio := float64(siso.TotalPA) / float64(coop.TotalPA)
+		if ratio < 8 || ratio > 1e5 {
+			t.Errorf("%dx%d: SISO/coop PA ratio = %v, want orders of magnitude",
+				pair[0], pair[1], ratio)
+		}
+		if ratio > best {
+			best = ratio
+		}
+	}
+	if best < 90 {
+		t.Errorf("best SISO/coop ratio = %v, want to approach two orders", best)
+	}
+	// Savings grow with diversity order.
+	r22, _ := Analyze(baseCfg(t, 2, 2))
+	r44, _ := Analyze(baseCfg(t, 4, 4))
+	if r44.TotalPA >= r22.TotalPA {
+		t.Errorf("4x4 (%v) should beat 2x2 (%v)", r44.TotalPA, r22.TotalPA)
+	}
+}
+
+// TestReceiveSideCheaperThanTransmitSide checks the Figure 7 lower-plot
+// ordering: configurations with more receivers than transmitters (1x2,
+// 1x3, 2x3) need less total PA energy than their transposes (2x1, 3x1,
+// 3x2) because long-haul transmission dominates.
+func TestReceiveSideCheaperThanTransmitSide(t *testing.T) {
+	for _, pair := range [][2]int{{1, 2}, {1, 3}, {2, 3}} {
+		rxHeavy, err := Analyze(baseCfg(t, pair[0], pair[1]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		txHeavy, err := Analyze(baseCfg(t, pair[1], pair[0]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rxHeavy.TotalPA >= txHeavy.TotalPA {
+			t.Errorf("%dx%d PA (%v) should be below %dx%d (%v)",
+				pair[0], pair[1], rxHeavy.TotalPA, pair[1], pair[0], txHeavy.TotalPA)
+		}
+	}
+}
+
+func TestPeakPA(t *testing.T) {
+	r, err := Analyze(baseCfg(t, 3, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPeak := units.JoulePerBit(3) * r.MIMOTxPA
+	if r.LocalTxPA > wantPeak {
+		wantPeak = r.LocalTxPA
+	}
+	if r.PeakPA != wantPeak {
+		t.Errorf("peak = %v, want max(local, mt*mimo) = %v", r.PeakPA, wantPeak)
+	}
+	if r.PeakPA > r.TotalPA {
+		t.Errorf("peak %v cannot exceed total %v", r.PeakPA, r.TotalPA)
+	}
+}
+
+func TestTotalPAAccounting(t *testing.T) {
+	cfg := baseCfg(t, 2, 3)
+	r, err := Analyze(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// total = local bcast + 2 long-haul + (3-1) local forwards.
+	want := r.LocalTxPA + 2*r.MIMOTxPA + 2*r.LocalTxPA
+	if math.Abs(float64(r.TotalPA-want)) > 1e-18*math.Abs(float64(want)) {
+		t.Errorf("TotalPA = %v, want %v", r.TotalPA, want)
+	}
+	if r.TotalEnergy <= r.TotalPA {
+		t.Errorf("TotalEnergy %v should exceed TotalPA %v (circuit energy)", r.TotalEnergy, r.TotalPA)
+	}
+}
+
+func TestIntraDistanceBarelyMatters(t *testing.T) {
+	// Section 6.2: "the value of d doesn't give any big impact" — local
+	// PA energy is orders below the long-haul PA at hundreds of metres.
+	near := baseCfg(t, 2, 2)
+	near.IntraD = 1
+	far := baseCfg(t, 2, 2)
+	far.IntraD = 16
+	a, err := Analyze(near)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Analyze(far)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(float64(b.TotalPA-a.TotalPA)) / float64(a.TotalPA); rel > 0.25 {
+		t.Errorf("d=1 -> d=16 changed total PA by %.0f%%, should be minor", rel*100)
+	}
+}
+
+// TestNoiseFloorConstraint verifies the underlay guarantee as the paper
+// evaluates it: every cooperative configuration radiates orders of
+// magnitude less PA energy than the SISO primary reference, so its
+// density at the primary receiver falls correspondingly below the floor
+// the PU link is budgeted for.
+func TestNoiseFloorConstraint(t *testing.T) {
+	for mt := 1; mt <= 4; mt++ {
+		for mr := 1; mr <= 4; mr++ {
+			if mt == 1 && mr == 1 {
+				continue // the SISO row models the primary itself
+			}
+			cfg := baseCfg(t, mt, mr)
+			r, err := Analyze(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			margin, err := NoiseFloorMargin(cfg, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Every cooperative mode is at least ~an order below SISO;
+			// high-diversity modes approach two orders (the paper's
+			// private table claims 2-4 — same direction, steeper).
+			if margin >= 0.12 {
+				t.Errorf("%dx%d: margin %.3g, want < 0.12", mt, mr, margin)
+			}
+			if mr >= mt && mt*mr >= 6 && margin >= 0.012 {
+				t.Errorf("%dx%d: high-diversity margin %.3g, want < 0.012", mt, mr, margin)
+			}
+			if margin < 1e-6 {
+				t.Errorf("%dx%d: margin %.3g suspiciously small", mt, mr, margin)
+			}
+		}
+	}
+}
+
+func TestSweepShape(t *testing.T) {
+	m := model(t)
+	rs, err := Sweep(m, 2, 3, 1, 0.001, 100, 300, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 5 {
+		t.Fatalf("%d points", len(rs))
+	}
+	for i := 1; i < len(rs); i++ {
+		if rs[i].Report.TotalPA <= rs[i-1].Report.TotalPA {
+			t.Errorf("PA energy should grow with distance at D=%v", rs[i].LinkD)
+		}
+	}
+	if _, err := Sweep(m, 2, 3, 1, 0.001, 300, 100, 50); err == nil {
+		t.Error("inverted sweep should fail")
+	}
+	if _, err := Sweep(m, 2, 3, 1, 0.001, 100, 300, 0); err == nil {
+		t.Error("zero step should fail")
+	}
+}
+
+func TestOptimalBIsRecorded(t *testing.T) {
+	r, err := Analyze(baseCfg(t, 2, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.B < 1 || r.B > 16 {
+		t.Errorf("B = %d", r.B)
+	}
+	// Exhaustive cross-check: no b beats the chosen one on total PA.
+	for b := 1; b <= 16; b++ {
+		alt, err := analyzeAtB(baseCfg(t, 2, 2), b)
+		if err != nil {
+			continue
+		}
+		if alt.TotalPA < r.TotalPA {
+			t.Errorf("b=%d yields %v, below declared optimum %v (b=%d)",
+				b, alt.TotalPA, r.TotalPA, r.B)
+		}
+	}
+}

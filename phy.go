@@ -1,0 +1,213 @@
+package cogmimo
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/cognitive"
+	"repro/internal/coop"
+	"repro/internal/sensing"
+)
+
+// HopConfig drives a symbol-level simulation of one cooperative hop
+// (the Section 2.2 MIMO/MISO/SIMO schemes): Step 1 intra-cluster
+// broadcast, Step 2 long-haul space-time-coded transmission, Step 3
+// sample collection at the receive head.
+type HopConfig struct {
+	// TxNodes and RxNodes are mt and mr (1..4).
+	TxNodes, RxNodes int
+	// ConstellationBits is b.
+	ConstellationBits int
+	// SNRPerBitDB is the long-haul mean per-bit SNR in dB.
+	SNRPerBitDB float64
+	// LocalSNRPerBitDB is the intra-cluster SNR in dB; set Ideal to skip
+	// local errors entirely.
+	LocalSNRPerBitDB float64
+	// IdealLocal disables Step 1 corruption.
+	IdealLocal bool
+	// Bits to transport.
+	Bits int
+	// Seed drives the run.
+	Seed int64
+}
+
+// HopResult reports the measured rates.
+type HopResult struct {
+	// Scheme is SISO/MISO/SIMO/MIMO.
+	Scheme string
+	// BER is the end-to-end bit error rate.
+	BER float64
+	// LocalBER is the Step 1 broadcast error rate.
+	LocalBER float64
+	// PredictedBER is the closed-form eq. (5)/(6) average for ideal
+	// local links (code rate folded in).
+	PredictedBER float64
+}
+
+// SimulateHop transports bits through one cooperative hop.
+func SimulateHop(cfg HopConfig) (HopResult, error) {
+	c := coop.Config{
+		Mt: cfg.TxNodes, Mr: cfg.RxNodes,
+		B:         cfg.ConstellationBits,
+		SNRPerBit: dbToLinear(cfg.SNRPerBitDB),
+		Bits:      cfg.Bits,
+		Seed:      cfg.Seed,
+	}
+	if !cfg.IdealLocal {
+		c.LocalSNRPerBit = dbToLinear(cfg.LocalSNRPerBitDB)
+	}
+	r, err := coop.Run(c)
+	if err != nil {
+		return HopResult{}, err
+	}
+	return HopResult{
+		Scheme:       r.Scheme,
+		BER:          r.BER,
+		LocalBER:     r.LocalBER,
+		PredictedBER: coop.PredictBER(c),
+	}, nil
+}
+
+func dbToLinear(db float64) float64 {
+	return math.Pow(10, db/10)
+}
+
+// SensingConfig designs a cooperative energy-detection stage.
+type SensingConfig struct {
+	// Samples is the sensing window length.
+	Samples int
+	// TargetPfa is the per-SU false-alarm probability.
+	TargetPfa float64
+	// Sensors is the number of cooperating SUs.
+	Sensors int
+	// Fusion picks the decision rule: "or", "and" or "majority".
+	Fusion string
+}
+
+// SensingDesign reports the operating characteristics of a designed
+// cooperative detector.
+type SensingDesign struct {
+	// Threshold on the normalised energy statistic.
+	Threshold float64
+	// SinglePd and FusedPd give detection probabilities at the queried
+	// SNR for one SU and after fusion.
+	SinglePd, FusedPd float64
+	// FusedPfa is the false-alarm probability after fusion.
+	FusedPfa float64
+}
+
+// DesignSensing sizes an energy detector and reports its cooperative
+// operating point at the given primary per-sample SNR (dB).
+func DesignSensing(cfg SensingConfig, primarySNRDB float64) (SensingDesign, error) {
+	det, err := sensing.NewDetectorForPfa(cfg.Samples, cfg.TargetPfa)
+	if err != nil {
+		return SensingDesign{}, err
+	}
+	rule, err := fusionRule(cfg.Fusion)
+	if err != nil {
+		return SensingDesign{}, err
+	}
+	pd := det.Pd(dbToLinear(primarySNRDB))
+	fusedPd, err := sensing.CooperativePd(rule, cfg.Sensors, pd)
+	if err != nil {
+		return SensingDesign{}, err
+	}
+	fusedPfa, err := sensing.CooperativePd(rule, cfg.Sensors, det.Pfa())
+	if err != nil {
+		return SensingDesign{}, err
+	}
+	return SensingDesign{
+		Threshold: det.Threshold,
+		SinglePd:  pd,
+		FusedPd:   fusedPd,
+		FusedPfa:  fusedPfa,
+	}, nil
+}
+
+// CognitiveCycleConfig drives an end-to-end interweave run: primary
+// users come and go on several channels; the secondary cluster senses,
+// transmits on idle spectrum, and vacates when the primary returns.
+type CognitiveCycleConfig struct {
+	// Channels is the number of primary bands.
+	Channels int
+	// PUDutyCycle is the stationary busy fraction of each primary.
+	PUDutyCycle float64
+	// PUHoldS is the mean busy holding time in seconds.
+	PUHoldS float64
+	// SensePeriodS is the sensing cadence.
+	SensePeriodS float64
+	// Sensing sizes the cooperative detector.
+	Sensing SensingConfig
+	// PrimarySNRDB is the primary's per-sample SNR at the sensors.
+	PrimarySNRDB float64
+	// FrameTimeS is one secondary frame's airtime.
+	FrameTimeS float64
+	// HorizonS is the simulated duration.
+	HorizonS float64
+	// Blind disables sensing (the no-cognition baseline).
+	Blind bool
+	// Seed drives the run.
+	Seed int64
+}
+
+// CognitiveCycleResult reports a run.
+type CognitiveCycleResult struct {
+	// Utilization is the secondary airtime fraction.
+	Utilization float64
+	// CollisionRate is the fraction of secondary frames that landed on
+	// a busy primary.
+	CollisionRate float64
+	// FramesSent counts transmissions.
+	FramesSent int
+}
+
+// RunCognitiveCycle executes the interweave sense-transmit-vacate loop.
+func RunCognitiveCycle(cfg CognitiveCycleConfig) (CognitiveCycleResult, error) {
+	if cfg.PUDutyCycle <= 0 || cfg.PUDutyCycle >= 1 {
+		return CognitiveCycleResult{}, fmt.Errorf("cogmimo: duty cycle %g outside (0, 1)", cfg.PUDutyCycle)
+	}
+	if cfg.PUHoldS <= 0 {
+		return CognitiveCycleResult{}, fmt.Errorf("cogmimo: PU hold time %g must be positive", cfg.PUHoldS)
+	}
+	rule, err := fusionRule(cfg.Sensing.Fusion)
+	if err != nil {
+		return CognitiveCycleResult{}, err
+	}
+	meanBusy := cfg.PUHoldS
+	meanIdle := meanBusy * (1 - cfg.PUDutyCycle) / cfg.PUDutyCycle
+	r, err := cognitive.Run(cognitive.CycleConfig{
+		Channels: cfg.Channels,
+		MeanBusy: meanBusy, MeanIdle: meanIdle,
+		SensePeriod:  cfg.SensePeriodS,
+		SenseSamples: cfg.Sensing.Samples,
+		TargetPfa:    cfg.Sensing.TargetPfa,
+		Sensors:      cfg.Sensing.Sensors,
+		Rule:         rule,
+		PUSNR:        dbToLinear(cfg.PrimarySNRDB),
+		FrameTime:    cfg.FrameTimeS,
+		Horizon:      cfg.HorizonS,
+		Blind:        cfg.Blind,
+		Seed:         cfg.Seed,
+	})
+	if err != nil {
+		return CognitiveCycleResult{}, err
+	}
+	return CognitiveCycleResult{
+		Utilization:   r.Utilization,
+		CollisionRate: r.CollisionRate,
+		FramesSent:    r.FramesSent,
+	}, nil
+}
+
+func fusionRule(name string) (sensing.FusionRule, error) {
+	switch name {
+	case "", "or":
+		return sensing.FusionOR, nil
+	case "and":
+		return sensing.FusionAND, nil
+	case "majority":
+		return sensing.FusionMajority, nil
+	default:
+		return 0, fmt.Errorf("cogmimo: unknown fusion rule %q", name)
+	}
+}

@@ -1,0 +1,150 @@
+package cogmimo
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSimulateHop(t *testing.T) {
+	r, err := SimulateHop(HopConfig{
+		TxNodes: 2, RxNodes: 2, ConstellationBits: 1,
+		SNRPerBitDB: 6, IdealLocal: true,
+		Bits: 150000, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Scheme != "MIMO" {
+		t.Errorf("scheme = %s", r.Scheme)
+	}
+	if math.Abs(r.BER-r.PredictedBER) > 0.2*r.PredictedBER+2e-4 {
+		t.Errorf("measured %v vs predicted %v", r.BER, r.PredictedBER)
+	}
+	if r.LocalBER != 0 {
+		t.Errorf("ideal local reported %v", r.LocalBER)
+	}
+	// Validation errors propagate.
+	if _, err := SimulateHop(HopConfig{}); err == nil {
+		t.Error("empty config should fail")
+	}
+}
+
+func TestSimulateHopLocalErrors(t *testing.T) {
+	r, err := SimulateHop(HopConfig{
+		TxNodes: 3, RxNodes: 1, ConstellationBits: 1,
+		SNRPerBitDB: 30, LocalSNRPerBitDB: 2,
+		Bits: 60000, Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.LocalBER <= 0 {
+		t.Errorf("noisy local links reported zero BER")
+	}
+	if r.BER <= 0 {
+		t.Errorf("local errors should leak through: %v", r.BER)
+	}
+}
+
+func TestDesignSensing(t *testing.T) {
+	d, err := DesignSensing(SensingConfig{
+		Samples: 400, TargetPfa: 0.05, Sensors: 3, Fusion: "or",
+	}, -7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Threshold <= 400 {
+		t.Errorf("threshold %v should exceed the noise mean", d.Threshold)
+	}
+	if !(d.FusedPd > d.SinglePd) {
+		t.Errorf("OR fusion should raise Pd: %v vs %v", d.FusedPd, d.SinglePd)
+	}
+	if !(d.FusedPfa > 0.05) {
+		t.Errorf("OR fusion raises Pfa too: %v", d.FusedPfa)
+	}
+	// Majority keeps Pfa lower than OR.
+	m, err := DesignSensing(SensingConfig{
+		Samples: 400, TargetPfa: 0.05, Sensors: 3, Fusion: "majority",
+	}, -7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.FusedPfa >= d.FusedPfa {
+		t.Errorf("majority Pfa %v should be below OR %v", m.FusedPfa, d.FusedPfa)
+	}
+	// Unknown rule and bad params fail.
+	if _, err := DesignSensing(SensingConfig{Samples: 100, TargetPfa: 0.05, Sensors: 2, Fusion: "xor"}, 0); err == nil {
+		t.Error("unknown fusion should fail")
+	}
+	if _, err := DesignSensing(SensingConfig{Samples: 0, TargetPfa: 0.05, Sensors: 2}, 0); err == nil {
+		t.Error("zero samples should fail")
+	}
+	if _, err := DesignSensing(SensingConfig{Samples: 100, TargetPfa: 0.05, Sensors: 0}, 0); err == nil {
+		t.Error("zero sensors should fail")
+	}
+}
+
+func TestPlanInterweaveTransmission(t *testing.T) {
+	s := newSys(t)
+	p, err := s.PlanInterweaveTransmission(4, 2, 1, 200, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Pairs != 2 || p.Receivers != 2 {
+		t.Errorf("effective link %dx%d", p.Pairs, p.Receivers)
+	}
+	if p.TotalPAJPerBit <= 0 || p.Constellation < 1 {
+		t.Errorf("incomplete plan %+v", p)
+	}
+	if p.NullOverheadRatio <= 1 {
+		t.Errorf("null overhead %v should exceed 1", p.NullOverheadRatio)
+	}
+	if _, err := s.PlanInterweaveTransmission(1, 2, 1, 200, 0.001); err == nil {
+		t.Error("single transmitter cannot pair")
+	}
+}
+
+func TestRunCognitiveCycle(t *testing.T) {
+	cfg := CognitiveCycleConfig{
+		Channels: 3, PUDutyCycle: 0.4, PUHoldS: 2,
+		SensePeriodS: 0.5,
+		Sensing:      SensingConfig{Samples: 600, TargetPfa: 0.05, Sensors: 3, Fusion: "or"},
+		PrimarySNRDB: -3,
+		FrameTimeS:   0.05,
+		HorizonS:     800,
+		Seed:         2,
+	}
+	sensed, err := RunCognitiveCycle(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blind := cfg
+	blind.Blind = true
+	blindRes, err := RunCognitiveCycle(blind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sensed.FramesSent == 0 {
+		t.Fatal("sensed run sent nothing")
+	}
+	if sensed.CollisionRate >= blindRes.CollisionRate/2 {
+		t.Errorf("sensing should protect the PU: %v vs blind %v",
+			sensed.CollisionRate, blindRes.CollisionRate)
+	}
+	// Validation.
+	bad := cfg
+	bad.PUDutyCycle = 0
+	if _, err := RunCognitiveCycle(bad); err == nil {
+		t.Error("zero duty cycle should fail")
+	}
+	bad = cfg
+	bad.PUHoldS = 0
+	if _, err := RunCognitiveCycle(bad); err == nil {
+		t.Error("zero hold should fail")
+	}
+	bad = cfg
+	bad.Sensing.Fusion = "xor"
+	if _, err := RunCognitiveCycle(bad); err == nil {
+		t.Error("unknown fusion should fail")
+	}
+}

@@ -1,0 +1,282 @@
+package cogmimo
+
+import (
+	"fmt"
+
+	"repro/internal/ebtable"
+	"repro/internal/energy"
+	"repro/internal/interweave"
+	"repro/internal/mathx"
+	"repro/internal/overlay"
+	"repro/internal/underlay"
+)
+
+// SystemConfig selects the radio constants of a System.
+type SystemConfig struct {
+	// BandwidthHz is the system bandwidth B (the paper sweeps 10-100 kHz).
+	BandwidthHz float64
+	// EbSolver selects how ēb(p, b, mt, mr) is obtained.
+	EbSolver EbSolverKind
+	// MonteCarloSamples sizes the sampling when EbSolver is
+	// EbMonteCarlo; 0 means 20000.
+	MonteCarloSamples int
+	// Seed drives the Monte-Carlo solver.
+	Seed int64
+	// ArrayConvention switches gamma_b to the mt-division-free form the
+	// paper's Figure 6 evaluation used (see DESIGN.md); leave false for
+	// the printed equations.
+	ArrayConvention bool
+}
+
+// EbSolverKind names an ēb solver.
+type EbSolverKind int
+
+// Solvers.
+const (
+	// EbAnalytic solves the exact Rayleigh closed form (default).
+	EbAnalytic EbSolverKind = iota
+	// EbMonteCarlo averages sampled channels, as the paper's
+	// preprocessing describes.
+	EbMonteCarlo
+)
+
+// System owns an energy model and answers the paper's three paradigm
+// analyses.
+type System struct {
+	model *energy.Model
+}
+
+// NewSystem builds a System with the paper's Section 2.3 constants.
+func NewSystem(cfg SystemConfig) (*System, error) {
+	if cfg.BandwidthHz <= 0 {
+		return nil, fmt.Errorf("cogmimo: bandwidth %g Hz must be positive", cfg.BandwidthHz)
+	}
+	conv := ebtable.ConvPaper
+	if cfg.ArrayConvention {
+		conv = ebtable.ConvArray
+	}
+	var provider energy.EbProvider
+	switch cfg.EbSolver {
+	case EbAnalytic:
+		provider = ebtable.Analytic{Convention: conv}
+	case EbMonteCarlo:
+		provider = &ebtable.MonteCarlo{
+			Samples:    cfg.MonteCarloSamples,
+			Seed:       cfg.Seed,
+			Convention: conv,
+		}
+	default:
+		return nil, fmt.Errorf("cogmimo: unknown ēb solver %d", cfg.EbSolver)
+	}
+	model, err := energy.New(energy.Paper(unitsHertz(cfg.BandwidthHz)), provider)
+	if err != nil {
+		return nil, err
+	}
+	return &System{model: model}, nil
+}
+
+// OverlayScenario describes an Algorithm 1 relay deployment.
+type OverlayScenario struct {
+	// PrimarySeparationM is D1, the Pt-Pr distance in metres.
+	PrimarySeparationM float64
+	// Relays is m, the number of cooperating SUs.
+	Relays int
+	// DirectBER is the primary link's own target (paper: 0.005).
+	DirectBER float64
+	// RelayBER is the relayed path's target (paper: 0.0005).
+	RelayBER float64
+}
+
+// OverlayResult reports the Section 6.1 distances.
+type OverlayResult struct {
+	// DirectEnergyJPerBit is E1, the per-bit budget of the direct link.
+	DirectEnergyJPerBit float64
+	// MaxDistToTxM is D2: how far the SUs can sit from Pt.
+	MaxDistToTxM float64
+	// MaxDistToRxM is D3: how far the SUs can sit from Pr.
+	MaxDistToRxM float64
+	// Constellations chosen per leg: direct, SIMO, MISO.
+	DirectB, SIMOB, MISOB int
+}
+
+// AnalyzeOverlay runs the overlay relay analysis.
+func (s *System) AnalyzeOverlay(sc OverlayScenario) (OverlayResult, error) {
+	a, err := overlay.Analyze(overlay.Config{
+		Model: s.model, M: sc.Relays,
+		DirectBER: sc.DirectBER, RelayBER: sc.RelayBER,
+	}, sc.PrimarySeparationM)
+	if err != nil {
+		return OverlayResult{}, err
+	}
+	return OverlayResult{
+		DirectEnergyJPerBit: float64(a.E1),
+		MaxDistToTxM:        a.D2,
+		MaxDistToRxM:        a.D3,
+		DirectB:             a.BDirect,
+		SIMOB:               a.B2,
+		MISOB:               a.B3,
+	}, nil
+}
+
+// UnderlayScenario describes an Algorithm 2 cooperative hop.
+type UnderlayScenario struct {
+	// TxNodes and RxNodes are mt and mr.
+	TxNodes, RxNodes int
+	// ClusterSpanM is the intra-cluster distance d.
+	ClusterSpanM float64
+	// HopDistanceM is the long-haul link length D.
+	HopDistanceM float64
+	// TargetBER is p_b.
+	TargetBER float64
+}
+
+// UnderlayResult reports the Algorithm 2 energy accounting.
+type UnderlayResult struct {
+	// Constellation is the optimal b.
+	Constellation int
+	// TotalPAJPerBit is the summed PA energy of all SUs per bit.
+	TotalPAJPerBit float64
+	// PeakPAJPerBit is the largest instantaneous PA energy (the
+	// Section 4 constraint E_PA).
+	PeakPAJPerBit float64
+	// TotalJPerBit includes circuit energy.
+	TotalJPerBit float64
+	// NoiseFloorMargin is the ratio to the SISO primary reference;
+	// well below 1 satisfies the underlay constraint.
+	NoiseFloorMargin float64
+}
+
+// AnalyzeUnderlay runs the underlay hop analysis.
+func (s *System) AnalyzeUnderlay(sc UnderlayScenario) (UnderlayResult, error) {
+	cfg := underlay.Config{
+		Model: s.model, Mt: sc.TxNodes, Mr: sc.RxNodes,
+		IntraD: sc.ClusterSpanM, LinkD: sc.HopDistanceM, BER: sc.TargetBER,
+	}
+	r, err := underlay.Analyze(cfg)
+	if err != nil {
+		return UnderlayResult{}, err
+	}
+	out := UnderlayResult{
+		Constellation:  r.B,
+		TotalPAJPerBit: float64(r.TotalPA),
+		PeakPAJPerBit:  float64(r.PeakPA),
+		TotalJPerBit:   float64(r.TotalEnergy),
+	}
+	if sc.TxNodes > 1 || sc.RxNodes > 1 {
+		m, err := underlay.NoiseFloorMargin(cfg, r)
+		if err != nil {
+			return UnderlayResult{}, err
+		}
+		out.NoiseFloorMargin = m
+	} else {
+		out.NoiseFloorMargin = 1
+	}
+	return out, nil
+}
+
+// InterweaveScenario describes an Algorithm 3 trial.
+type InterweaveScenario struct {
+	// PairSpacingM separates the two transmitters (paper: 15 m with
+	// wavelength 2x that, i.e. r = w/2).
+	PairSpacingM float64
+	// WavelengthM is the carrier wavelength.
+	WavelengthM float64
+	// ReceiverDistM places the secondary receiver broadside.
+	ReceiverDistM float64
+	// CandidatePUs scatters this many primary receivers (paper: 20).
+	CandidatePUs int
+	// PUDiscRadiusM bounds the scatter disc (paper: 150).
+	PUDiscRadiusM float64
+	// Trials repeats the experiment (paper: 10).
+	Trials int
+	// Seed drives placement.
+	Seed int64
+}
+
+// InterweaveResult reports the Table 1 quantities.
+type InterweaveResult struct {
+	// MeanAmplitudeAtSr is the pair's amplitude at the secondary
+	// receiver relative to SISO = 1 (paper: 1.87).
+	MeanAmplitudeAtSr float64
+	// WorstResidualAtPr is the largest leaked amplitude at any picked
+	// primary receiver (near zero = interference avoided).
+	WorstResidualAtPr float64
+}
+
+// AnalyzeInterweave runs the pairwise null-steering trials.
+func (s *System) AnalyzeInterweave(sc InterweaveScenario) (InterweaveResult, error) {
+	cfg := interweave.PaperTrialConfig()
+	if sc.PairSpacingM > 0 {
+		cfg.St1.Y = sc.PairSpacingM / 2
+		cfg.St2.Y = -sc.PairSpacingM / 2
+	}
+	if sc.WavelengthM > 0 {
+		cfg.Wavelength = sc.WavelengthM
+	}
+	if sc.ReceiverDistM > 0 {
+		cfg.Sr.X = sc.ReceiverDistM
+	}
+	if sc.CandidatePUs > 0 {
+		cfg.NumPUs = sc.CandidatePUs
+	}
+	if sc.PUDiscRadiusM > 0 {
+		cfg.PUDiscRadius = sc.PUDiscRadiusM
+	}
+	trials := sc.Trials
+	if trials <= 0 {
+		trials = 10
+	}
+	rows, avg, err := interweave.RunTable(cfg, mathx.NewRand(sc.Seed), trials)
+	if err != nil {
+		return InterweaveResult{}, err
+	}
+	worst := 0.0
+	for _, r := range rows {
+		if r.AmplitudeAtPr > worst {
+			worst = r.AmplitudeAtPr
+		}
+	}
+	return InterweaveResult{MeanAmplitudeAtSr: avg, WorstResidualAtPr: worst}, nil
+}
+
+// InterweavePlan sizes Algorithm 3's data phase: mt transmitters pair
+// into null-steering couples and run Algorithm 2 over the effective
+// floor(mt/2)-by-mr link. NullOverheadRatio quantifies the energy cost
+// of the interference protection relative to transmitting unpaired.
+type InterweavePlan struct {
+	Pairs, Receivers  int
+	Constellation     int
+	TotalPAJPerBit    float64
+	NullOverheadRatio float64
+}
+
+// PlanInterweaveTransmission runs the interweave data-phase sizing.
+func (s *System) PlanInterweaveTransmission(txNodes, rxNodes int, clusterSpanM, hopDistanceM, targetBER float64) (InterweavePlan, error) {
+	p, err := interweave.PlanTransmission(s.model, txNodes, rxNodes, clusterSpanM, hopDistanceM, targetBER)
+	if err != nil {
+		return InterweavePlan{}, err
+	}
+	return InterweavePlan{
+		Pairs:             p.Pairs,
+		Receivers:         p.Receivers,
+		Constellation:     p.Report.B,
+		TotalPAJPerBit:    float64(p.Report.TotalPA),
+		NullOverheadRatio: p.NullOverheadRatio,
+	}, nil
+}
+
+// EbBar exposes the solved ēb(p, b, mt, mr) in joules — the quantity the
+// paper's preprocessing tabulates.
+func (s *System) EbBar(targetBER float64, constellationBits, txNodes, rxNodes int) (float64, error) {
+	return s.model.Eb.EbBar(targetBER, constellationBits, txNodes, rxNodes)
+}
+
+// LongHaulTxEnergy evaluates eq. (3): per-node per-bit energy of an
+// mt-by-mr cooperative link of length distM.
+func (s *System) LongHaulTxEnergy(targetBER float64, constellationBits, txNodes, rxNodes int, distM float64) (float64, error) {
+	c, err := s.model.MIMOTx(targetBER, constellationBits, txNodes, rxNodes, distM)
+	if err != nil {
+		return 0, err
+	}
+	return float64(c.Total()), nil
+}
