@@ -1,0 +1,21 @@
+# Tier-1 verification plus the race detector. `make verify` is what CI
+# and pre-merge checks should run.
+
+.PHONY: verify vet build test race bench
+
+verify: vet build race
+
+vet:
+	go vet ./...
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+bench:
+	go test -bench=. -benchtime=1x ./...

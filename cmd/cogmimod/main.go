@@ -1,0 +1,98 @@
+// Command cogmimod serves the paper's experiments as a long-lived
+// simulation service: a bounded job queue in front of a worker pool,
+// with a content-addressed result cache so identical requests are
+// answered in microseconds.
+//
+// Usage:
+//
+//	cogmimod -addr :8345 -workers 4 -queue 64 -cache 256
+//
+// API (JSON):
+//
+//	POST   /v1/experiments      {"id":"fig6a","seed":1,"quick":true,"wait":true}
+//	GET    /v1/experiments      list runnable experiment IDs
+//	GET    /v1/jobs/{id}        job state (queued/running/done/failed/canceled)
+//	DELETE /v1/jobs/{id}        cancel a job
+//	GET    /v1/results/{key}    fetch a cached report by content key
+//	GET    /v1/stats            service counters as JSON
+//	GET    /healthz             liveness probe
+//	GET    /metrics             expvar dump (includes the service counters)
+//
+// A full queue answers 429 with a Retry-After hint. SIGINT/SIGTERM
+// drain the server gracefully: in-flight handlers get a shutdown grace
+// period and running jobs are cancelled between sweep points.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8345", "listen address")
+		workers = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		queue   = flag.Int("queue", 64, "job queue depth before 429s")
+		cacheN  = flag.Int("cache", 256, "result cache entries")
+		grace   = flag.Duration("grace", 10*time.Second, "shutdown grace period")
+	)
+	flag.Parse()
+
+	svc, err := service.New(service.Config{
+		Workers:      *workers,
+		QueueDepth:   *queue,
+		CacheEntries: *cacheN,
+		Runner:       service.ExperimentRunner,
+		KnownIDs:     service.KnownExperimentIDs(),
+	})
+	if err != nil {
+		fatal(err)
+	}
+	svc.Start()
+	publishMetrics(svc)
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           newMux(svc),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "cogmimod: listening on %s\n", *addr)
+
+	select {
+	case <-ctx.Done():
+		fmt.Fprintln(os.Stderr, "cogmimod: shutting down")
+	case err := <-errCh:
+		if !errors.Is(err, http.ErrServerClosed) {
+			fatal(err)
+		}
+	}
+
+	shutdownCtx, cancelShutdown := context.WithTimeout(context.Background(), *grace)
+	defer cancelShutdown()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "cogmimod: shutdown:", err)
+	}
+	if err := svc.Stop(shutdownCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "cogmimod: service stop:", err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cogmimod:", err)
+	os.Exit(1)
+}

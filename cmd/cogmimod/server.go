@@ -1,0 +1,162 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/service"
+)
+
+// submitRequest is the POST /v1/experiments body: a service.Request
+// plus transport-level options.
+type submitRequest struct {
+	service.Request
+	// Wait blocks the response until the job finishes; cancellation of
+	// the HTTP request (client disconnect, timeout) cancels the job.
+	Wait bool `json:"wait,omitempty"`
+}
+
+// jobResponse is the JSON envelope for job state; Report is attached
+// once the job is done.
+type jobResponse struct {
+	service.JobView
+	Report string `json:"report,omitempty"`
+}
+
+// newMux wires the service into the v1 JSON API.
+func newMux(svc *service.Service) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/experiments", func(w http.ResponseWriter, r *http.Request) {
+		var req submitRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+			return
+		}
+		if strings.TrimSpace(req.ID) == "" {
+			httpError(w, http.StatusBadRequest, "missing experiment id")
+			return
+		}
+		jv, err := svc.Submit(req.Request)
+		switch {
+		case errors.Is(err, service.ErrUnknownExperiment):
+			httpError(w, http.StatusBadRequest, err.Error())
+			return
+		case errors.Is(err, service.ErrQueueFull):
+			w.Header().Set("Retry-After", "1")
+			httpError(w, http.StatusTooManyRequests, err.Error())
+			return
+		case errors.Is(err, service.ErrStopped):
+			httpError(w, http.StatusServiceUnavailable, err.Error())
+			return
+		case err != nil:
+			httpError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		if !req.Wait {
+			writeJSON(w, http.StatusAccepted, jobResponse{JobView: jv})
+			return
+		}
+		done, err := svc.Wait(r.Context(), jv.ID)
+		if err != nil {
+			// The waiting client went away: release the worker.
+			svc.Cancel(jv.ID)
+			httpError(w, http.StatusServiceUnavailable, "request cancelled while waiting")
+			return
+		}
+		writeJSON(w, statusFor(done), withReport(svc, done))
+	})
+
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		jv, err := svc.Job(r.PathValue("id"))
+		if err != nil {
+			httpError(w, http.StatusNotFound, err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, withReport(svc, jv))
+	})
+
+	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		jv, err := svc.Cancel(r.PathValue("id"))
+		if err != nil {
+			httpError(w, http.StatusNotFound, err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, jobResponse{JobView: jv})
+	})
+
+	mux.HandleFunc("GET /v1/results/{key}", func(w http.ResponseWriter, r *http.Request) {
+		key := service.Key(r.PathValue("key"))
+		report, ok := svc.Result(key)
+		if !ok {
+			httpError(w, http.StatusNotFound, "no result for key")
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"key": string(key), "report": report})
+	})
+
+	mux.HandleFunc("GET /v1/experiments", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"experiments": service.KnownExperimentIDs()})
+	})
+
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, svc.Stats())
+	})
+
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+
+	mux.Handle("GET /metrics", expvar.Handler())
+	return mux
+}
+
+// withReport attaches the cached report to terminal done jobs.
+func withReport(svc *service.Service, jv service.JobView) jobResponse {
+	resp := jobResponse{JobView: jv}
+	if jv.State == service.StateDone {
+		if report, ok := svc.Result(jv.Key); ok {
+			resp.Report = report
+		}
+	}
+	return resp
+}
+
+// statusFor maps a terminal job state to a response code.
+func statusFor(jv service.JobView) int {
+	switch jv.State {
+	case service.StateDone:
+		return http.StatusOK
+	case service.StateCanceled:
+		return http.StatusConflict
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}
+
+// uptime publishes process start time under expvar for /metrics.
+func publishMetrics(svc *service.Service) {
+	start := time.Now()
+	expvar.Publish("cogmimod_uptime_seconds", expvar.Func(func() any {
+		return time.Since(start).Seconds()
+	}))
+	expvar.Publish("cogmimod", expvar.Func(func() any {
+		return svc.Stats()
+	}))
+}

@@ -9,10 +9,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"repro/internal/experiments"
 )
@@ -30,6 +34,12 @@ func main() {
 	)
 	flag.Parse()
 
+	// Ctrl-C cancels the run between sweep points instead of killing
+	// the process mid-write: completed output stays intact and the exit
+	// path reports the interruption.
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+
 	render := func(rep *experiments.Report) (string, error) {
 		if *plot {
 			return rep.Plot(64, 18, *logY)
@@ -41,7 +51,7 @@ func main() {
 	case *list:
 		fmt.Println(strings.Join(experiments.IDs(), "\n"))
 	case *all:
-		reps, err := experiments.RunAll(experiments.Options{Seed: *seed, Quick: *quick})
+		reps, err := experiments.RunAllCtx(ctx, experiments.Options{Seed: *seed, Quick: *quick})
 		if err != nil {
 			fatal(err)
 		}
@@ -56,7 +66,7 @@ func main() {
 			fmt.Print(out)
 		}
 	case *id != "":
-		rep, err := experiments.Run(*id, experiments.Options{Seed: *seed, Quick: *quick})
+		rep, err := experiments.RunCtx(ctx, *id, experiments.Options{Seed: *seed, Quick: *quick})
 		if err != nil {
 			fatal(err)
 		}
@@ -73,6 +83,10 @@ func main() {
 }
 
 func fatal(err error) {
+	if errors.Is(err, context.Canceled) {
+		fmt.Fprintln(os.Stderr, "cogsim: interrupted")
+		os.Exit(130)
+	}
 	fmt.Fprintln(os.Stderr, "cogsim:", err)
 	os.Exit(1)
 }

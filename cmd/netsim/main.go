@@ -8,9 +8,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro/internal/ebtable"
 	"repro/internal/energy"
@@ -31,6 +34,18 @@ func main() {
 	)
 	flag.Parse()
 
+	// Ctrl-C stops cleanly between pipeline stages — deploy, cluster,
+	// link, route, cost — so whatever was printed is complete output,
+	// never a half-written table.
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	interrupted := func() {
+		if ctx.Err() != nil {
+			fmt.Fprintln(os.Stderr, "netsim: interrupted")
+			os.Exit(130)
+		}
+	}
+
 	rng := mathx.NewRand(*seed)
 	dep := network.RandomDeployment(rng, *nodes, *field, *field, 1, 10)
 	g, err := network.NewGraph(dep, *rng_)
@@ -44,6 +59,7 @@ func main() {
 	if err := cl.Validate(); err != nil {
 		fatal(err)
 	}
+	interrupted()
 	net, err := network.BuildCoMIMONet(cl, *link)
 	if err != nil {
 		fatal(err)
@@ -61,6 +77,7 @@ func main() {
 		fmt.Printf("  %d <-> %d  D=%.1f m  %s\n", e.A, e.B, e.D, e.Kind)
 	}
 
+	interrupted()
 	if len(cl.Clusters) >= 2 {
 		src := cl.Clusters[0].ID
 		dst := cl.Clusters[len(cl.Clusters)-1].ID

@@ -1,6 +1,7 @@
 package cogmimo
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/experiments"
@@ -16,7 +17,13 @@ func ExperimentIDs() []string { return experiments.IDs() }
 // RunExperiment regenerates one paper artifact and returns its report
 // as formatted text. Quick shrinks workloads for smoke runs.
 func RunExperiment(id string, seed int64, quick bool) (string, error) {
-	rep, err := experiments.Run(id, experiments.Options{Seed: seed, Quick: quick})
+	return RunExperimentCtx(context.Background(), id, seed, quick)
+}
+
+// RunExperimentCtx is RunExperiment under a context: cancellation or a
+// deadline aborts the run between sweep points and returns ctx's error.
+func RunExperimentCtx(ctx context.Context, id string, seed int64, quick bool) (string, error) {
+	rep, err := experiments.RunCtx(ctx, id, experiments.Options{Seed: seed, Quick: quick})
 	if err != nil {
 		return "", err
 	}
@@ -26,7 +33,12 @@ func RunExperiment(id string, seed int64, quick bool) (string, error) {
 // RunAllExperiments regenerates every artifact in ID order and returns
 // the concatenated reports.
 func RunAllExperiments(seed int64, quick bool) (string, error) {
-	reps, err := experiments.RunAll(experiments.Options{Seed: seed, Quick: quick})
+	return RunAllExperimentsCtx(context.Background(), seed, quick)
+}
+
+// RunAllExperimentsCtx is RunAllExperiments under a context.
+func RunAllExperimentsCtx(ctx context.Context, seed int64, quick bool) (string, error) {
+	reps, err := experiments.RunAllCtx(ctx, experiments.Options{Seed: seed, Quick: quick})
 	if err != nil {
 		return "", err
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/ebtable"
@@ -22,7 +23,7 @@ var fig6Cases = []struct {
 
 // fig6Sweep runs the overlay analysis over the paper's D1 range.
 // pick selects D2 or D3 from each analysis point.
-func fig6Sweep(id, title, distName string, pick func(overlay.Analysis) float64) (*Report, error) {
+func fig6Sweep(ctx context.Context, id, title, distName string, pick func(overlay.Analysis) float64) (*Report, error) {
 	rep := &Report{
 		ID:     id,
 		Title:  title,
@@ -50,6 +51,9 @@ func fig6Sweep(id, title, distName string, pick func(overlay.Analysis) float64) 
 		}}
 	}
 	for d1 := 150.0; d1 <= 350+1e-9; d1 += 25 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		row := []string{fmt.Sprintf("%.0f", d1)}
 		for _, c := range cols {
 			a, err := overlay.Analyze(c.cfg, d1)
@@ -66,16 +70,16 @@ func fig6Sweep(id, title, distName string, pick func(overlay.Analysis) float64) 
 
 // Fig6a regenerates Figure 6(a): the largest distance the cooperative
 // SUs can stay away from the primary transmitter Pt.
-func Fig6a(opts Options) (*Report, error) {
-	return fig6Sweep("fig6a",
+func Fig6a(ctx context.Context, opts Options) (*Report, error) {
+	return fig6Sweep(ctx, "fig6a",
 		"largest SU distance from the primary transmitter Pt vs D(Pt, Pr)",
 		"D2", func(a overlay.Analysis) float64 { return a.D2 })
 }
 
 // Fig6b regenerates Figure 6(b): the largest distance from the primary
 // receiver Pr.
-func Fig6b(opts Options) (*Report, error) {
-	return fig6Sweep("fig6b",
+func Fig6b(ctx context.Context, opts Options) (*Report, error) {
+	return fig6Sweep(ctx, "fig6b",
 		"largest SU distance from the primary receiver Pr vs D(Pt, Pr)",
 		"D3", func(a overlay.Analysis) float64 { return a.D3 })
 }
@@ -86,7 +90,7 @@ var fig7Pairs = [][2]int{{1, 1}, {1, 2}, {2, 1}, {1, 3}, {2, 2}, {2, 3}}
 
 // Fig7 regenerates Figure 7 (upper and lower plots as one table): total
 // PA energy per bit of all SU nodes vs link distance for each (mt, mr).
-func Fig7(opts Options) (*Report, error) {
+func Fig7(ctx context.Context, opts Options) (*Report, error) {
 	model, err := energy.New(energy.Paper(40e3), ebtable.Analytic{})
 	if err != nil {
 		return nil, err
@@ -104,6 +108,9 @@ func Fig7(opts Options) (*Report, error) {
 		rep.Header = append(rep.Header, fmt.Sprintf("mt=%d mr=%d", p[0], p[1]))
 	}
 	for d := 100.0; d <= 300+1e-9; d += 25 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		row := []string{fmt.Sprintf("%.0f", d)}
 		for _, p := range fig7Pairs {
 			r, err := underlay.Analyze(underlay.Config{
@@ -122,10 +129,13 @@ func Fig7(opts Options) (*Report, error) {
 
 // Table1 regenerates the interweave amplitude table: ten trials of the
 // null-steering pair with randomly scattered primary receivers.
-func Table1(opts Options) (*Report, error) {
+func Table1(ctx context.Context, opts Options) (*Report, error) {
 	trials := 10
 	if opts.Quick {
 		trials = 3
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	rng := mathx.NewRand(opts.Seed)
 	rows, avg, err := interweave.RunTable(interweave.PaperTrialConfig(), rng, trials)

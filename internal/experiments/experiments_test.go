@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strconv"
 	"strings"
 	"testing"
@@ -54,11 +55,11 @@ func TestRunAllQuick(t *testing.T) {
 }
 
 func TestFig6Shapes(t *testing.T) {
-	a, err := Fig6a(Options{Seed: 1})
+	a, err := Fig6a(context.Background(), Options{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Fig6b(Options{Seed: 1})
+	b, err := Fig6b(context.Background(), Options{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +89,7 @@ func TestFig6Shapes(t *testing.T) {
 }
 
 func TestFig7SISODominates(t *testing.T) {
-	r, err := Fig7(Options{Seed: 1})
+	r, err := Fig7(context.Background(), Options{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,6 +102,19 @@ func TestFig7SISODominates(t *testing.T) {
 					row[0], col, coop, siso)
 			}
 		}
+	}
+}
+
+func TestRunCtxCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, id := range IDs() {
+		if _, err := RunCtx(ctx, id, Options{Seed: 1, Quick: true}); err != context.Canceled {
+			t.Errorf("%s: err = %v, want context.Canceled", id, err)
+		}
+	}
+	if _, err := RunAllCtx(ctx, Options{Seed: 1, Quick: true}); err == nil {
+		t.Error("RunAllCtx on cancelled ctx should fail")
 	}
 }
 

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -32,7 +33,7 @@ func init() {
 
 // ExtROC sweeps the cooperative energy detector's operating points: the
 // interweave paradigm's "sensed environment" quantified.
-func ExtROC(opts Options) (*Report, error) {
+func ExtROC(ctx context.Context, opts Options) (*Report, error) {
 	samples := 600
 	if opts.Quick {
 		samples = 200
@@ -48,6 +49,9 @@ func ExtROC(opts Options) (*Report, error) {
 	}
 	const snr = 0.19952623149688797 // -7 dB
 	for _, pfa := range []float64{0.1, 0.05, 0.01, 0.001} {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		det, err := sensing.NewDetectorForPfa(samples, pfa)
 		if err != nil {
 			return nil, err
@@ -74,8 +78,11 @@ func ExtROC(opts Options) (*Report, error) {
 
 // ExtLifetime contrasts static cluster heads against battery-driven head
 // rotation — the payoff of the CoMIMONet's reconfigurability.
-func ExtLifetime(opts Options) (*Report, error) {
+func ExtLifetime(ctx context.Context, opts Options) (*Report, error) {
 	run := func(reconf int) (network.LifetimeResult, error) {
+		if err := ctx.Err(); err != nil {
+			return network.LifetimeResult{}, err
+		}
 		rng := mathx.NewRand(opts.Seed)
 		dep := network.RandomDeployment(rng, 24, 40, 40, 100, 100)
 		g, err := network.NewGraph(dep, 60)
@@ -118,7 +125,7 @@ func ExtLifetime(opts Options) (*Report, error) {
 // ExtMultihop transports bits across 1..4 cooperative hops at symbol
 // level, showing the near-additive error accumulation of Section 2.2's
 // relay path.
-func ExtMultihop(opts Options) (*Report, error) {
+func ExtMultihop(ctx context.Context, opts Options) (*Report, error) {
 	bits := 120000
 	if opts.Quick {
 		bits = 24000
@@ -134,6 +141,9 @@ func ExtMultihop(opts Options) (*Report, error) {
 	}
 	snr := math.Pow(10, 1.1)
 	for hops := 1; hops <= 4; hops++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		route := make([]multihop.Hop, hops)
 		for i := range route {
 			route[i] = multihop.Hop{Mt: 2, Mr: 2, SNRPerBit: snr}
@@ -156,7 +166,7 @@ func ExtMultihop(opts Options) (*Report, error) {
 // ExtConvention ablates the gamma_b normalisation that the paper's
 // Figure 6 quietly changes: overlay distances under the printed
 // equations (ConvPaper) against the evaluated ones (ConvArray).
-func ExtConvention(opts Options) (*Report, error) {
+func ExtConvention(ctx context.Context, opts Options) (*Report, error) {
 	rep := &Report{
 		ID:     "ext-conv",
 		Title:  "overlay distances under the two gamma_b conventions (m = 3, B = 40k, D1 = 250 m)",
@@ -173,6 +183,9 @@ func ExtConvention(opts Options) (*Report, error) {
 		{"paper equations (/mt)", ebtable.ConvPaper},
 		{"as evaluated (no /mt)", ebtable.ConvArray},
 	} {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		model, err := energy.New(energy.Paper(40e3), ebtable.Analytic{Convention: c.conv})
 		if err != nil {
 			return nil, err
@@ -195,12 +208,15 @@ func ExtConvention(opts Options) (*Report, error) {
 
 // ExtCycle contrasts the interweave cognitive cycle with blind
 // transmission: utilization and primary-collision rate per policy.
-func ExtCycle(opts Options) (*Report, error) {
+func ExtCycle(ctx context.Context, opts Options) (*Report, error) {
 	horizon := 2000.0
 	if opts.Quick {
 		horizon = 300
 	}
 	run := func(blind bool, rule sensing.FusionRule) (cognitive.CycleResult, error) {
+		if err := ctx.Err(); err != nil {
+			return cognitive.CycleResult{}, err
+		}
 		return cognitive.Run(cognitive.CycleConfig{
 			Channels: 3,
 			MeanBusy: 2, MeanIdle: 3,
@@ -252,7 +268,7 @@ func ExtCycle(opts Options) (*Report, error) {
 // receiver. The game's Nash point ignores the PU entirely, so moving
 // the PU close blows through the noise floor; the cooperative budget is
 // below the SISO reference at any distance by construction.
-func ExtGame(opts Options) (*Report, error) {
+func ExtGame(ctx context.Context, opts Options) (*Report, error) {
 	rep := &Report{
 		ID:     "ext-game",
 		Title:  "underlay interference at the PU: power-control game vs cooperative MIMO",
@@ -279,6 +295,9 @@ func ExtGame(opts Options) (*Report, error) {
 		return nil, err
 	}
 	for _, puDist := range []float64{500, 100, 30, 12} {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		g := powergame.Config{
 			Players: []powergame.Player{
 				{Tx: geom.Pt(0, 0), Rx: geom.Pt(10, 0)},

@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -75,8 +76,10 @@ type Options struct {
 	Quick bool
 }
 
-// Driver regenerates one artifact.
-type Driver func(Options) (*Report, error)
+// Driver regenerates one artifact. Drivers poll ctx between sweep
+// points and runs — never inside one — so cancellation is prompt while
+// every row that is produced matches what an uncancelled run prints.
+type Driver func(ctx context.Context, opts Options) (*Report, error)
 
 var registry = map[string]Driver{
 	"fig6a":  Fig6a,
@@ -101,18 +104,32 @@ func IDs() []string {
 
 // Run executes one experiment by ID.
 func Run(id string, opts Options) (*Report, error) {
+	return RunCtx(context.Background(), id, opts)
+}
+
+// RunCtx executes one experiment by ID under ctx; a cancelled or expired
+// context aborts the driver between sweep points and surfaces ctx.Err().
+func RunCtx(ctx context.Context, id string, opts Options) (*Report, error) {
 	d, ok := registry[id]
 	if !ok {
 		return nil, fmt.Errorf("experiments: unknown id %q (have %s)", id, strings.Join(IDs(), ", "))
 	}
-	return d(opts)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return d(ctx, opts)
 }
 
 // RunAll executes every experiment in ID order.
 func RunAll(opts Options) ([]*Report, error) {
+	return RunAllCtx(context.Background(), opts)
+}
+
+// RunAllCtx executes every experiment in ID order under ctx.
+func RunAllCtx(ctx context.Context, opts Options) ([]*Report, error) {
 	var out []*Report
 	for _, id := range IDs() {
-		r, err := Run(id, opts)
+		r, err := RunCtx(ctx, id, opts)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: %s: %w", id, err)
 		}

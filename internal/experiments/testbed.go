@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/testbed"
@@ -8,7 +9,7 @@ import (
 
 // Table2 regenerates the single-relay overlay BER table: three
 // experiment runs plus the average, with and without cooperation.
-func Table2(opts Options) (*Report, error) {
+func Table2(ctx context.Context, opts Options) (*Report, error) {
 	rep := &Report{
 		ID:     "table2",
 		Title:  "BER results for the single-relay overlay testbed",
@@ -21,6 +22,9 @@ func Table2(opts Options) (*Report, error) {
 	var sumC, sumD float64
 	runs := 3
 	for i := 0; i < runs; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		x := testbed.Table2Setup(opts.Seed + int64(i))
 		if opts.Quick {
 			x.Bits = 20000
@@ -47,12 +51,15 @@ func Table2(opts Options) (*Report, error) {
 
 // Table3 regenerates the multi-relay overlay BER table: three relays vs
 // the single middle relay vs the direct link.
-func Table3(opts Options) (*Report, error) {
+func Table3(ctx context.Context, opts Options) (*Report, error) {
 	bits := 100000
 	if opts.Quick {
 		bits = 20000
 	}
 	run := func(relays int) (testbed.OverlayResult, error) {
+		if err := ctx.Err(); err != nil {
+			return testbed.OverlayResult{}, err
+		}
 		x := testbed.Table3Setup(opts.Seed, relays)
 		x.Bits = bits
 		return x.Run()
@@ -87,7 +94,10 @@ func Table3(opts Options) (*Report, error) {
 
 // Table4 regenerates the underlay PER table: image transfer at
 // amplitudes 800/600/400 with two cooperative transmitters vs one.
-func Table4(opts Options) (*Report, error) {
+func Table4(ctx context.Context, opts Options) (*Report, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	x := testbed.PaperUnderlay(opts.Seed)
 	if opts.Quick {
 		img, err := testbed.NewImage(100, 1500, opts.Seed)
@@ -128,7 +138,10 @@ func Table4(opts Options) (*Report, error) {
 
 // Fig8 regenerates the cooperative beamformer pattern: designed null at
 // 120 degrees, receiver on a 1 m semicircle in 20-degree steps.
-func Fig8(opts Options) (*Report, error) {
+func Fig8(ctx context.Context, opts Options) (*Report, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	x := testbed.PaperInterweave(opts.Seed)
 	if opts.Quick {
 		x.Averages = 16

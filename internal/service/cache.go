@@ -1,0 +1,167 @@
+package service
+
+import (
+	"container/list"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Key is the content address of a result: the hex SHA-256 of the
+// request's canonical form.
+type Key string
+
+// CanonicalKey hashes a request into its content address. The hash
+// covers the experiment ID, seed, quick flag and every solver parameter
+// as sorted key=value lines, so two requests that differ only in field
+// or parameter ordering — or in how their JSON was laid out — collapse
+// onto the same Key.
+func CanonicalKey(req Request) Key {
+	h := sha256.New()
+	fmt.Fprintf(h, "id=%s\n", req.ID)
+	fmt.Fprintf(h, "quick=%s\n", strconv.FormatBool(req.Quick))
+	fmt.Fprintf(h, "seed=%s\n", strconv.FormatInt(req.Seed, 10))
+	names := make([]string, 0, len(req.Params))
+	for k := range req.Params {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		fmt.Fprintf(h, "param.%s=%s\n", k, req.Params[k])
+	}
+	return Key(hex.EncodeToString(h.Sum(nil)))
+}
+
+// cacheStats counts cache traffic with atomics so snapshots never
+// block the serving path.
+type cacheStats struct {
+	hits      atomic.Int64 // served from a completed entry
+	coalesced atomic.Int64 // waited on another caller's in-flight computation
+	misses    atomic.Int64 // had to compute
+	evictions atomic.Int64
+}
+
+// flight is an in-progress computation other callers can wait on.
+type flight struct {
+	done chan struct{}
+	val  string
+	err  error
+}
+
+// entry is a completed, cached result.
+type entry struct {
+	key Key
+	val string
+}
+
+// cache is the single-flight LRU result cache. In-flight computations
+// are tracked separately from completed entries so the LRU bound only
+// applies to results that actually exist.
+type cache struct {
+	mu       sync.Mutex
+	max      int
+	inflight map[Key]*flight
+	entries  map[Key]*list.Element // of *entry
+	lru      *list.List            // front = most recent
+	stats    cacheStats
+}
+
+func newCache(maxEntries int) *cache {
+	if maxEntries <= 0 {
+		maxEntries = 256
+	}
+	return &cache{
+		max:      maxEntries,
+		inflight: make(map[Key]*flight),
+		entries:  make(map[Key]*list.Element),
+		lru:      list.New(),
+	}
+}
+
+// get returns a completed result without triggering computation.
+func (c *cache) get(key Key) (string, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return "", false
+	}
+	c.lru.MoveToFront(el)
+	return el.Value.(*entry).val, true
+}
+
+// do returns the cached value for key, computing it at most once across
+// concurrent callers. hit reports whether this caller avoided the
+// computation (a completed entry or a coalesced wait on another
+// caller's). A failed or cancelled computation is not cached: its
+// waiters loop and recompute under their own contexts, so one caller's
+// cancellation never poisons the key for everyone else.
+func (c *cache) do(ctx context.Context, key Key, compute func() (string, error)) (val string, hit bool, err error) {
+	for {
+		c.mu.Lock()
+		if el, ok := c.entries[key]; ok {
+			c.lru.MoveToFront(el)
+			c.mu.Unlock()
+			c.stats.hits.Add(1)
+			return el.Value.(*entry).val, true, nil
+		}
+		if f, ok := c.inflight[key]; ok {
+			c.mu.Unlock()
+			select {
+			case <-f.done:
+				if f.err == nil {
+					c.stats.coalesced.Add(1)
+					return f.val, true, nil
+				}
+				// The computing caller failed or was cancelled and
+				// removed the flight; try again as the computer.
+				continue
+			case <-ctx.Done():
+				return "", false, ctx.Err()
+			}
+		}
+		f := &flight{done: make(chan struct{})}
+		c.inflight[key] = f
+		c.mu.Unlock()
+
+		c.stats.misses.Add(1)
+		f.val, f.err = compute()
+
+		c.mu.Lock()
+		delete(c.inflight, key)
+		if f.err == nil {
+			c.insertLocked(key, f.val)
+		}
+		c.mu.Unlock()
+		close(f.done)
+		return f.val, false, f.err
+	}
+}
+
+// insertLocked records a completed result and evicts beyond the bound.
+func (c *cache) insertLocked(key Key, val string) {
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*entry).val = val
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.lru.PushFront(&entry{key: key, val: val})
+	for c.lru.Len() > c.max {
+		oldest := c.lru.Back()
+		c.lru.Remove(oldest)
+		delete(c.entries, oldest.Value.(*entry).key)
+		c.stats.evictions.Add(1)
+	}
+}
+
+// len reports the number of completed entries.
+func (c *cache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}

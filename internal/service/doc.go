@@ -1,0 +1,36 @@
+// Package service turns the blocking experiment drivers into a
+// long-lived simulation service: a bounded job queue feeding a fixed
+// worker pool, with a content-addressed, single-flight result cache in
+// front of the computation. cmd/cogmimod exposes it over HTTP.
+//
+// # Job lifecycle
+//
+// Every submitted request becomes a Job that moves through exactly one
+// of these paths:
+//
+//	queued ──► running ──► done
+//	  │           │    └──► failed
+//	  │           └───────► canceled   (job context cancelled mid-run)
+//	  └───────────────────► canceled   (cancelled before a worker picked it up,
+//	                                    or the service stopped while it waited)
+//
+// States are terminal once the job reaches done, failed or canceled;
+// Wait unblocks at that instant. Cancellation is best-effort: drivers
+// observe the job context between sweep points and runs, so a cancel
+// that arrives after the last checkpoint loses the race — the
+// computation completes, its result is cached, and the job finishes
+// done. Submit rejects work with ErrQueueFull
+// when the queue is at capacity — callers should back off and retry —
+// and the HTTP layer translates that into 429 with a Retry-After hint.
+//
+// # Caching
+//
+// Results are keyed by a canonical SHA-256 over the request's
+// experiment ID, seed, quick flag and solver parameters (sorted by
+// name), so any field ordering or JSON formatting of the same logical
+// request maps to the same Key. Identical concurrent requests are
+// single-flighted: one worker computes while the rest wait on the same
+// cache entry, and a computation that fails or is cancelled leaves no
+// entry behind, so later requests recompute from scratch. Completed
+// entries are bounded by an LRU eviction policy.
+package service

@@ -1,0 +1,23 @@
+package service
+
+import (
+	"context"
+
+	"repro/internal/experiments"
+)
+
+// ExperimentRunner is the default Runner: it regenerates the paper
+// artifact named by the request through the experiments registry,
+// honoring ctx between sweep points. Solver parameters ride along in
+// the cache key only; drivers configure their own solvers today.
+func ExperimentRunner(ctx context.Context, req Request) (string, error) {
+	rep, err := experiments.RunCtx(ctx, req.ID, experiments.Options{Seed: req.Seed, Quick: req.Quick})
+	if err != nil {
+		return "", err
+	}
+	return rep.String(), nil
+}
+
+// KnownExperimentIDs lists the IDs ExperimentRunner accepts, for
+// Config.KnownIDs.
+func KnownExperimentIDs() []string { return experiments.IDs() }

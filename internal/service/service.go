@@ -1,0 +1,424 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Request identifies one experiment computation. Params carries solver
+// configuration (e.g. a future "solver=montecarlo samples=40000") and
+// participates in the cache key; the default runner ignores unknown
+// parameters rather than failing, so keys stay forward-compatible.
+type Request struct {
+	ID     string            `json:"id"`
+	Seed   int64             `json:"seed"`
+	Quick  bool              `json:"quick,omitempty"`
+	Params map[string]string `json:"params,omitempty"`
+}
+
+// Runner computes the report text for a request. It must honor ctx.
+type Runner func(ctx context.Context, req Request) (string, error)
+
+// State is a job lifecycle state; see the package documentation for the
+// transition diagram.
+type State string
+
+const (
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+)
+
+// Terminal reports whether a job in this state will never change again.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// JobView is an immutable snapshot of a job.
+type JobView struct {
+	ID        string    `json:"job"`
+	Request   Request   `json:"request"`
+	Key       Key       `json:"key"`
+	State     State     `json:"state"`
+	CacheHit  bool      `json:"cached"`
+	Error     string    `json:"error,omitempty"`
+	Submitted time.Time `json:"submitted"`
+	Started   time.Time `json:"started,omitzero"`
+	Finished  time.Time `json:"finished,omitzero"`
+}
+
+// job is the service-owned mutable record behind a JobView. All fields
+// below mu are guarded by the service mutex.
+type job struct {
+	id     string
+	req    Request
+	key    Key
+	ctx    context.Context
+	cancel context.CancelFunc
+	done   chan struct{} // closed on terminal state
+
+	state     State
+	cacheHit  bool
+	errMsg    string
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+}
+
+// Stats is a point-in-time snapshot of service counters, published by
+// cmd/cogmimod under expvar.
+type Stats struct {
+	Submitted      int64 `json:"jobs_submitted"`
+	Rejected       int64 `json:"jobs_rejected"`
+	Done           int64 `json:"jobs_done"`
+	Failed         int64 `json:"jobs_failed"`
+	Canceled       int64 `json:"jobs_canceled"`
+	QueueDepth     int   `json:"queue_depth"`
+	QueueCapacity  int   `json:"queue_capacity"`
+	Workers        int   `json:"workers"`
+	CacheEntries   int   `json:"cache_entries"`
+	CacheHits      int64 `json:"cache_hits"`
+	CacheCoalesced int64 `json:"cache_coalesced"`
+	CacheMisses    int64 `json:"cache_misses"`
+	CacheEvictions int64 `json:"cache_evictions"`
+}
+
+// Config sizes a Service. Zero values pick sane defaults.
+type Config struct {
+	// Workers is the pool size; 0 means GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds the number of jobs waiting for a worker;
+	// 0 means 64. Submissions beyond the bound fail with ErrQueueFull.
+	QueueDepth int
+	// CacheEntries bounds the completed-result cache; 0 means 256.
+	CacheEntries int
+	// MaxJobs bounds the job table; 0 means 4096. Oldest terminal jobs
+	// are forgotten first.
+	MaxJobs int
+	// Runner computes reports. Required.
+	Runner Runner
+	// KnownIDs, when non-empty, restricts Submit to these experiment
+	// IDs; anything else fails with ErrUnknownExperiment.
+	KnownIDs []string
+}
+
+// Service schedules experiment jobs onto a bounded worker pool.
+type Service struct {
+	cfg    Config
+	runner Runner
+	known  map[string]bool
+	cache  *cache
+
+	baseCtx context.Context
+	stop    context.CancelFunc
+	queue   chan *job
+	wg      sync.WaitGroup
+
+	mu      sync.Mutex
+	jobs    map[string]*job
+	order   []string // submission order, for bounded forgetting
+	nextID  int64
+	stopped bool
+
+	submitted, rejected, nDone, nFailed, nCanceled int64
+}
+
+// Errors surfaced to the transport layer.
+var (
+	ErrQueueFull         = errors.New("service: job queue is full")
+	ErrStopped           = errors.New("service: stopped")
+	ErrUnknownExperiment = errors.New("service: unknown experiment id")
+	ErrNoSuchJob         = errors.New("service: no such job")
+)
+
+// New builds a Service; Start must be called before jobs run.
+func New(cfg Config) (*Service, error) {
+	if cfg.Runner == nil {
+		return nil, errors.New("service: Config.Runner is required")
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.MaxJobs <= 0 {
+		cfg.MaxJobs = 4096
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Service{
+		cfg:     cfg,
+		runner:  cfg.Runner,
+		cache:   newCache(cfg.CacheEntries),
+		baseCtx: ctx,
+		stop:    cancel,
+		queue:   make(chan *job, cfg.QueueDepth),
+		jobs:    make(map[string]*job),
+	}
+	if len(cfg.KnownIDs) > 0 {
+		s.known = make(map[string]bool, len(cfg.KnownIDs))
+		for _, id := range cfg.KnownIDs {
+			s.known[id] = true
+		}
+	}
+	return s, nil
+}
+
+// Start launches the worker pool.
+func (s *Service) Start() {
+	for i := 0; i < s.cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+}
+
+// Stop cancels running jobs, marks queued ones canceled and waits for
+// the workers to exit or ctx to expire.
+func (s *Service) Stop(ctx context.Context) error {
+	s.mu.Lock()
+	s.stopped = true
+	s.mu.Unlock()
+	s.stop()
+
+	workersDone := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(workersDone)
+	}()
+	select {
+	case <-workersDone:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+
+	// Workers are gone; anything still queued will never run.
+	for {
+		select {
+		case j := <-s.queue:
+			s.finish(j, StateCanceled, false, ErrStopped.Error())
+		default:
+			return nil
+		}
+	}
+}
+
+// Submit validates and enqueues a request, returning the queued job's
+// snapshot. A full queue fails fast with ErrQueueFull so the transport
+// can tell clients to back off.
+func (s *Service) Submit(req Request) (JobView, error) {
+	if s.known != nil && !s.known[req.ID] {
+		return JobView{}, fmt.Errorf("%w: %q", ErrUnknownExperiment, req.ID)
+	}
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		return JobView{}, ErrStopped
+	}
+	s.nextID++
+	jctx, cancel := context.WithCancel(s.baseCtx)
+	j := &job{
+		id:        fmt.Sprintf("j%08d", s.nextID),
+		req:       req,
+		key:       CanonicalKey(req),
+		ctx:       jctx,
+		cancel:    cancel,
+		done:      make(chan struct{}),
+		state:     StateQueued,
+		submitted: time.Now(),
+	}
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	s.forgetOldLocked()
+	s.submitted++
+	s.mu.Unlock()
+
+	select {
+	case s.queue <- j:
+		return s.snapshot(j), nil
+	default:
+		s.mu.Lock()
+		s.rejected++
+		delete(s.jobs, j.id)
+		s.mu.Unlock()
+		cancel()
+		return JobView{}, ErrQueueFull
+	}
+}
+
+// Job returns a snapshot by ID.
+func (s *Service) Job(id string) (JobView, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return JobView{}, ErrNoSuchJob
+	}
+	return s.snapshot(j), nil
+}
+
+// Cancel cancels a job. Queued jobs flip to canceled immediately;
+// running jobs have their context cancelled and reach the canceled
+// state when the driver notices. Cancelling a terminal job is a no-op.
+func (s *Service) Cancel(id string) (JobView, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	if !ok {
+		s.mu.Unlock()
+		return JobView{}, ErrNoSuchJob
+	}
+	if j.state == StateQueued {
+		j.state = StateCanceled
+		j.errMsg = "canceled before start"
+		j.finished = time.Now()
+		s.nCanceled++
+		close(j.done)
+	}
+	s.mu.Unlock()
+	j.cancel()
+	return s.snapshot(j), nil
+}
+
+// Wait blocks until the job reaches a terminal state or ctx expires.
+func (s *Service) Wait(ctx context.Context, id string) (JobView, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return JobView{}, ErrNoSuchJob
+	}
+	select {
+	case <-j.done:
+		return s.snapshot(j), nil
+	case <-ctx.Done():
+		return s.snapshot(j), ctx.Err()
+	}
+}
+
+// Result returns a completed report by cache key.
+func (s *Service) Result(key Key) (string, bool) {
+	return s.cache.get(key)
+}
+
+// Stats snapshots the service counters.
+func (s *Service) Stats() Stats {
+	s.mu.Lock()
+	st := Stats{
+		Submitted:     s.submitted,
+		Rejected:      s.rejected,
+		Done:          s.nDone,
+		Failed:        s.nFailed,
+		Canceled:      s.nCanceled,
+		QueueDepth:    len(s.queue),
+		QueueCapacity: cap(s.queue),
+		Workers:       s.cfg.Workers,
+	}
+	s.mu.Unlock()
+	st.CacheEntries = s.cache.len()
+	st.CacheHits = s.cache.stats.hits.Load()
+	st.CacheCoalesced = s.cache.stats.coalesced.Load()
+	st.CacheMisses = s.cache.stats.misses.Load()
+	st.CacheEvictions = s.cache.stats.evictions.Load()
+	return st
+}
+
+func (s *Service) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.baseCtx.Done():
+			return
+		case j := <-s.queue:
+			s.run(j)
+		}
+	}
+}
+
+// run executes one job through the single-flight cache.
+func (s *Service) run(j *job) {
+	s.mu.Lock()
+	if j.state != StateQueued { // cancelled while waiting
+		s.mu.Unlock()
+		return
+	}
+	j.state = StateRunning
+	j.started = time.Now()
+	s.mu.Unlock()
+
+	_, hit, err := s.cache.do(j.ctx, j.key, func() (string, error) {
+		return s.runner(j.ctx, j.req)
+	})
+	switch {
+	case err == nil:
+		s.finish(j, StateDone, hit, "")
+	case j.ctx.Err() != nil:
+		s.finish(j, StateCanceled, false, context.Cause(j.ctx).Error())
+	default:
+		s.finish(j, StateFailed, false, err.Error())
+	}
+}
+
+// finish moves a job to a terminal state exactly once.
+func (s *Service) finish(j *job, st State, hit bool, msg string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j.state.Terminal() {
+		return
+	}
+	j.state = st
+	j.cacheHit = hit
+	j.errMsg = msg
+	j.finished = time.Now()
+	switch st {
+	case StateDone:
+		s.nDone++
+	case StateFailed:
+		s.nFailed++
+	case StateCanceled:
+		s.nCanceled++
+	}
+	close(j.done)
+	j.cancel()
+}
+
+// forgetOldLocked drops the oldest terminal jobs beyond the MaxJobs
+// bound so the job table cannot grow without limit.
+func (s *Service) forgetOldLocked() {
+	if len(s.order) <= s.cfg.MaxJobs {
+		return
+	}
+	kept := s.order[:0]
+	excess := len(s.order) - s.cfg.MaxJobs
+	for _, id := range s.order {
+		j, ok := s.jobs[id]
+		if excess > 0 && (!ok || j.state.Terminal()) {
+			delete(s.jobs, id)
+			excess--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.order = kept
+}
+
+// snapshot copies a job into an immutable view.
+func (s *Service) snapshot(j *job) JobView {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return JobView{
+		ID:        j.id,
+		Request:   j.req,
+		Key:       j.key,
+		State:     j.state,
+		CacheHit:  j.cacheHit,
+		Error:     j.errMsg,
+		Submitted: j.submitted,
+		Started:   j.started,
+		Finished:  j.finished,
+	}
+}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"math/rand"
 	"runtime"
 	"sync"
@@ -32,24 +33,37 @@ type MonteCarlo struct {
 // RunMean executes trials calls of trial, each with a chunk-local PRNG,
 // and returns merged streaming statistics of the returned values.
 func (mc MonteCarlo) RunMean(trials int, trial func(rng *rand.Rand) float64) mathx.Running {
-	parts := mc.runChunks(trials, func(rng *rand.Rand, n int) mathx.Running {
+	r, _ := mc.RunMeanCtx(context.Background(), trials, trial)
+	return r
+}
+
+// RunMeanCtx is RunMean with cancellation: workers stop claiming chunks
+// once ctx is done and the statistics of every chunk that did complete
+// merge in chunk order, so the partial result is still deterministic for
+// a given set of completed chunks. The returned error is ctx.Err() when
+// the run was cut short and nil when it ran to completion.
+func (mc MonteCarlo) RunMeanCtx(ctx context.Context, trials int, trial func(rng *rand.Rand) float64) (mathx.Running, error) {
+	parts, done, err := mc.runChunks(ctx, trials, func(rng *rand.Rand, n int) mathx.Running {
 		var acc mathx.Running
 		for i := 0; i < n; i++ {
 			acc.Add(trial(rng))
 		}
 		return acc
 	})
-	var total mathx.Running
-	for _, p := range parts {
-		total.Merge(p)
-	}
-	return total
+	return mergeDone(parts, done), err
 }
 
 // RunCount executes trials calls of trial and returns how many returned
 // true, e.g. bit errors out of bits sent.
 func (mc MonteCarlo) RunCount(trials int, trial func(rng *rand.Rand) bool) int64 {
-	parts := mc.runChunks(trials, func(rng *rand.Rand, n int) mathx.Running {
+	n, _ := mc.RunCountCtx(context.Background(), trials, trial)
+	return n
+}
+
+// RunCountCtx is RunCount with cancellation; see RunMeanCtx for the
+// partial-result contract.
+func (mc MonteCarlo) RunCountCtx(ctx context.Context, trials int, trial func(rng *rand.Rand) bool) (int64, error) {
+	parts, done, err := mc.runChunks(ctx, trials, func(rng *rand.Rand, n int) mathx.Running {
 		var acc mathx.Running
 		for i := 0; i < n; i++ {
 			if trial(rng) {
@@ -61,10 +75,12 @@ func (mc MonteCarlo) RunCount(trials int, trial func(rng *rand.Rand) bool) int64
 		return acc
 	})
 	var total int64
-	for _, p := range parts {
-		total += int64(p.Mean()*float64(p.N()) + 0.5)
+	for c, p := range parts {
+		if done[c] {
+			total += int64(p.Mean()*float64(p.N()) + 0.5)
+		}
 	}
-	return total
+	return total, err
 }
 
 // RunBatches partitions trials into chunks and hands each chunk's size to
@@ -72,23 +88,44 @@ func (mc MonteCarlo) RunCount(trials int, trial func(rng *rand.Rand) bool) int64
 // matrix and sending many symbols through it) can run without per-trial
 // overhead. Batch results merge in chunk order.
 func (mc MonteCarlo) RunBatches(trials int, batch func(rng *rand.Rand, n int) mathx.Running) mathx.Running {
-	parts := mc.runChunks(trials, batch)
+	r, _ := mc.RunBatchesCtx(context.Background(), trials, batch)
+	return r
+}
+
+// RunBatchesCtx is RunBatches with cancellation; see RunMeanCtx for the
+// partial-result contract.
+func (mc MonteCarlo) RunBatchesCtx(ctx context.Context, trials int, batch func(rng *rand.Rand, n int) mathx.Running) (mathx.Running, error) {
+	parts, done, err := mc.runChunks(ctx, trials, batch)
+	return mergeDone(parts, done), err
+}
+
+// mergeDone folds the completed chunks in chunk order, skipping the ones
+// a cancellation left unrun.
+func mergeDone(parts []mathx.Running, done []bool) mathx.Running {
 	var total mathx.Running
-	for _, p := range parts {
-		total.Merge(p)
+	for c, p := range parts {
+		if done[c] {
+			total.Merge(p)
+		}
 	}
 	return total
 }
 
 // runChunks fans the chunk list out to the worker pool and returns the
-// per-chunk results indexed by chunk.
-func (mc MonteCarlo) runChunks(trials int, batch func(rng *rand.Rand, n int) mathx.Running) []mathx.Running {
+// per-chunk results indexed by chunk, plus a mask of which chunks ran.
+// Cancellation is observed between chunks — never inside one — so a
+// chunk is either absent or bit-identical to what an uncancelled run
+// produces: chunk i always draws from the i-th derived seed and the
+// derivation is a sequential splitmix64 walk, making seed prefixes
+// independent of the total chunk count.
+func (mc MonteCarlo) runChunks(ctx context.Context, trials int, batch func(rng *rand.Rand, n int) mathx.Running) ([]mathx.Running, []bool, error) {
 	if trials <= 0 {
-		return nil
+		return nil, nil, ctx.Err()
 	}
 	chunks := (trials + chunkSize - 1) / chunkSize
 	seeds := mathx.DeriveSeeds(mc.Seed, chunks)
 	parts := make([]mathx.Running, chunks)
+	done := make([]bool, chunks)
 
 	workers := mc.Workers
 	if workers <= 0 {
@@ -104,7 +141,7 @@ func (mc MonteCarlo) runChunks(trials int, batch func(rng *rand.Rand, n int) mat
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for {
+			for ctx.Err() == nil {
 				c := int(next.Add(1)) - 1
 				if c >= chunks {
 					return
@@ -114,9 +151,10 @@ func (mc MonteCarlo) runChunks(trials int, batch func(rng *rand.Rand, n int) mat
 					n = trials - c*chunkSize
 				}
 				parts[c] = batch(mathx.NewRand(seeds[c]), n)
+				done[c] = true
 			}
 		}()
 	}
 	wg.Wait()
-	return parts
+	return parts, done, ctx.Err()
 }

@@ -1,0 +1,15 @@
+#!/bin/sh
+# verify.sh — the repo's tier-1 gate plus the race detector.
+# Usage: ./verify.sh  (or: make verify)
+set -eu
+
+echo ">> go vet ./..."
+go vet ./...
+
+echo ">> go build ./..."
+go build ./...
+
+echo ">> go test -race ./..."
+go test -race ./...
+
+echo "verify: ok"
