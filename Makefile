@@ -1,12 +1,15 @@
 # Tier-1 verification plus the race detector. `make verify` is what CI
 # and pre-merge checks should run.
 
-.PHONY: verify vet build test race bench
+.PHONY: verify vet fmt-check build test race bench metrics-smoke
 
-verify: vet build race
+verify: vet fmt-check build race
 
 vet:
 	go vet ./...
+
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 build:
 	go build ./...
@@ -19,3 +22,8 @@ race:
 
 bench:
 	go test -bench=. -benchtime=1x ./...
+
+# Boots a cogmimod daemon, scrapes /metrics/prom and checks the core
+# metric names are exposed. A cheap end-to-end observability check.
+metrics-smoke:
+	go run ./internal/tools/metricssmoke

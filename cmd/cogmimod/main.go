@@ -6,21 +6,27 @@
 // Usage:
 //
 //	cogmimod -addr :8345 -workers 4 -queue 64 -cache 256
+//	cogmimod -log-level debug -log-json -pprof
 //
 // API (JSON):
 //
 //	POST   /v1/experiments      {"id":"fig6a","seed":1,"quick":true,"wait":true}
 //	GET    /v1/experiments      list runnable experiment IDs
-//	GET    /v1/jobs/{id}        job state (queued/running/done/failed/canceled)
+//	GET    /v1/jobs/{id}        job state, timestamps and live progress
 //	DELETE /v1/jobs/{id}        cancel a job
 //	GET    /v1/results/{key}    fetch a cached report by content key
 //	GET    /v1/stats            service counters as JSON
 //	GET    /healthz             liveness probe
-//	GET    /metrics             expvar dump (includes the service counters)
+//	GET    /metrics             expvar dump (legacy surface)
+//	GET    /metrics/prom        Prometheus text exposition
+//	GET    /debug/pprof/        profiling endpoints (with -pprof)
 //
-// A full queue answers 429 with a Retry-After hint. SIGINT/SIGTERM
-// drain the server gracefully: in-flight handlers get a shutdown grace
-// period and running jobs are cancelled between sweep points.
+// Every response carries an X-Trace-Id header (generated, or echoed
+// from the request); the same id tags all log lines of the request and
+// of any job it submitted. A full queue answers 429 with a Retry-After
+// hint. SIGINT/SIGTERM drain the server gracefully: in-flight handlers
+// get a shutdown grace period and running jobs are cancelled between
+// sweep points.
 package main
 
 import (
@@ -28,6 +34,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -39,13 +46,22 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8345", "listen address")
-		workers = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
-		queue   = flag.Int("queue", 64, "job queue depth before 429s")
-		cacheN  = flag.Int("cache", 256, "result cache entries")
-		grace   = flag.Duration("grace", 10*time.Second, "shutdown grace period")
+		addr     = flag.String("addr", ":8345", "listen address")
+		workers  = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		queue    = flag.Int("queue", 64, "job queue depth before 429s")
+		cacheN   = flag.Int("cache", 256, "result cache entries")
+		grace    = flag.Duration("grace", 10*time.Second, "shutdown grace period")
+		logLevel = flag.String("log-level", "info", "log level: debug, info, warn or error")
+		logJSON  = flag.Bool("log-json", false, "emit logs as JSON instead of text")
+		pprofOn  = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
+
+	logger, err := newLogger(*logLevel, *logJSON)
+	if err != nil {
+		fatal(err)
+	}
+	slog.SetDefault(logger)
 
 	svc, err := service.New(service.Config{
 		Workers:      *workers,
@@ -53,6 +69,7 @@ func main() {
 		CacheEntries: *cacheN,
 		Runner:       service.ExperimentRunner,
 		KnownIDs:     service.KnownExperimentIDs(),
+		Logger:       logger,
 	})
 	if err != nil {
 		fatal(err)
@@ -62,7 +79,7 @@ func main() {
 
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           newMux(svc),
+		Handler:           newMux(svc, muxConfig{Logger: logger, Pprof: *pprofOn}),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 
@@ -71,11 +88,11 @@ func main() {
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "cogmimod: listening on %s\n", *addr)
+	logger.Info("listening", "addr", *addr, "pprof", *pprofOn)
 
 	select {
 	case <-ctx.Done():
-		fmt.Fprintln(os.Stderr, "cogmimod: shutting down")
+		logger.Info("shutting down")
 	case err := <-errCh:
 		if !errors.Is(err, http.ErrServerClosed) {
 			fatal(err)
@@ -85,11 +102,27 @@ func main() {
 	shutdownCtx, cancelShutdown := context.WithTimeout(context.Background(), *grace)
 	defer cancelShutdown()
 	if err := srv.Shutdown(shutdownCtx); err != nil {
-		fmt.Fprintln(os.Stderr, "cogmimod: shutdown:", err)
+		logger.Error("shutdown", "error", err)
 	}
 	if err := svc.Stop(shutdownCtx); err != nil {
-		fmt.Fprintln(os.Stderr, "cogmimod: service stop:", err)
+		logger.Error("service stop", "error", err)
 	}
+}
+
+// newLogger builds the process logger on stderr at the given level.
+func newLogger(level string, asJSON bool) (*slog.Logger, error) {
+	var lv slog.Level
+	if err := lv.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("bad -log-level %q: %w", level, err)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	var h slog.Handler
+	if asJSON {
+		h = slog.NewJSONHandler(os.Stderr, opts)
+	} else {
+		h = slog.NewTextHandler(os.Stderr, opts)
+	}
+	return slog.New(h), nil
 }
 
 func fatal(err error) {

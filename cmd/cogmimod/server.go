@@ -5,10 +5,13 @@ import (
 	"errors"
 	"expvar"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"strings"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/service"
 )
 
@@ -28,8 +31,17 @@ type jobResponse struct {
 	Report string `json:"report,omitempty"`
 }
 
-// newMux wires the service into the v1 JSON API.
-func newMux(svc *service.Service) *http.ServeMux {
+// muxConfig carries the transport options main resolves from flags.
+type muxConfig struct {
+	// Logger receives access logs; nil means slog.Default().
+	Logger *slog.Logger
+	// Pprof mounts net/http/pprof under /debug/pprof/.
+	Pprof bool
+}
+
+// newMux wires the service into the v1 JSON API, wrapped in the
+// observability middleware (trace ids, access logs, request spans).
+func newMux(svc *service.Service, cfg muxConfig) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/experiments", func(w http.ResponseWriter, r *http.Request) {
 		var req submitRequest
@@ -41,7 +53,7 @@ func newMux(svc *service.Service) *http.ServeMux {
 			httpError(w, http.StatusBadRequest, "missing experiment id")
 			return
 		}
-		jv, err := svc.Submit(req.Request)
+		jv, err := svc.SubmitCtx(r.Context(), req.Request)
 		switch {
 		case errors.Is(err, service.ErrUnknownExperiment):
 			httpError(w, http.StatusBadRequest, err.Error())
@@ -91,7 +103,9 @@ func newMux(svc *service.Service) *http.ServeMux {
 
 	mux.HandleFunc("GET /v1/results/{key}", func(w http.ResponseWriter, r *http.Request) {
 		key := service.Key(r.PathValue("key"))
+		_, span := obs.StartSpan(r.Context(), "cache.lookup")
 		report, ok := svc.Result(key)
+		span.End()
 		if !ok {
 			httpError(w, http.StatusNotFound, "no result for key")
 			return
@@ -111,8 +125,75 @@ func newMux(svc *service.Service) *http.ServeMux {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
 
+	// expvar stays on /metrics for existing scrapers; the Prometheus
+	// text form of the obs registry is the new first-class endpoint.
 	mux.Handle("GET /metrics", expvar.Handler())
-	return mux
+	mux.Handle("GET /metrics/prom", obs.Default.Handler())
+
+	if cfg.Pprof {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
+
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.Default()
+	}
+	return withObs(logger, mux)
+}
+
+// httpDuration times full request handling, split by method.
+var httpDuration = obs.Default.HistogramVec("cogmimod_http_request_duration_seconds",
+	"HTTP request handling time by method.", "method", nil)
+
+// statusWriter captures the response code for the access log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// withObs is the observability middleware: it assigns every request a
+// trace id (accepting a caller-supplied X-Trace-Id), echoes it in the
+// X-Trace-Id response header, attaches a request-scoped logger to the
+// context, times the request as an "http.request" span and emits an
+// access log line. Scrape and probe endpoints log at debug so a
+// monitoring loop does not drown the job history.
+func withObs(logger *slog.Logger, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		traceID := r.Header.Get("X-Trace-Id")
+		if traceID == "" {
+			traceID = obs.NewTraceID()
+		}
+		w.Header().Set("X-Trace-Id", traceID)
+
+		reqLogger := logger.With("trace_id", traceID)
+		ctx := obs.WithTraceID(r.Context(), traceID)
+		ctx = obs.WithLogger(ctx, reqLogger)
+
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		next.ServeHTTP(sw, r.WithContext(ctx))
+		elapsed := time.Since(start)
+
+		httpDuration.With(r.Method).Observe(elapsed.Seconds())
+		obs.ObserveSpan(ctx, "http.request", elapsed)
+		level := slog.LevelInfo
+		if r.Method == http.MethodGet && (r.URL.Path == "/healthz" ||
+			strings.HasPrefix(r.URL.Path, "/metrics")) {
+			level = slog.LevelDebug
+		}
+		reqLogger.Log(ctx, level, "http request",
+			"method", r.Method, "path", r.URL.Path,
+			"status", sw.status, "duration", elapsed)
+	})
 }
 
 // withReport attaches the cached report to terminal done jobs.
@@ -150,13 +231,42 @@ func httpError(w http.ResponseWriter, code int, msg string) {
 	writeJSON(w, code, map[string]string{"error": msg})
 }
 
-// uptime publishes process start time under expvar for /metrics.
+// processStart anchors the uptime metric; package initialisation runs
+// once per process, so the value is a monotonic elapsed time no matter
+// how often the metric is evaluated.
+var processStart = time.Now()
+
+// publishMetrics exposes service state on both metric surfaces: the
+// legacy expvar dump at /metrics and live gauges in the obs registry at
+// /metrics/prom. It is idempotent so tests can spin up several servers
+// in one process — expvar publication happens once (expvar panics on
+// duplicates) and obs gauge callbacks rebind to the newest service.
 func publishMetrics(svc *service.Service) {
-	start := time.Now()
-	expvar.Publish("cogmimod_uptime_seconds", expvar.Func(func() any {
-		return time.Since(start).Seconds()
-	}))
-	expvar.Publish("cogmimod", expvar.Func(func() any {
-		return svc.Stats()
-	}))
+	if expvar.Get("cogmimod_uptime_seconds") == nil {
+		expvar.Publish("cogmimod_uptime_seconds", expvar.Func(func() any {
+			return time.Since(processStart).Seconds()
+		}))
+		expvar.Publish("cogmimod", expvar.Func(func() any {
+			return svc.Stats()
+		}))
+	}
+
+	obs.Default.GaugeFunc("cogmimod_uptime_seconds",
+		"Seconds since process start.",
+		func() float64 { return time.Since(processStart).Seconds() })
+	obs.Default.GaugeFunc("cogmimod_queue_depth",
+		"Jobs waiting for a worker.",
+		func() float64 { return float64(svc.Stats().QueueDepth) })
+	obs.Default.GaugeFunc("cogmimod_queue_capacity",
+		"Queue bound before submissions are rejected with 429.",
+		func() float64 { return float64(svc.Stats().QueueCapacity) })
+	obs.Default.GaugeFunc("cogmimod_workers",
+		"Worker pool size.",
+		func() float64 { return float64(svc.Stats().Workers) })
+	obs.Default.GaugeFunc("cogmimod_cache_entries",
+		"Completed results currently cached.",
+		func() float64 { return float64(svc.Stats().CacheEntries) })
+	obs.Default.GaugeFunc("cogmimod_cache_hit_ratio",
+		"Cache hits over completed lookups (hits+misses).",
+		func() float64 { return svc.Stats().CacheHitRatio })
 }

@@ -26,7 +26,8 @@ func newTestServer(t *testing.T, cfg service.Config) (*httptest.Server, *service
 		t.Fatal(err)
 	}
 	svc.Start()
-	ts := httptest.NewServer(newMux(svc))
+	publishMetrics(svc)
+	ts := httptest.NewServer(newMux(svc, muxConfig{}))
 	t.Cleanup(func() {
 		ts.Close()
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)

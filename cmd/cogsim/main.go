@@ -6,6 +6,10 @@
 //	cogsim -id table2
 //	cogsim -all -seed 7
 //	cogsim -id fig7 -quick
+//
+// On a terminal, a live progress line on stderr tracks completed work
+// (sweep points, testbed runs, Monte-Carlo trials) while the tables
+// render to stdout; -progress on/off overrides the terminal detection.
 package main
 
 import (
@@ -13,32 +17,54 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"strings"
 	"syscall"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
 
 func main() {
 	var (
-		id     = flag.String("id", "", "experiment to run (see -list)")
-		all    = flag.Bool("all", false, "run every experiment")
-		list   = flag.Bool("list", false, "list experiment IDs and exit")
-		seed   = flag.Int64("seed", 1, "master random seed")
-		quick  = flag.Bool("quick", false, "shrink workloads for a fast smoke run")
-		format = flag.String("format", "text", "output format: text, csv or json")
-		plot   = flag.Bool("plot", false, "render numeric reports as an ASCII chart")
-		logY   = flag.Bool("logy", false, "log-scale the plot's y axis (use with fig7)")
+		id       = flag.String("id", "", "experiment to run (see -list)")
+		all      = flag.Bool("all", false, "run every experiment")
+		list     = flag.Bool("list", false, "list experiment IDs and exit")
+		seed     = flag.Int64("seed", 1, "master random seed")
+		quick    = flag.Bool("quick", false, "shrink workloads for a fast smoke run")
+		format   = flag.String("format", "text", "output format: text, csv or json")
+		plot     = flag.Bool("plot", false, "render numeric reports as an ASCII chart")
+		logY     = flag.Bool("logy", false, "log-scale the plot's y axis (use with fig7)")
+		progress = flag.String("progress", "auto", "live progress line on stderr: auto, on or off")
+		logLevel = flag.String("log-level", "warn", "log level: debug, info, warn or error")
 	)
 	flag.Parse()
+
+	var lv slog.Level
+	if err := lv.UnmarshalText([]byte(*logLevel)); err != nil {
+		fatal(fmt.Errorf("bad -log-level %q: %w", *logLevel, err))
+	}
+	slog.SetDefault(slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lv})))
 
 	// Ctrl-C cancels the run between sweep points instead of killing
 	// the process mid-write: completed output stays intact and the exit
 	// path reports the interruption.
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer cancel()
+
+	// Experiment drivers and sim.MonteCarlo report completed work into
+	// the tracker; on a terminal a printer renders it live.
+	tracker := obs.NewTracker()
+	ctx = obs.WithProgress(ctx, tracker)
+	showProgress := *progress == "on" || (*progress == "auto" && obs.IsTerminal(os.Stderr))
+	watch := func(label string) (stop func()) {
+		if !showProgress {
+			return func() {}
+		}
+		return obs.StartProgressPrinter(os.Stderr, label, tracker, 0)
+	}
 
 	render := func(rep *experiments.Report) (string, error) {
 		if *plot {
@@ -51,7 +77,9 @@ func main() {
 	case *list:
 		fmt.Println(strings.Join(experiments.IDs(), "\n"))
 	case *all:
+		stop := watch("all")
 		reps, err := experiments.RunAllCtx(ctx, experiments.Options{Seed: *seed, Quick: *quick})
+		stop()
 		if err != nil {
 			fatal(err)
 		}
@@ -66,7 +94,9 @@ func main() {
 			fmt.Print(out)
 		}
 	case *id != "":
+		stop := watch(*id)
 		rep, err := experiments.RunCtx(ctx, *id, experiments.Options{Seed: *seed, Quick: *quick})
+		stop()
 		if err != nil {
 			fatal(err)
 		}

@@ -5,6 +5,10 @@
 // Usage:
 //
 //	netsim -nodes 80 -field 400 -range 80 -d 30 -link 250 -seed 3
+//
+// On a terminal, a live progress line on stderr tracks the pipeline
+// stages (deploy, cluster, link, route, cost); -progress on/off
+// overrides the terminal detection.
 package main
 
 import (
@@ -19,6 +23,7 @@ import (
 	"repro/internal/energy"
 	"repro/internal/mathx"
 	"repro/internal/network"
+	"repro/internal/obs"
 	"repro/internal/units"
 )
 
@@ -31,6 +36,7 @@ func main() {
 		link  = flag.Float64("link", 200, "max cooperative link length D")
 		seed  = flag.Int64("seed", 1, "deployment seed")
 		ber   = flag.Float64("ber", 0.001, "route BER target")
+		prog  = flag.String("progress", "auto", "live progress line on stderr: auto, on or off")
 	)
 	flag.Parse()
 
@@ -46,12 +52,23 @@ func main() {
 		}
 	}
 
+	// The pipeline reports its five stages — deploy, cluster, link,
+	// route, cost — through a progress tracker; on a terminal a live
+	// line on stderr shows how far a large deployment has come.
+	tracker := obs.NewTracker()
+	tracker.AddTotal(5)
+	if *prog == "on" || (*prog == "auto" && obs.IsTerminal(os.Stderr)) {
+		stop := obs.StartProgressPrinter(os.Stderr, "netsim", tracker, 0)
+		defer stop()
+	}
+
 	rng := mathx.NewRand(*seed)
 	dep := network.RandomDeployment(rng, *nodes, *field, *field, 1, 10)
 	g, err := network.NewGraph(dep, *rng_)
 	if err != nil {
 		fatal(err)
 	}
+	tracker.Add(1) // deploy
 	cl, err := network.DCluster(g, *d)
 	if err != nil {
 		fatal(err)
@@ -59,11 +76,13 @@ func main() {
 	if err := cl.Validate(); err != nil {
 		fatal(err)
 	}
+	tracker.Add(1) // cluster
 	interrupted()
 	net, err := network.BuildCoMIMONet(cl, *link)
 	if err != nil {
 		fatal(err)
 	}
+	tracker.Add(1) // link
 
 	fmt.Printf("deployment: %d nodes on %gx%g m, r=%g m\n", *nodes, *field, *field, *rng_)
 	fmt.Printf("clusters (d=%g m): %d\n", *d, len(cl.Clusters))
@@ -86,6 +105,7 @@ func main() {
 			fmt.Printf("route %d -> %d: disconnected\n", src, dst)
 			return
 		}
+		tracker.Add(1) // route
 		fmt.Printf("backbone route %d -> %d: %v\n", src, dst, route)
 		model, err := energy.New(energy.Paper(40e3), ebtable.Analytic{})
 		if err != nil {
@@ -95,6 +115,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		tracker.Add(1) // cost
 		fmt.Printf("estimated cooperative relay energy: %v at BER %g\n", e, *ber)
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"repro/internal/energy"
 	"repro/internal/interweave"
 	"repro/internal/mathx"
+	"repro/internal/obs"
 	"repro/internal/overlay"
 	"repro/internal/underlay"
 	"repro/internal/units"
@@ -50,6 +51,8 @@ func fig6Sweep(ctx context.Context, id, title, distName string, pick func(overla
 			Model: model, M: c.M, DirectBER: 0.005, RelayBER: 0.0005,
 		}}
 	}
+	progress := obs.ProgressFrom(ctx)
+	progress.AddTotal(int64((350-150)/25) + 1)
 	for d1 := 150.0; d1 <= 350+1e-9; d1 += 25 {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -63,6 +66,7 @@ func fig6Sweep(ctx context.Context, id, title, distName string, pick func(overla
 			row = append(row, fmt.Sprintf("%.0f", pick(a)))
 		}
 		rep.Rows = append(rep.Rows, row)
+		progress.Add(1)
 	}
 	_ = distName
 	return rep, nil
@@ -107,6 +111,8 @@ func Fig7(ctx context.Context, opts Options) (*Report, error) {
 	for _, p := range fig7Pairs {
 		rep.Header = append(rep.Header, fmt.Sprintf("mt=%d mr=%d", p[0], p[1]))
 	}
+	progress := obs.ProgressFrom(ctx)
+	progress.AddTotal(int64((300-100)/25) + 1)
 	for d := 100.0; d <= 300+1e-9; d += 25 {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -123,6 +129,7 @@ func Fig7(ctx context.Context, opts Options) (*Report, error) {
 			row = append(row, fmt.Sprintf("%.3e", float64(r.TotalPA)))
 		}
 		rep.Rows = append(rep.Rows, row)
+		progress.Add(1)
 	}
 	return rep, nil
 }
@@ -137,11 +144,14 @@ func Table1(ctx context.Context, opts Options) (*Report, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	progress := obs.ProgressFrom(ctx)
+	progress.AddTotal(int64(trials))
 	rng := mathx.NewRand(opts.Seed)
 	rows, avg, err := interweave.RunTable(interweave.PaperTrialConfig(), rng, trials)
 	if err != nil {
 		return nil, err
 	}
+	progress.Add(int64(trials))
 	rep := &Report{
 		ID:     "table1",
 		Title:  "amplitude of signal waves from two cooperative SUs (interweave)",

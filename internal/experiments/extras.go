@@ -12,6 +12,7 @@ import (
 	"repro/internal/mathx"
 	"repro/internal/multihop"
 	"repro/internal/network"
+	"repro/internal/obs"
 	"repro/internal/overlay"
 	"repro/internal/powergame"
 	"repro/internal/sensing"
@@ -48,7 +49,10 @@ func ExtROC(ctx context.Context, opts Options) (*Report, error) {
 		},
 	}
 	const snr = 0.19952623149688797 // -7 dB
-	for _, pfa := range []float64{0.1, 0.05, 0.01, 0.001} {
+	pfas := []float64{0.1, 0.05, 0.01, 0.001}
+	progress := obs.ProgressFrom(ctx)
+	progress.AddTotal(int64(len(pfas)))
+	for _, pfa := range pfas {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
@@ -72,6 +76,7 @@ func ExtROC(ctx context.Context, opts Options) (*Report, error) {
 			fmt.Sprintf("%.4f", majPd),
 			fmt.Sprintf("%.4f", majPfa),
 		})
+		progress.Add(1)
 	}
 	return rep, nil
 }
@@ -79,10 +84,13 @@ func ExtROC(ctx context.Context, opts Options) (*Report, error) {
 // ExtLifetime contrasts static cluster heads against battery-driven head
 // rotation — the payoff of the CoMIMONet's reconfigurability.
 func ExtLifetime(ctx context.Context, opts Options) (*Report, error) {
+	progress := obs.ProgressFrom(ctx)
+	progress.AddTotal(2)
 	run := func(reconf int) (network.LifetimeResult, error) {
 		if err := ctx.Err(); err != nil {
 			return network.LifetimeResult{}, err
 		}
+		defer progress.Add(1)
 		rng := mathx.NewRand(opts.Seed)
 		dep := network.RandomDeployment(rng, 24, 40, 40, 100, 100)
 		g, err := network.NewGraph(dep, 60)
@@ -140,6 +148,8 @@ func ExtMultihop(ctx context.Context, opts Options) (*Report, error) {
 		},
 	}
 	snr := math.Pow(10, 1.1)
+	progress := obs.ProgressFrom(ctx)
+	progress.AddTotal(4)
 	for hops := 1; hops <= 4; hops++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -159,6 +169,7 @@ func ExtMultihop(ctx context.Context, opts Options) (*Report, error) {
 			fmt.Sprintf("%.3e", r.EndToEndBER),
 			fmt.Sprintf("%.3e", r.PredictedBER),
 		})
+		progress.Add(1)
 	}
 	return rep, nil
 }
@@ -176,6 +187,8 @@ func ExtConvention(ctx context.Context, opts Options) (*Report, error) {
 			"extension experiment: not a paper artifact (see DESIGN.md)",
 		},
 	}
+	progress := obs.ProgressFrom(ctx)
+	progress.AddTotal(2)
 	for _, c := range []struct {
 		name string
 		conv ebtable.Convention
@@ -202,6 +215,7 @@ func ExtConvention(ctx context.Context, opts Options) (*Report, error) {
 			fmt.Sprintf("%.0f", a.D3),
 			fmt.Sprintf("%.2f", a.D3/a.D2),
 		})
+		progress.Add(1)
 	}
 	return rep, nil
 }
@@ -239,6 +253,8 @@ func ExtCycle(ctx context.Context, opts Options) (*Report, error) {
 			"extension experiment: not a paper artifact (see DESIGN.md)",
 		},
 	}
+	progress := obs.ProgressFrom(ctx)
+	progress.AddTotal(3)
 	for _, c := range []struct {
 		name  string
 		blind bool
@@ -258,6 +274,7 @@ func ExtCycle(ctx context.Context, opts Options) (*Report, error) {
 			fmt.Sprintf("%.4f", r.CollisionRate),
 			fmt.Sprintf("%d", r.FramesSent),
 		})
+		progress.Add(1)
 	}
 	return rep, nil
 }
@@ -294,7 +311,10 @@ func ExtGame(ctx context.Context, opts Options) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	for _, puDist := range []float64{500, 100, 30, 12} {
+	puDists := []float64{500, 100, 30, 12}
+	progress := obs.ProgressFrom(ctx)
+	progress.AddTotal(int64(len(puDists)))
+	for _, puDist := range puDists {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
@@ -322,6 +342,7 @@ func ExtGame(ctx context.Context, opts Options) (*Report, error) {
 			fmt.Sprintf("%v", r.Converged),
 			fmt.Sprintf("%.4f", coopMargin),
 		})
+		progress.Add(1)
 	}
 	return rep, nil
 }

@@ -10,7 +10,16 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
+
+	"repro/internal/obs"
 )
+
+// expDuration records driver wall-clock time by experiment ID, for
+// the "which sweep is slow" question the service cannot answer from
+// job totals alone (a job may be a cache hit).
+var expDuration = obs.Default.HistogramVec("cogmimod_experiment_duration_seconds",
+	"Driver wall-clock time by experiment ID.", "experiment", nil)
 
 // Report is one regenerated artifact.
 type Report struct {
@@ -109,6 +118,8 @@ func Run(id string, opts Options) (*Report, error) {
 
 // RunCtx executes one experiment by ID under ctx; a cancelled or expired
 // context aborts the driver between sweep points and surfaces ctx.Err().
+// Each completed driver run is timed into the per-experiment duration
+// histogram and logged at debug level through the context logger.
 func RunCtx(ctx context.Context, id string, opts Options) (*Report, error) {
 	d, ok := registry[id]
 	if !ok {
@@ -117,7 +128,15 @@ func RunCtx(ctx context.Context, id string, opts Options) (*Report, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	return d(ctx, opts)
+	start := time.Now()
+	rep, err := d(ctx, opts)
+	if err == nil {
+		elapsed := time.Since(start)
+		expDuration.With(id).Observe(elapsed.Seconds())
+		obs.Logger(ctx).Debug("experiment finished",
+			"experiment", id, "duration", elapsed, "quick", opts.Quick)
+	}
+	return rep, err
 }
 
 // RunAll executes every experiment in ID order.

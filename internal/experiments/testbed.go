@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/testbed"
 )
 
@@ -21,6 +22,8 @@ func Table2(ctx context.Context, opts Options) (*Report, error) {
 	}
 	var sumC, sumD float64
 	runs := 3
+	progress := obs.ProgressFrom(ctx)
+	progress.AddTotal(int64(runs))
 	for i := 0; i < runs; i++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -33,6 +36,7 @@ func Table2(ctx context.Context, opts Options) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
+		progress.Add(1)
 		sumC += r.CoopBER
 		sumD += r.DirectBER
 		rep.Rows = append(rep.Rows, []string{
@@ -56,13 +60,19 @@ func Table3(ctx context.Context, opts Options) (*Report, error) {
 	if opts.Quick {
 		bits = 20000
 	}
+	progress := obs.ProgressFrom(ctx)
+	progress.AddTotal(3)
 	run := func(relays int) (testbed.OverlayResult, error) {
 		if err := ctx.Err(); err != nil {
 			return testbed.OverlayResult{}, err
 		}
 		x := testbed.Table3Setup(opts.Seed, relays)
 		x.Bits = bits
-		return x.Run()
+		r, err := x.Run()
+		if err == nil {
+			progress.Add(1)
+		}
+		return r, err
 	}
 	direct, err := run(0)
 	if err != nil {
@@ -106,10 +116,13 @@ func Table4(ctx context.Context, opts Options) (*Report, error) {
 		}
 		x.Image = img
 	}
+	progress := obs.ProgressFrom(ctx)
+	progress.AddTotal(1)
 	rows, err := x.RunTable(nil)
 	if err != nil {
 		return nil, err
 	}
+	progress.Add(1)
 	rep := &Report{
 		ID:     "table4",
 		Title:  "PER results for the underlay testbed (474-packet image, GMSK)",
@@ -146,10 +159,13 @@ func Fig8(ctx context.Context, opts Options) (*Report, error) {
 	if opts.Quick {
 		x.Averages = 16
 	}
+	progress := obs.ProgressFrom(ctx)
+	progress.AddTotal(1)
 	pts, err := x.Run(nil)
 	if err != nil {
 		return nil, err
 	}
+	progress.Add(1)
 	rep := &Report{
 		ID:     "fig8",
 		Title:  "cooperative beamformer pattern vs SISO (null at 120 deg)",

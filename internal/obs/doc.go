@@ -1,0 +1,47 @@
+// Package obs is the observability layer of the cogmimod stack: a
+// stdlib-only metrics registry, structured logging helpers, lightweight
+// spans and a progress sink — shared by the service, the simulation
+// kernels and the CLIs.
+//
+// # Metrics
+//
+// A Registry holds counters, gauges and fixed-bucket histograms,
+// optionally split by a single label, and renders them in the
+// Prometheus text exposition format (one sample per line, preceded by
+// # HELP and # TYPE headers). All constructors have get-or-create
+// semantics — calling Counter twice with the same name returns the same
+// counter — so packages can declare their metrics in vars without
+// coordinating registration order. Default is the process-wide registry
+// that cmd/cogmimod serves at GET /metrics/prom; expvar stays on
+// /metrics for compatibility.
+//
+// # Logging and tracing
+//
+// Loggers ride on context.Context: WithLogger attaches a *slog.Logger,
+// Logger retrieves it (falling back to slog.Default), and WithTraceID /
+// TraceID carry a request- or job-scoped trace identifier that the HTTP
+// layer generates (or accepts from an X-Trace-Id request header) and
+// echoes back in the X-Trace-Id response header. A job inherits the
+// trace id of the request that submitted it, so one id follows a
+// computation from HTTP arrival through queueing to driver completion.
+//
+// # Spans
+//
+// StartSpan(ctx, name) marks the beginning of a stage; Span.End records
+// its duration into the obs_span_duration_seconds{span=name} histogram
+// of the Default registry and emits a debug log line through the
+// context logger. ObserveSpan records an already-measured duration the
+// same way (used for retroactive stages such as queue wait). Span names
+// become label values — keep them to a small fixed vocabulary.
+//
+// # Progress
+//
+// A Progress sink receives AddTotal (expected work) and Add (completed
+// work) calls; Tracker is the standard implementation with an atomic
+// snapshot of done/total/elapsed. WithProgress / ProgressFrom propagate
+// the sink through context — ProgressFrom returns a no-op sink when
+// none is attached, so instrumented code never branches. sim.MonteCarlo
+// reports completed trials per chunk, experiment drivers report sweep
+// points, the service exposes the snapshot on GET /v1/jobs/{id}, and
+// StartProgressPrinter renders a live progress line on a terminal.
+package obs

@@ -1,0 +1,138 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Progress receives work accounting from instrumented code: AddTotal
+// grows the expected amount of work (totals may arrive incrementally,
+// e.g. one sweep at a time) and Add records completed work. Both must
+// be safe for concurrent use.
+type Progress interface {
+	AddTotal(n int64)
+	Add(n int64)
+}
+
+type nopProgress struct{}
+
+func (nopProgress) AddTotal(int64) {}
+func (nopProgress) Add(int64)      {}
+
+// Nop is a Progress sink that discards everything.
+var Nop Progress = nopProgress{}
+
+// Tracker is the standard Progress implementation: atomic done/total
+// counters plus the wall-clock start, snapshotted without locks.
+type Tracker struct {
+	start time.Time
+	total atomic.Int64
+	done  atomic.Int64
+}
+
+// NewTracker returns a tracker whose elapsed time starts now.
+func NewTracker() *Tracker { return &Tracker{start: time.Now()} }
+
+// AddTotal grows the expected work. Safe on a nil receiver.
+func (t *Tracker) AddTotal(n int64) {
+	if t != nil && n > 0 {
+		t.total.Add(n)
+	}
+}
+
+// Add records completed work. Safe on a nil receiver.
+func (t *Tracker) Add(n int64) {
+	if t != nil && n > 0 {
+		t.done.Add(n)
+	}
+}
+
+// ProgressSnapshot is a point-in-time view of a Tracker.
+type ProgressSnapshot struct {
+	Done    int64
+	Total   int64
+	Elapsed time.Duration
+}
+
+// Snapshot reads the tracker. Safe on a nil receiver, which reads as
+// all-zero.
+func (t *Tracker) Snapshot() ProgressSnapshot {
+	if t == nil {
+		return ProgressSnapshot{}
+	}
+	return ProgressSnapshot{
+		Done:    t.done.Load(),
+		Total:   t.total.Load(),
+		Elapsed: time.Since(t.start),
+	}
+}
+
+// WithProgress attaches a progress sink to the context.
+func WithProgress(ctx context.Context, p Progress) context.Context {
+	return context.WithValue(ctx, ctxProgress, p)
+}
+
+// ProgressFrom returns the context's progress sink, or Nop when none
+// is attached — callers report unconditionally.
+func ProgressFrom(ctx context.Context) Progress {
+	if p, ok := ctx.Value(ctxProgress).(Progress); ok && p != nil {
+		return p
+	}
+	return Nop
+}
+
+// StartProgressPrinter renders a live single-line progress display for
+// t on w (meant for a terminal's stderr), refreshing every interval.
+// The returned stop function prints a final line ending in a newline
+// and waits for the printer goroutine to exit; it is idempotent.
+func StartProgressPrinter(w io.Writer, label string, t *Tracker, interval time.Duration) (stop func()) {
+	if interval <= 0 {
+		interval = 200 * time.Millisecond
+	}
+	done := make(chan struct{})
+	exited := make(chan struct{})
+	go func() {
+		defer close(exited)
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-done:
+				fmt.Fprintf(w, "\r%s\n", progressLine(label, t.Snapshot()))
+				return
+			case <-tick.C:
+				fmt.Fprintf(w, "\r%s", progressLine(label, t.Snapshot()))
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(done)
+			<-exited
+		})
+	}
+}
+
+// progressLine formats one display line; trailing spaces erase residue
+// from a previous, longer line after the carriage return.
+func progressLine(label string, s ProgressSnapshot) string {
+	el := s.Elapsed.Truncate(100 * time.Millisecond)
+	if s.Total > 0 {
+		pct := 100 * float64(s.Done) / float64(s.Total)
+		return fmt.Sprintf("%s: %d/%d trials (%3.0f%%) %s   ", label, s.Done, s.Total, pct, el)
+	}
+	return fmt.Sprintf("%s: %d trials %s   ", label, s.Done, el)
+}
+
+// IsTerminal reports whether f is attached to a character device —
+// the gate for live progress lines and carriage-return redraws.
+func IsTerminal(f *os.File) bool {
+	st, err := f.Stat()
+	return err == nil && st.Mode()&os.ModeCharDevice != 0
+}

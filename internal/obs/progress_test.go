@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTrackerSnapshot(t *testing.T) {
+	tr := NewTracker()
+	tr.AddTotal(100)
+	tr.Add(30)
+	tr.Add(20)
+	s := tr.Snapshot()
+	if s.Done != 50 || s.Total != 100 {
+		t.Fatalf("snapshot = %+v, want done=50 total=100", s)
+	}
+	if s.Elapsed < 0 {
+		t.Errorf("elapsed negative: %v", s.Elapsed)
+	}
+	tr.Add(-10)
+	tr.AddTotal(-10)
+	if s2 := tr.Snapshot(); s2.Done != 50 || s2.Total != 100 {
+		t.Errorf("negative deltas must be ignored, got %+v", s2)
+	}
+}
+
+func TestTrackerConcurrent(t *testing.T) {
+	tr := NewTracker()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				tr.AddTotal(1)
+				tr.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if s := tr.Snapshot(); s.Done != 4000 || s.Total != 4000 {
+		t.Fatalf("snapshot = %+v, want 4000/4000", s)
+	}
+}
+
+func TestNilTrackerIsSafe(t *testing.T) {
+	var tr *Tracker
+	tr.Add(1)
+	tr.AddTotal(1)
+	if s := tr.Snapshot(); s != (ProgressSnapshot{}) {
+		t.Fatalf("nil tracker snapshot = %+v", s)
+	}
+}
+
+func TestProgressContextRoundTrip(t *testing.T) {
+	if ProgressFrom(context.Background()) != Nop {
+		t.Fatal("empty context must yield the Nop sink")
+	}
+	tr := NewTracker()
+	ctx := WithProgress(context.Background(), tr)
+	p := ProgressFrom(ctx)
+	p.AddTotal(2)
+	p.Add(2)
+	if s := tr.Snapshot(); s.Done != 2 || s.Total != 2 {
+		t.Fatalf("context-carried sink not wired: %+v", s)
+	}
+}
+
+func TestProgressPrinter(t *testing.T) {
+	var mu sync.Mutex
+	var b strings.Builder
+	w := writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return b.Write(p)
+	})
+	tr := NewTracker()
+	tr.AddTotal(10)
+	tr.Add(5)
+	stop := StartProgressPrinter(w, "unit", tr, time.Millisecond)
+	time.Sleep(20 * time.Millisecond)
+	stop()
+	stop() // idempotent
+	mu.Lock()
+	out := b.String()
+	mu.Unlock()
+	if !strings.Contains(out, "unit: 5/10 trials") {
+		t.Fatalf("printer output missing progress line: %q", out)
+	}
+	if !strings.HasSuffix(out, "\n") {
+		t.Errorf("stop must end the line with a newline: %q", out)
+	}
+}
+
+type writerFunc func(p []byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }

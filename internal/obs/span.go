@@ -1,0 +1,52 @@
+package obs
+
+import (
+	"context"
+	"log/slog"
+	"time"
+)
+
+// spanDurations is the one histogram family all spans feed; the span
+// name is the label, so keep names to a small fixed vocabulary
+// ("http.request", "driver.run", "mc.chunk", ...).
+var spanDurations = Default.HistogramVec("obs_span_duration_seconds",
+	"Duration of instrumented stages, labeled by span name.", "span", nil)
+
+// Span is one timed stage; see StartSpan.
+type Span struct {
+	name  string
+	start time.Time
+	log   *slog.Logger
+}
+
+// StartSpan begins timing a named stage. End records the duration into
+// the Default registry and emits a debug log line through the context
+// logger (with whatever trace/job attributes it carries). The returned
+// context is the input unchanged — spans do not nest structurally,
+// they only measure.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	return ctx, &Span{name: name, start: time.Now(), log: Logger(ctx)}
+}
+
+// End finishes the span. Safe on a nil receiver.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	d := time.Since(s.start)
+	spanDurations.With(s.name).Observe(d.Seconds())
+	if s.log.Enabled(context.Background(), slog.LevelDebug) {
+		s.log.Debug("span", "span", s.name, "duration", d)
+	}
+}
+
+// ObserveSpan records an already-measured stage duration — the
+// retroactive form of StartSpan/End, used when the interval's start
+// predates the observing code (e.g. queue wait).
+func ObserveSpan(ctx context.Context, name string, d time.Duration) {
+	spanDurations.With(name).Observe(d.Seconds())
+	l := Logger(ctx)
+	if l.Enabled(ctx, slog.LevelDebug) {
+		l.Debug("span", "span", name, "duration", d)
+	}
+}

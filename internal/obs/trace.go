@@ -1,0 +1,49 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"log/slog"
+)
+
+type ctxKey int
+
+const (
+	ctxLogger ctxKey = iota
+	ctxTrace
+	ctxProgress
+)
+
+// NewTraceID returns a fresh 128-bit identifier as 32 hex characters.
+func NewTraceID() string {
+	var b [16]byte
+	_, _ = rand.Read(b[:]) // never fails; panics on a broken entropy source
+	return hex.EncodeToString(b[:])
+}
+
+// WithTraceID attaches a trace identifier to the context.
+func WithTraceID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, ctxTrace, id)
+}
+
+// TraceID returns the context's trace identifier, or "" when none is
+// attached.
+func TraceID(ctx context.Context) string {
+	id, _ := ctx.Value(ctxTrace).(string)
+	return id
+}
+
+// WithLogger attaches a logger to the context.
+func WithLogger(ctx context.Context, l *slog.Logger) context.Context {
+	return context.WithValue(ctx, ctxLogger, l)
+}
+
+// Logger returns the context's logger, falling back to slog.Default so
+// instrumented code can always log without nil checks.
+func Logger(ctx context.Context) *slog.Logger {
+	if l, ok := ctx.Value(ctxLogger).(*slog.Logger); ok {
+		return l
+	}
+	return slog.Default()
+}

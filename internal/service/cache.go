@@ -108,6 +108,7 @@ func (c *cache) do(ctx context.Context, key Key, compute func() (string, error))
 			c.lru.MoveToFront(el)
 			c.mu.Unlock()
 			c.stats.hits.Add(1)
+			metCacheHits.Inc()
 			return el.Value.(*entry).val, true, nil
 		}
 		if f, ok := c.inflight[key]; ok {
@@ -116,6 +117,7 @@ func (c *cache) do(ctx context.Context, key Key, compute func() (string, error))
 			case <-f.done:
 				if f.err == nil {
 					c.stats.coalesced.Add(1)
+					metCacheCoalesced.Inc()
 					return f.val, true, nil
 				}
 				// The computing caller failed or was cancelled and
@@ -130,6 +132,7 @@ func (c *cache) do(ctx context.Context, key Key, compute func() (string, error))
 		c.mu.Unlock()
 
 		c.stats.misses.Add(1)
+		metCacheMisses.Inc()
 		f.val, f.err = compute()
 
 		c.mu.Lock()
@@ -156,6 +159,7 @@ func (c *cache) insertLocked(key Key, val string) {
 		c.lru.Remove(oldest)
 		delete(c.entries, oldest.Value.(*entry).key)
 		c.stats.evictions.Add(1)
+		metCacheEvictions.Inc()
 	}
 }
 

@@ -1,0 +1,35 @@
+package service
+
+import "repro/internal/obs"
+
+// Package-level metrics in the stack's Default registry. They are
+// process-wide on purpose: several Service instances (as in tests)
+// feed the same counters, exactly like several handlers feeding one
+// Prometheus family. Gauges that need a live instance are bound in
+// cmd/cogmimod's publishMetrics instead.
+var (
+	metJobs = obs.Default.CounterVec("cogmimod_jobs_total",
+		"Jobs by lifecycle event: submitted, rejected, and the terminal states done/failed/canceled.",
+		"status")
+	metJobDuration = obs.Default.Histogram("cogmimod_job_duration_seconds",
+		"Wall-clock runtime of jobs that reached a worker, from start to terminal state.", nil)
+	metQueueWait = obs.Default.Histogram("cogmimod_job_queue_wait_seconds",
+		"Time jobs spent queued before a worker picked them up.", nil)
+	metCacheHits = obs.Default.Counter("cogmimod_cache_hits_total",
+		"Result-cache lookups served from a completed entry.")
+	metCacheCoalesced = obs.Default.Counter("cogmimod_cache_coalesced_total",
+		"Result-cache lookups coalesced onto another caller's in-flight computation.")
+	metCacheMisses = obs.Default.Counter("cogmimod_cache_misses_total",
+		"Result-cache lookups that had to compute.")
+	metCacheEvictions = obs.Default.Counter("cogmimod_cache_evictions_total",
+		"Completed results evicted by the LRU bound.")
+)
+
+// init pre-seeds the jobs_total series so every status is visible (as
+// 0) from the first scrape, before any job has moved through it.
+func init() {
+	for _, st := range []string{"submitted", "rejected",
+		string(StateDone), string(StateFailed), string(StateCanceled)} {
+		metJobs.With(st).Add(0)
+	}
+}

@@ -1,0 +1,119 @@
+package service
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func waitTerminal(t *testing.T, s *Service, id string) JobView {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	jv, err := s.Wait(ctx, id)
+	if err != nil {
+		t.Fatalf("Wait(%s): %v", id, err)
+	}
+	return jv
+}
+
+func TestStatsCacheHitRatio(t *testing.T) {
+	s, err := New(Config{Workers: 1, Runner: func(ctx context.Context, req Request) (string, error) {
+		return "r", nil
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	defer s.Stop(context.Background())
+
+	if got := s.Stats().CacheHitRatio; got != 0 {
+		t.Fatalf("hit ratio before traffic = %v, want 0", got)
+	}
+	jv, err := s.Submit(Request{ID: "x", Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, s, jv.ID)
+	jv2, err := s.Submit(Request{ID: "x", Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, s, jv2.ID)
+
+	st := s.Stats()
+	if st.CacheHits != 1 || st.CacheMisses != 1 {
+		t.Fatalf("stats = %+v, want one hit and one miss", st)
+	}
+	if st.CacheHitRatio != 0.5 {
+		t.Fatalf("hit ratio = %v, want 0.5", st.CacheHitRatio)
+	}
+}
+
+func TestJobViewTimestampsAndProgress(t *testing.T) {
+	s, err := New(Config{Workers: 1, Runner: func(ctx context.Context, req Request) (string, error) {
+		p := obs.ProgressFrom(ctx)
+		p.AddTotal(4)
+		p.Add(4)
+		return "r", nil
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	defer s.Stop(context.Background())
+
+	before := time.Now()
+	jv, err := s.Submit(Request{ID: "x", Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jv.Queued.Before(before.Add(-time.Second)) || jv.Queued.IsZero() {
+		t.Fatalf("queued_at not recorded: %v", jv.Queued)
+	}
+	done := waitTerminal(t, s, jv.ID)
+	if done.Started.IsZero() || done.Finished.IsZero() {
+		t.Fatalf("terminal job missing timestamps: %+v", done)
+	}
+	if done.Started.Before(done.Queued) || done.Finished.Before(done.Started) {
+		t.Fatalf("timestamps out of order: queued=%v started=%v finished=%v",
+			done.Queued, done.Started, done.Finished)
+	}
+	if done.Progress == nil {
+		t.Fatal("terminal job missing progress")
+	}
+	if done.Progress.DoneTrials != 4 || done.Progress.TotalTrials != 4 {
+		t.Fatalf("progress = %+v, want 4/4", done.Progress)
+	}
+	if done.Progress.ElapsedSeconds < 0 {
+		t.Fatalf("elapsed negative: %v", done.Progress.ElapsedSeconds)
+	}
+}
+
+func TestSubmitCtxCarriesTraceID(t *testing.T) {
+	gotTrace := make(chan string, 1)
+	s, err := New(Config{Workers: 1, Runner: func(ctx context.Context, req Request) (string, error) {
+		gotTrace <- obs.TraceID(ctx)
+		return "r", nil
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	defer s.Stop(context.Background())
+
+	ctx := obs.WithTraceID(context.Background(), "deadbeef")
+	jv, err := s.SubmitCtx(ctx, Request{ID: "x", Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jv.TraceID != "deadbeef" {
+		t.Fatalf("JobView trace id = %q", jv.TraceID)
+	}
+	waitTerminal(t, s, jv.ID)
+	if trace := <-gotTrace; trace != "deadbeef" {
+		t.Fatalf("runner ctx trace id = %q, want deadbeef", trace)
+	}
+}

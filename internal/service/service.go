@@ -4,9 +4,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"runtime"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Request identifies one experiment computation. Params carries solver
@@ -40,28 +43,41 @@ func (s State) Terminal() bool {
 	return s == StateDone || s == StateFailed || s == StateCanceled
 }
 
+// ProgressInfo is the live work accounting of a running (or finished)
+// job, fed by the drivers through the job context's obs.Progress sink.
+// Trials are whatever unit the driver reports — Monte-Carlo trials for
+// sim-backed experiments, sweep points or testbed runs elsewhere.
+type ProgressInfo struct {
+	DoneTrials     int64   `json:"done_trials"`
+	TotalTrials    int64   `json:"total_trials"`
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+}
+
 // JobView is an immutable snapshot of a job.
 type JobView struct {
-	ID        string    `json:"job"`
-	Request   Request   `json:"request"`
-	Key       Key       `json:"key"`
-	State     State     `json:"state"`
-	CacheHit  bool      `json:"cached"`
-	Error     string    `json:"error,omitempty"`
-	Submitted time.Time `json:"submitted"`
-	Started   time.Time `json:"started,omitzero"`
-	Finished  time.Time `json:"finished,omitzero"`
+	ID       string        `json:"job"`
+	Request  Request       `json:"request"`
+	Key      Key           `json:"key"`
+	State    State         `json:"state"`
+	CacheHit bool          `json:"cached"`
+	Error    string        `json:"error,omitempty"`
+	TraceID  string        `json:"trace_id,omitempty"`
+	Queued   time.Time     `json:"queued_at"`
+	Started  time.Time     `json:"started_at,omitzero"`
+	Finished time.Time     `json:"finished_at,omitzero"`
+	Progress *ProgressInfo `json:"progress,omitempty"`
 }
 
 // job is the service-owned mutable record behind a JobView. All fields
 // below mu are guarded by the service mutex.
 type job struct {
-	id     string
-	req    Request
-	key    Key
-	ctx    context.Context
-	cancel context.CancelFunc
-	done   chan struct{} // closed on terminal state
+	id      string
+	req     Request
+	key     Key
+	traceID string
+	ctx     context.Context
+	cancel  context.CancelFunc
+	done    chan struct{} // closed on terminal state
 
 	state     State
 	cacheHit  bool
@@ -69,6 +85,7 @@ type job struct {
 	submitted time.Time
 	started   time.Time
 	finished  time.Time
+	tracker   *obs.Tracker // set when the job starts running
 }
 
 // Stats is a point-in-time snapshot of service counters, published by
@@ -87,6 +104,9 @@ type Stats struct {
 	CacheCoalesced int64 `json:"cache_coalesced"`
 	CacheMisses    int64 `json:"cache_misses"`
 	CacheEvictions int64 `json:"cache_evictions"`
+	// CacheHitRatio is hits/(hits+misses) over completed lookups, 0
+	// before any traffic. Coalesced waits count as neither.
+	CacheHitRatio float64 `json:"cache_hit_ratio"`
 }
 
 // Config sizes a Service. Zero values pick sane defaults.
@@ -106,6 +126,10 @@ type Config struct {
 	// KnownIDs, when non-empty, restricts Submit to these experiment
 	// IDs; anything else fails with ErrUnknownExperiment.
 	KnownIDs []string
+	// Logger receives job lifecycle logs; nil means slog.Default().
+	// Each job logs through a child logger carrying job_id, experiment
+	// and (when the submission had one) trace_id.
+	Logger *slog.Logger
 }
 
 // Service schedules experiment jobs onto a bounded worker pool.
@@ -114,6 +138,7 @@ type Service struct {
 	runner Runner
 	known  map[string]bool
 	cache  *cache
+	logger *slog.Logger
 
 	baseCtx context.Context
 	stop    context.CancelFunc
@@ -151,10 +176,14 @@ func New(cfg Config) (*Service, error) {
 	if cfg.MaxJobs <= 0 {
 		cfg.MaxJobs = 4096
 	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.Default()
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Service{
 		cfg:     cfg,
 		runner:  cfg.Runner,
+		logger:  cfg.Logger,
 		cache:   newCache(cfg.CacheEntries),
 		baseCtx: ctx,
 		stop:    cancel,
@@ -212,6 +241,14 @@ func (s *Service) Stop(ctx context.Context) error {
 // snapshot. A full queue fails fast with ErrQueueFull so the transport
 // can tell clients to back off.
 func (s *Service) Submit(req Request) (JobView, error) {
+	return s.SubmitCtx(context.Background(), req)
+}
+
+// SubmitCtx is Submit with submission-scoped context: the job adopts
+// ctx's trace id (obs.TraceID) so its logs and snapshot correlate with
+// the HTTP request that created it. ctx does not bound the job's
+// lifetime — cancellation still goes through Cancel or Stop.
+func (s *Service) SubmitCtx(ctx context.Context, req Request) (JobView, error) {
 	if s.known != nil && !s.known[req.ID] {
 		return JobView{}, fmt.Errorf("%w: %q", ErrUnknownExperiment, req.ID)
 	}
@@ -226,6 +263,7 @@ func (s *Service) Submit(req Request) (JobView, error) {
 		id:        fmt.Sprintf("j%08d", s.nextID),
 		req:       req,
 		key:       CanonicalKey(req),
+		traceID:   obs.TraceID(ctx),
 		ctx:       jctx,
 		cancel:    cancel,
 		done:      make(chan struct{}),
@@ -240,6 +278,9 @@ func (s *Service) Submit(req Request) (JobView, error) {
 
 	select {
 	case s.queue <- j:
+		metJobs.With("submitted").Inc()
+		s.logger.Debug("job queued",
+			"job_id", j.id, "experiment", j.req.ID, "trace_id", j.traceID)
 		return s.snapshot(j), nil
 	default:
 		s.mu.Lock()
@@ -247,6 +288,9 @@ func (s *Service) Submit(req Request) (JobView, error) {
 		delete(s.jobs, j.id)
 		s.mu.Unlock()
 		cancel()
+		metJobs.With("rejected").Inc()
+		s.logger.Warn("job rejected: queue full",
+			"experiment", req.ID, "trace_id", obs.TraceID(ctx))
 		return JobView{}, ErrQueueFull
 	}
 }
@@ -324,6 +368,9 @@ func (s *Service) Stats() Stats {
 	st.CacheCoalesced = s.cache.stats.coalesced.Load()
 	st.CacheMisses = s.cache.stats.misses.Load()
 	st.CacheEvictions = s.cache.stats.evictions.Load()
+	if looked := st.CacheHits + st.CacheMisses; looked > 0 {
+		st.CacheHitRatio = float64(st.CacheHits) / float64(looked)
+	}
 	return st
 }
 
@@ -339,7 +386,8 @@ func (s *Service) worker() {
 	}
 }
 
-// run executes one job through the single-flight cache.
+// run executes one job through the single-flight cache, under a
+// job-scoped logger and progress tracker.
 func (s *Service) run(j *job) {
 	s.mu.Lock()
 	if j.state != StateQueued { // cancelled while waiting
@@ -348,10 +396,26 @@ func (s *Service) run(j *job) {
 	}
 	j.state = StateRunning
 	j.started = time.Now()
+	j.tracker = obs.NewTracker()
 	s.mu.Unlock()
 
-	_, hit, err := s.cache.do(j.ctx, j.key, func() (string, error) {
-		return s.runner(j.ctx, j.req)
+	logger := s.logger.With("job_id", j.id, "experiment", j.req.ID)
+	if j.traceID != "" {
+		logger = logger.With("trace_id", j.traceID)
+	}
+	ctx := obs.WithLogger(j.ctx, logger)
+	ctx = obs.WithTraceID(ctx, j.traceID)
+	ctx = obs.WithProgress(ctx, j.tracker)
+
+	wait := j.started.Sub(j.submitted)
+	metQueueWait.Observe(wait.Seconds())
+	obs.ObserveSpan(ctx, "queue.wait", wait)
+	logger.Info("job started", "queue_wait", wait)
+
+	_, hit, err := s.cache.do(ctx, j.key, func() (string, error) {
+		dctx, span := obs.StartSpan(ctx, "driver.run")
+		defer span.End()
+		return s.runner(dctx, j.req)
 	})
 	switch {
 	case err == nil:
@@ -360,6 +424,18 @@ func (s *Service) run(j *job) {
 		s.finish(j, StateCanceled, false, context.Cause(j.ctx).Error())
 	default:
 		s.finish(j, StateFailed, false, err.Error())
+	}
+
+	s.mu.Lock()
+	state, errMsg, elapsed := j.state, j.errMsg, j.finished.Sub(j.started)
+	s.mu.Unlock()
+	switch state {
+	case StateDone:
+		logger.Info("job done", "duration", elapsed, "cache_hit", hit)
+	case StateCanceled:
+		logger.Info("job canceled", "duration", elapsed, "cause", errMsg)
+	default:
+		logger.Error("job failed", "duration", elapsed, "error", errMsg)
 	}
 }
 
@@ -381,6 +457,10 @@ func (s *Service) finish(j *job, st State, hit bool, msg string) {
 		s.nFailed++
 	case StateCanceled:
 		s.nCanceled++
+	}
+	metJobs.With(string(st)).Inc()
+	if !j.started.IsZero() {
+		metJobDuration.Observe(j.finished.Sub(j.started).Seconds())
 	}
 	close(j.done)
 	j.cancel()
@@ -406,19 +486,36 @@ func (s *Service) forgetOldLocked() {
 	s.order = kept
 }
 
-// snapshot copies a job into an immutable view.
+// snapshot copies a job into an immutable view. Progress appears once
+// the job has reached a worker; a terminal snapshot freezes elapsed at
+// the started→finished interval instead of the tracker's still-running
+// clock.
 func (s *Service) snapshot(j *job) JobView {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return JobView{
-		ID:        j.id,
-		Request:   j.req,
-		Key:       j.key,
-		State:     j.state,
-		CacheHit:  j.cacheHit,
-		Error:     j.errMsg,
-		Submitted: j.submitted,
-		Started:   j.started,
-		Finished:  j.finished,
+	jv := JobView{
+		ID:       j.id,
+		Request:  j.req,
+		Key:      j.key,
+		State:    j.state,
+		CacheHit: j.cacheHit,
+		Error:    j.errMsg,
+		TraceID:  j.traceID,
+		Queued:   j.submitted,
+		Started:  j.started,
+		Finished: j.finished,
 	}
+	if j.tracker != nil {
+		snap := j.tracker.Snapshot()
+		elapsed := snap.Elapsed
+		if !j.finished.IsZero() {
+			elapsed = j.finished.Sub(j.started)
+		}
+		jv.Progress = &ProgressInfo{
+			DoneTrials:     snap.Done,
+			TotalTrials:    snap.Total,
+			ElapsedSeconds: elapsed.Seconds(),
+		}
+	}
+	return jv
 }

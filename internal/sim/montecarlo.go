@@ -8,7 +8,14 @@ import (
 	"sync/atomic"
 
 	"repro/internal/mathx"
+	"repro/internal/obs"
 )
+
+// mcTrials counts every completed Monte-Carlo trial process-wide; the
+// cogmimod prefix is the stack's metric namespace (cmd/cogmimod serves
+// the registry, but cogsim runs feed the same counter).
+var mcTrials = obs.Default.Counter("cogmimod_mc_trials_total",
+	"Monte-Carlo trials completed, summed over all runs.")
 
 // chunkSize is the number of trials served by one PRNG stream. Chunks —
 // not workers — own random streams, which is what makes a run independent
@@ -118,6 +125,11 @@ func mergeDone(parts []mathx.Running, done []bool) mathx.Running {
 // produces: chunk i always draws from the i-th derived seed and the
 // derivation is a sequential splitmix64 walk, making seed prefixes
 // independent of the total chunk count.
+//
+// Completed trials are reported per chunk to the context's progress
+// sink (obs.ProgressFrom) and to the cogmimod_mc_trials_total counter;
+// each chunk is also timed as an "mc.chunk" span. None of this touches
+// the trial math, so instrumented runs stay bit-identical.
 func (mc MonteCarlo) runChunks(ctx context.Context, trials int, batch func(rng *rand.Rand, n int) mathx.Running) ([]mathx.Running, []bool, error) {
 	if trials <= 0 {
 		return nil, nil, ctx.Err()
@@ -126,6 +138,9 @@ func (mc MonteCarlo) runChunks(ctx context.Context, trials int, batch func(rng *
 	seeds := mathx.DeriveSeeds(mc.Seed, chunks)
 	parts := make([]mathx.Running, chunks)
 	done := make([]bool, chunks)
+
+	progress := obs.ProgressFrom(ctx)
+	progress.AddTotal(int64(trials))
 
 	workers := mc.Workers
 	if workers <= 0 {
@@ -150,8 +165,12 @@ func (mc MonteCarlo) runChunks(ctx context.Context, trials int, batch func(rng *
 				if c == chunks-1 {
 					n = trials - c*chunkSize
 				}
+				_, span := obs.StartSpan(ctx, "mc.chunk")
 				parts[c] = batch(mathx.NewRand(seeds[c]), n)
+				span.End()
 				done[c] = true
+				mcTrials.Add(int64(n))
+				progress.Add(int64(n))
 			}
 		}()
 	}

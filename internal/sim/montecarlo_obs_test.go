@@ -1,0 +1,106 @@
+package sim
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// recordingSink captures every progress report so the test can check
+// the cumulative done count is monotonic and lands exactly on total.
+type recordingSink struct {
+	mu     sync.Mutex
+	total  int64
+	deltas []int64
+}
+
+func (r *recordingSink) AddTotal(n int64) {
+	r.mu.Lock()
+	r.total += n
+	r.mu.Unlock()
+}
+
+func (r *recordingSink) Add(n int64) {
+	r.mu.Lock()
+	r.deltas = append(r.deltas, n)
+	r.mu.Unlock()
+}
+
+func TestMonteCarloReportsProgress(t *testing.T) {
+	const trials = 3*chunkSize + 123 // force a short tail chunk
+	sink := &recordingSink{}
+	ctx := obs.WithProgress(context.Background(), sink)
+
+	mc := MonteCarlo{Seed: 42, Workers: 3}
+	if _, err := mc.RunMeanCtx(ctx, trials, func(rng *rand.Rand) float64 {
+		return rng.Float64()
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	sink.mu.Lock()
+	defer sink.mu.Unlock()
+	if sink.total != trials {
+		t.Fatalf("AddTotal sum = %d, want %d", sink.total, trials)
+	}
+	var done int64
+	for i, d := range sink.deltas {
+		if d <= 0 {
+			t.Fatalf("delta %d = %d; progress must be monotonic", i, d)
+		}
+		done += d
+	}
+	if done != trials {
+		t.Fatalf("completed trials = %d, want %d", done, trials)
+	}
+	if len(sink.deltas) != 4 {
+		t.Errorf("chunk reports = %d, want 4", len(sink.deltas))
+	}
+}
+
+func TestMonteCarloProgressViaTracker(t *testing.T) {
+	tr := obs.NewTracker()
+	ctx := obs.WithProgress(context.Background(), tr)
+	mc := MonteCarlo{Seed: 7}
+	want := mc.RunMean(5000, func(rng *rand.Rand) float64 { return rng.Float64() })
+	got, err := mc.RunMeanCtx(ctx, 5000, func(rng *rand.Rand) float64 { return rng.Float64() })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Mean() != want.Mean() || got.N() != want.N() {
+		t.Fatal("progress instrumentation changed the statistics")
+	}
+	s := tr.Snapshot()
+	if s.Done != 5000 || s.Total != 5000 {
+		t.Fatalf("tracker = %+v, want 5000/5000", s)
+	}
+}
+
+func TestMonteCarloCanceledProgressStaysPartial(t *testing.T) {
+	tr := obs.NewTracker()
+	ctx, cancel := context.WithCancel(context.Background())
+	ctx = obs.WithProgress(ctx, tr)
+	mc := MonteCarlo{Seed: 1, Workers: 1}
+	trials := 10 * chunkSize
+	fired := false
+	_, err := mc.RunMeanCtx(ctx, trials, func(rng *rand.Rand) float64 {
+		if !fired {
+			fired = true
+			cancel()
+		}
+		return 0
+	})
+	if err == nil {
+		t.Fatal("expected cancellation error")
+	}
+	s := tr.Snapshot()
+	if s.Total != int64(trials) {
+		t.Fatalf("total = %d, want %d", s.Total, trials)
+	}
+	if s.Done >= s.Total {
+		t.Fatalf("cancelled run reported done=%d >= total=%d", s.Done, s.Total)
+	}
+}

@@ -1,13 +1,24 @@
 #!/bin/sh
-# verify.sh — the repo's tier-1 gate plus the race detector.
+# verify.sh — the repo's tier-1 gate plus formatting and the race detector.
 # Usage: ./verify.sh  (or: make verify)
 set -eu
 
 echo ">> go vet ./..."
 go vet ./...
 
+echo ">> gofmt -l ."
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt needed on:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
+
 echo ">> go build ./..."
 go build ./...
+
+echo ">> go test -race ./internal/obs ./internal/service ./cmd/cogmimod"
+go test -race ./internal/obs ./internal/service ./cmd/cogmimod
 
 echo ">> go test -race ./..."
 go test -race ./...
