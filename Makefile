@@ -1,7 +1,12 @@
 # Tier-1 verification plus the race detector. `make verify` is what CI
 # and pre-merge checks should run.
 
-.PHONY: verify vet fmt-check build test race bench metrics-smoke
+.PHONY: verify vet fmt-check build test race bench bench-compare metrics-smoke
+
+BENCH_DATE := $(shell date +%Y-%m-%d)
+BENCH_JSON := BENCH_$(BENCH_DATE).json
+# Newest committed artifact other than today's, used as the baseline.
+BENCH_BASE := $(lastword $(sort $(filter-out $(BENCH_JSON),$(wildcard BENCH_*.json))))
 
 verify: vet fmt-check build race
 
@@ -20,8 +25,16 @@ test:
 race:
 	go test -race ./...
 
+# Runs the repo-root benchmark suite and records ns/op, B/op and
+# allocs/op into BENCH_<date>.json via internal/tools/benchjson.
 bench:
-	go test -bench=. -benchtime=1x ./...
+	go test -run=NONE -bench=. -benchmem -benchtime=100x . | go run ./internal/tools/benchjson -o $(BENCH_JSON)
+
+# Re-measures and fails when any benchmark's ns/op regressed by more
+# than 20% against the newest committed BENCH_*.json.
+bench-compare: bench
+	@if [ -z "$(BENCH_BASE)" ]; then echo "bench-compare: no baseline BENCH_*.json found"; exit 1; fi
+	go run ./internal/tools/benchjson -compare $(BENCH_BASE) $(BENCH_JSON)
 
 # Boots a cogmimod daemon, scrapes /metrics/prom and checks the core
 # metric names are exposed. A cheap end-to-end observability check.

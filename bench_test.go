@@ -30,6 +30,7 @@ import (
 // benchArtifact regenerates one evaluation artifact per iteration.
 func benchArtifact(b *testing.B, id string) {
 	b.Helper()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rep, err := experiments.Run(id, experiments.Options{Seed: 1, Quick: true})
 		if err != nil {
@@ -59,6 +60,7 @@ func BenchmarkEbTableSamples(b *testing.B) {
 	}
 	for _, samples := range []int{1000, 10000, 50000} {
 		b.Run(fmt.Sprintf("samples=%d", samples), func(b *testing.B) {
+			b.ReportAllocs()
 			var relErr float64
 			for i := 0; i < b.N; i++ {
 				mc := &ebtable.MonteCarlo{Samples: samples, Seed: int64(i + 1)}
@@ -82,6 +84,7 @@ func BenchmarkMonteCarloParallel(b *testing.B) {
 	}
 	for _, workers := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
 			mc := sim.MonteCarlo{Seed: 1, Workers: workers}
 			for i := 0; i < b.N; i++ {
 				r := mc.RunMean(100000, trial)
@@ -101,6 +104,7 @@ func BenchmarkOptimalB(b *testing.B) {
 		b.Fatal(err)
 	}
 	b.Run("exhaustive", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := model.OptimalMIMOB(0.001, 2, 2, 250, nil); err != nil {
 				b.Fatal(err)
@@ -108,6 +112,7 @@ func BenchmarkOptimalB(b *testing.B) {
 		}
 	})
 	b.Run("fixed-b2", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := model.MIMOTx(0.001, 2, 2, 2, 250); err != nil {
 				b.Fatal(err)
@@ -125,6 +130,7 @@ func BenchmarkPhaseModels(b *testing.B) {
 	}
 	q := geom.Pt(150, 0)
 	b.Run("exact", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if pair.AmplitudeAt(q) <= 0 {
 				b.Fatal("zero amplitude")
@@ -132,6 +138,7 @@ func BenchmarkPhaseModels(b *testing.B) {
 		}
 	})
 	b.Run("farfield", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if pair.AmplitudeFarField(q) <= 0 {
 				b.Fatal("zero amplitude")
@@ -141,16 +148,25 @@ func BenchmarkPhaseModels(b *testing.B) {
 }
 
 // BenchmarkClustering measures d-clustering over growing deployments.
+// Graph construction happens inside each sub-benchmark before its timer
+// resets: a ResetTimer on the parent before nested b.Run calls is a
+// no-op, because every sub-benchmark runs on its own timer.
 func BenchmarkClustering(b *testing.B) {
+	buildGraph := func(b *testing.B, n int) *network.Graph {
+		b.Helper()
+		dep := network.RandomDeployment(mathx.NewRand(1), n, 500, 500, 1, 10)
+		g, err := network.NewGraph(dep, 80)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return g
+	}
 	for _, n := range []int{50, 200} {
 		b.Run(fmt.Sprintf("nodes=%d", n), func(b *testing.B) {
-			dep := network.RandomDeployment(mathx.NewRand(1), n, 500, 500, 1, 10)
-			g, err := network.NewGraph(dep, 80)
-			if err != nil {
-				b.Fatal(err)
-			}
-			b.ResetTimer()
 			b.Run("greedy", func(b *testing.B) {
+				g := buildGraph(b, n)
+				b.ReportAllocs()
+				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
 					cl, err := network.DCluster(g, 30)
 					if err != nil {
@@ -162,6 +178,9 @@ func BenchmarkClustering(b *testing.B) {
 				}
 			})
 			b.Run("grid", func(b *testing.B) {
+				g := buildGraph(b, n)
+				b.ReportAllocs()
+				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
 					cl, err := network.DClusterGrid(g, 30)
 					if err != nil {
@@ -187,6 +206,7 @@ func BenchmarkSTBCDecode(b *testing.B) {
 			}
 			h := channel.Rayleigh(rng, c.Nt(), 2)
 			y := c.Transmit(c.Encode(syms), h)
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				got := c.Decode(y, h)
@@ -202,6 +222,7 @@ func BenchmarkSTBCDecode(b *testing.B) {
 func BenchmarkCSMA(b *testing.B) {
 	for _, stations := range []int{2, 8} {
 		b.Run(fmt.Sprintf("stations=%d", stations), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				ids := make([]network.NodeID, stations)
 				for j := range ids {
@@ -226,6 +247,7 @@ func BenchmarkCSMA(b *testing.B) {
 // BenchmarkEbBarAnalytic measures the closed-form solver itself: it is
 // on the hot path of every sweep.
 func BenchmarkEbBarAnalytic(b *testing.B) {
+	b.ReportAllocs()
 	a := ebtable.Analytic{}
 	for i := 0; i < b.N; i++ {
 		if _, err := a.EbBar(0.001, 2, 2, 3); err != nil {
@@ -243,6 +265,7 @@ func BenchmarkTableLookup(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := tab.EbBar(0.001, 2, 2, 3); err != nil {
@@ -260,6 +283,7 @@ func BenchmarkCoopScheme(b *testing.B) {
 				SNRPerBit: 10, Bits: 6000, Seed: 1,
 			}
 			b.SetBytes(6000 / 8)
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := coop.Run(cfg); err != nil {
 					b.Fatal(err)
@@ -269,8 +293,35 @@ func BenchmarkCoopScheme(b *testing.B) {
 	}
 }
 
+// BenchmarkCoopSchemeScratch is BenchmarkCoopScheme on a warmed
+// caller-owned workspace: the steady state of a Monte-Carlo worker. The
+// allocs/op column should read ~0.
+func BenchmarkCoopSchemeScratch(b *testing.B) {
+	for _, pair := range [][2]int{{1, 1}, {2, 2}, {4, 4}} {
+		b.Run(fmt.Sprintf("%dx%d", pair[0], pair[1]), func(b *testing.B) {
+			cfg := coop.Config{
+				Mt: pair[0], Mr: pair[1], B: 1,
+				SNRPerBit: 10, Bits: 6000, Seed: 1,
+			}
+			ws := coop.NewWorkspace()
+			if _, err := coop.RunWith(ws, cfg); err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(6000 / 8)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := coop.RunWith(ws, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkMultihopRoute measures route-level transport.
 func BenchmarkMultihopRoute(b *testing.B) {
+	b.ReportAllocs()
 	cfg := multihop.Config{
 		Hops: []multihop.Hop{
 			{Mt: 2, Mr: 2, SNRPerBit: 12},
@@ -288,6 +339,7 @@ func BenchmarkMultihopRoute(b *testing.B) {
 
 // BenchmarkEnergyDetector measures one sensing decision.
 func BenchmarkEnergyDetector(b *testing.B) {
+	b.ReportAllocs()
 	det, err := sensing.NewDetectorForPfa(1000, 0.05)
 	if err != nil {
 		b.Fatal(err)

@@ -37,6 +37,7 @@ func main() {
 		format   = flag.String("format", "text", "output format: text, csv or json")
 		plot     = flag.Bool("plot", false, "render numeric reports as an ASCII chart")
 		logY     = flag.Bool("logy", false, "log-scale the plot's y axis (use with fig7)")
+		workers  = flag.Int("workers", 0, "sweep-row concurrency; 0 means GOMAXPROCS (results are identical for any value)")
 		progress = flag.String("progress", "auto", "live progress line on stderr: auto, on or off")
 		logLevel = flag.String("log-level", "warn", "log level: debug, info, warn or error")
 	)
@@ -78,7 +79,7 @@ func main() {
 		fmt.Println(strings.Join(experiments.IDs(), "\n"))
 	case *all:
 		stop := watch("all")
-		reps, err := experiments.RunAllCtx(ctx, experiments.Options{Seed: *seed, Quick: *quick})
+		reps, err := experiments.RunAllCtx(ctx, experiments.Options{Seed: *seed, Quick: *quick, Workers: *workers})
 		stop()
 		if err != nil {
 			fatal(err)
@@ -95,7 +96,7 @@ func main() {
 		}
 	case *id != "":
 		stop := watch(*id)
-		rep, err := experiments.RunCtx(ctx, *id, experiments.Options{Seed: *seed, Quick: *quick})
+		rep, err := experiments.RunCtx(ctx, *id, experiments.Options{Seed: *seed, Quick: *quick, Workers: *workers})
 		stop()
 		if err != nil {
 			fatal(err)

@@ -12,17 +12,30 @@ import (
 // cooperative MIMO link (Section 2.3). The matrix stays constant for a
 // codeword (block fading) and is redrawn per block.
 func Rayleigh(rng *rand.Rand, mt, mr int) *mathx.CMat {
-	return mathx.NewCMat(mr, mt).RandCN(rng)
+	return RayleighInto(rng, mt, mr, nil)
+}
+
+// RayleighInto is Rayleigh drawing into h (reshaped as needed; allocated
+// when nil), consuming exactly the same rng stream, so pooled workspaces
+// reproduce per-allocation runs bit for bit.
+func RayleighInto(rng *rand.Rand, mt, mr int, h *mathx.CMat) *mathx.CMat {
+	return mathx.EnsureShape(h, mr, mt).RandCN(rng)
 }
 
 // RicianMatrix draws an mt-by-mr Rician channel with K-factor k: a fixed
 // unit-modulus line-of-sight component plus scattered CN entries, each
 // entry normalised to unit mean-square gain.
 func RicianMatrix(rng *rand.Rand, mt, mr int, k float64) *mathx.CMat {
+	return RicianMatrixInto(rng, mt, mr, k, nil)
+}
+
+// RicianMatrixInto is RicianMatrix drawing into h (reshaped as needed;
+// allocated when nil), consuming exactly the same rng stream.
+func RicianMatrixInto(rng *rand.Rand, mt, mr int, k float64, h *mathx.CMat) *mathx.CMat {
 	if k < 0 {
 		k = 0
 	}
-	h := mathx.NewCMat(mr, mt)
+	h = mathx.EnsureShape(h, mr, mt)
 	los := math.Sqrt(k / (k + 1))
 	scatter := math.Sqrt(1 / (k + 1))
 	for i := range h.Data {
@@ -60,14 +73,27 @@ func NewBlockFading(rng *rand.Rand, mt, mr, blockLen int, k float64) *BlockFadin
 	return &BlockFading{rng: rng, mt: mt, mr: mr, blockLen: blockLen, k: k}
 }
 
+// Reset reinitialises the process in place for a new run, keeping the
+// backing matrix for reuse. The first Next after Reset redraws, exactly
+// as a freshly constructed process would.
+func (b *BlockFading) Reset(rng *rand.Rand, mt, mr, blockLen int, k float64) {
+	b.rng, b.mt, b.mr, b.blockLen, b.k = rng, mt, mr, blockLen, k
+	b.used = b.blockLen // force a redraw on the next call
+	if b.used < 1 {
+		b.used = 1
+	}
+}
+
 // Next returns the channel matrix for the next use, redrawing at block
-// boundaries. Callers must not retain the matrix across calls.
+// boundaries. Callers must not retain the matrix across calls: the
+// backing matrix is reused across redraws so the fading process itself
+// is allocation-free after the first block.
 func (b *BlockFading) Next() *mathx.CMat {
 	if b.current == nil || b.blockLen <= 0 || b.used >= b.blockLen {
 		if b.k > 0 {
-			b.current = RicianMatrix(b.rng, b.mt, b.mr, b.k)
+			b.current = RicianMatrixInto(b.rng, b.mt, b.mr, b.k, b.current)
 		} else {
-			b.current = Rayleigh(b.rng, b.mt, b.mr)
+			b.current = RayleighInto(b.rng, b.mt, b.mr, b.current)
 		}
 		b.used = 0
 	}

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 
 	"repro/internal/channel"
 	"repro/internal/mathx"
@@ -100,13 +101,85 @@ type Result struct {
 	Scheme string
 }
 
+// Workspace holds the reusable scratch state for one goroutine's hop
+// simulations: the generator, modulation schemes, fading process and
+// every buffer the per-block loop touches. Reusing a Workspace across
+// runs makes the kernel allocation-free in steady state while consuming
+// exactly the rng stream a fresh run would, so results stay bit-identical.
+// A Workspace is not safe for concurrent use; keep one per worker.
+type Workspace struct {
+	rng    *mathx.ReusableRand
+	fading *channel.BlockFading
+	mods   [17]*modulation.Scheme // index = bits per symbol
+
+	src     []byte
+	out     []byte
+	decided []byte
+	copies  [][]byte
+	locSyms []complex128
+	syms    []complex128
+	est     []complex128
+	perAnt  []*mathx.CMat
+	x       *mathx.CMat
+	hT      *mathx.CMat
+	y       *mathx.CMat
+}
+
+// NewWorkspace returns an empty workspace; buffers grow on first use.
+func NewWorkspace() *Workspace {
+	return &Workspace{
+		rng:    mathx.NewReusableRand(),
+		fading: channel.NewBlockFading(nil, 1, 1, 0, 0),
+	}
+}
+
+var wsPool = sync.Pool{New: func() any { return NewWorkspace() }}
+
+// GetWorkspace takes a workspace from the shared pool.
+func GetWorkspace() *Workspace { return wsPool.Get().(*Workspace) }
+
+// PutWorkspace returns a workspace to the shared pool. The caller must
+// not retain any buffer handed out by the workspace's run.
+func PutWorkspace(ws *Workspace) { wsPool.Put(ws) }
+
+// scheme returns the cached modulation scheme for b bits per symbol.
+func (ws *Workspace) scheme(b int) (*modulation.Scheme, error) {
+	if b >= 1 && b < len(ws.mods) && ws.mods[b] != nil {
+		return ws.mods[b], nil
+	}
+	mod, err := modulation.New(b)
+	if err != nil {
+		return nil, err
+	}
+	if b >= 1 && b < len(ws.mods) {
+		ws.mods[b] = mod
+	}
+	return mod, nil
+}
+
+// growBytes returns buf resized to n, reusing its backing array when
+// possible.
+func growBytes(buf []byte, n int) []byte {
+	if cap(buf) < n {
+		return make([]byte, n)
+	}
+	return buf[:n]
+}
+
 // Run simulates the hop on random source bits and returns measured
-// error rates.
+// error rates, using a pooled workspace.
 func Run(cfg Config) (Result, error) {
+	ws := GetWorkspace()
+	defer PutWorkspace(ws)
+	return RunWith(ws, cfg)
+}
+
+// RunWith is Run on a caller-owned workspace, for hot loops that keep
+// one workspace per goroutine instead of hitting the pool per trial.
+func RunWith(ws *Workspace, cfg Config) (Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
 	}
-	rng := mathx.NewRand(cfg.Seed)
 	code, err := stbc.ForTransmitters(cfg.Mt)
 	if err != nil {
 		return Result{}, err
@@ -116,12 +189,14 @@ func Run(cfg Config) (Result, error) {
 	if blocks == 0 {
 		blocks = 1
 	}
-	src := make([]byte, blocks*bitsPerBlock)
-	for i := range src {
-		src[i] = byte(rng.Intn(2))
+	ws.rng.Reseed(cfg.Seed)
+	rng := ws.rng.Rand
+	ws.src = growBytes(ws.src, blocks*bitsPerBlock)
+	for i := range ws.src {
+		ws.src[i] = byte(rng.Intn(2))
 	}
-	_, res, err := Transport(cfg, src)
-	return res, err
+	ws.out = growBytes(ws.out, len(ws.src))
+	return transport(ws, cfg, ws.src, ws.out)
 }
 
 // Transport pushes the given source bits through one cooperative hop and
@@ -130,22 +205,45 @@ func Run(cfg Config) (Result, error) {
 // block payload (BlockSymbols * b); multi-hop relays chain Transport
 // calls, feeding each hop's output to the next.
 func Transport(cfg Config, src []byte) ([]byte, Result, error) {
-	if err := cfg.Validate(); err != nil {
-		return nil, Result{}, err
-	}
-	rng := mathx.NewRand(cfg.Seed)
-	mod, err := modulation.New(cfg.B)
+	ws := GetWorkspace()
+	defer PutWorkspace(ws)
+	dst := make([]byte, len(src))
+	res, err := TransportInto(ws, cfg, src, dst)
 	if err != nil {
-		return nil, Result{}, err
+		return nil, res, err
+	}
+	return dst, res, nil
+}
+
+// TransportInto is Transport on a caller-owned workspace, writing the
+// decoded bits into dst (which must have length len(src)). Relay chains
+// ping-pong two buffers through it so the whole route stays
+// allocation-free.
+func TransportInto(ws *Workspace, cfg Config, src, dst []byte) (Result, error) {
+	return transport(ws, cfg, src, dst)
+}
+
+func transport(ws *Workspace, cfg Config, src, dst []byte) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	ws.rng.Reseed(cfg.Seed)
+	rng := ws.rng.Rand
+	mod, err := ws.scheme(cfg.B)
+	if err != nil {
+		return Result{}, err
 	}
 	code, err := stbc.ForTransmitters(cfg.Mt)
 	if err != nil {
-		return nil, Result{}, err
+		return Result{}, err
 	}
 	bitsPerBlock := code.BlockSymbols() * cfg.B
 	if len(src) == 0 || len(src)%bitsPerBlock != 0 {
-		return nil, Result{}, fmt.Errorf("coop: %d source bits not a positive multiple of the %d-bit block",
+		return Result{}, fmt.Errorf("coop: %d source bits not a positive multiple of the %d-bit block",
 			len(src), bitsPerBlock)
+	}
+	if len(dst) != len(src) {
+		return Result{}, fmt.Errorf("coop: dst holds %d bits, need %d", len(dst), len(src))
 	}
 	blocks := len(src) / bitsPerBlock
 	res := Result{Scheme: cfg.SchemeName(), Bits: len(src)}
@@ -156,26 +254,33 @@ func Transport(cfg Config, src []byte) ([]byte, Result, error) {
 	ea := cfg.SNRPerBit * float64(cfg.B) * code.Rate() / float64(cfg.Mt)
 	scale := complex(math.Sqrt(ea), 0)
 
-	fading := channel.NewBlockFading(rng, cfg.Mt, cfg.Mr, cfg.CoherenceBlocks, 0)
+	ws.fading.Reset(rng, cfg.Mt, cfg.Mr, cfg.CoherenceBlocks, 0)
+
+	if cap(ws.copies) < cfg.Mt {
+		ws.copies = append(ws.copies[:cap(ws.copies)], make([][]byte, cfg.Mt-cap(ws.copies))...)
+	}
+	ws.copies = ws.copies[:cfg.Mt]
+	for i := range ws.copies {
+		ws.copies[i] = growBytes(ws.copies[i], bitsPerBlock)
+	}
+	if cap(ws.perAnt) < cfg.Mt {
+		ws.perAnt = append(ws.perAnt[:cap(ws.perAnt)], make([]*mathx.CMat, cfg.Mt-cap(ws.perAnt))...)
+	}
+	ws.perAnt = ws.perAnt[:cfg.Mt]
+	ws.decided = growBytes(ws.decided, cfg.B)
 
 	var bitErrs, localErrs, localBits int
-	out := make([]byte, 0, len(src))
-	copies := make([][]byte, cfg.Mt)
-	for i := range copies {
-		copies[i] = make([]byte, bitsPerBlock)
-	}
-	decided := make([]byte, cfg.B)
 	for blk := 0; blk < blocks; blk++ {
 		blockSrc := src[blk*bitsPerBlock : (blk+1)*bitsPerBlock]
 
 		// Step 1: head x broadcasts; each other member receives its own
 		// noisy copy (the head's copy is exact).
-		copy(copies[0], blockSrc)
+		copy(ws.copies[0], blockSrc)
 		for m := 1; m < cfg.Mt; m++ {
-			broadcastCopy(rng, mod, blockSrc, copies[m], cfg.LocalSNRPerBit)
+			broadcastCopy(ws, mod, blockSrc, ws.copies[m], cfg.LocalSNRPerBit)
 			for i := range blockSrc {
 				localBits++
-				if copies[m][i] != blockSrc[i] {
+				if ws.copies[m][i] != blockSrc[i] {
 					localErrs++
 				}
 			}
@@ -184,8 +289,8 @@ func Transport(cfg Config, src []byte) ([]byte, Result, error) {
 		// Step 2: each antenna encodes its own copy; disagreement between
 		// copies corrupts the space-time structure, exactly as it would
 		// over the air.
-		h := fading.Next()
-		y := transmitPerAntenna(code, mod, copies, scale, h)
+		h := ws.fading.Next()
+		y := transmitPerAntenna(ws, code, mod, scale, h)
 		channel.AWGN(rng, y.Data, 1)
 
 		// Step 3: members forward their samples to head y; forwarding
@@ -194,69 +299,74 @@ func Transport(cfg Config, src []byte) ([]byte, Result, error) {
 			forwardNoise(rng, y, ea, h, cfg.ForwardSNR)
 		}
 
-		est := code.Decode(y, h)
-		for k, sym := range est {
-			mod.DecideSymbol(sym/scale, decided)
+		ws.est = code.DecodeInto(y, h, ws.est)
+		for k, sym := range ws.est {
+			mod.DecideSymbol(sym/scale, ws.decided)
 			for j := 0; j < cfg.B; j++ {
-				if decided[j] != blockSrc[k*cfg.B+j] {
+				if ws.decided[j] != blockSrc[k*cfg.B+j] {
 					bitErrs++
 				}
 			}
-			out = append(out, decided...)
+			copy(dst[blk*bitsPerBlock+k*cfg.B:], ws.decided)
 		}
 	}
 	res.BER = float64(bitErrs) / float64(res.Bits)
 	if localBits > 0 {
 		res.LocalBER = float64(localErrs) / float64(localBits)
 	}
-	return out, res, nil
+	return res, nil
 }
 
 // broadcastCopy sends bits over one AWGN local link and writes the
 // receiver's hard decisions to dst. localSNR = 0 means ideal.
-func broadcastCopy(rng *rand.Rand, mod *modulation.Scheme, src, dst []byte, localSNR float64) {
+func broadcastCopy(ws *Workspace, mod *modulation.Scheme, src, dst []byte, localSNR float64) {
 	if localSNR == 0 || math.IsInf(localSNR, 1) {
 		copy(dst, src)
 		return
 	}
-	syms, err := mod.Modulate(src)
+	syms, err := mod.ModulateInto(src, ws.locSyms)
 	if err != nil {
 		// Block sizes are whole multiples of b by construction.
 		panic(err)
 	}
+	ws.locSyms = syms
 	// Unit-energy symbols; noise variance sets the per-bit SNR:
 	// Es/N0 = b * localSNR.
 	n0 := 1 / (float64(mod.BitsPerSymbol) * localSNR)
-	channel.AWGN(rng, syms, n0)
-	copy(dst, mod.Demodulate(syms))
+	channel.AWGN(ws.rng.Rand, syms, n0)
+	mod.DemodulateInto(syms, dst)
 }
 
 // transmitPerAntenna builds the received block when each antenna encodes
 // its own (possibly divergent) bit copy. With identical copies this
-// reduces exactly to code.Transmit(code.Encode(...)).
-func transmitPerAntenna(code *stbc.Code, mod *modulation.Scheme, copies [][]byte, scale complex128, h *mathx.CMat) *mathx.CMat {
+// reduces exactly to code.Transmit(code.Encode(...)). The returned matrix
+// is workspace scratch, valid until the next call.
+func transmitPerAntenna(ws *Workspace, code *stbc.Code, mod *modulation.Scheme, scale complex128, h *mathx.CMat) *mathx.CMat {
 	mt := code.Nt()
 	// Encode each antenna's view of the block.
-	perAntenna := make([]*mathx.CMat, mt)
 	for a := 0; a < mt; a++ {
-		syms, err := mod.Modulate(copies[a])
+		syms, err := mod.ModulateInto(ws.copies[a], ws.syms)
 		if err != nil {
 			panic(err)
 		}
+		ws.syms = syms
 		for i := range syms {
 			syms[i] *= scale
 		}
-		perAntenna[a] = code.Encode(syms)
+		ws.perAnt[a] = code.EncodeInto(syms, ws.perAnt[a])
 	}
 	// Antenna a transmits column a of its own encoding.
-	x := mathx.NewCMat(perAntenna[0].Rows, mt)
+	x := mathx.EnsureShape(ws.x, ws.perAnt[0].Rows, mt)
+	ws.x = x
 	for t := 0; t < x.Rows; t++ {
 		for a := 0; a < mt; a++ {
-			x.Set(t, a, perAntenna[a].At(t, a))
+			x.Set(t, a, ws.perAnt[a].At(t, a))
 		}
 	}
 	// y[t][j] = sum_a x[t][a] h[j][a].
-	return x.Mul(h.Transpose())
+	ws.hT = h.TransposeInto(ws.hT)
+	ws.y = x.MulInto(ws.hT, ws.y)
+	return ws.y
 }
 
 // forwardNoise models Step 3: every sample travelling from a non-head

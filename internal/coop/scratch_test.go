@@ -1,0 +1,88 @@
+package coop
+
+import (
+	"testing"
+)
+
+// TestRunWithMatchesRun pins the workspace path to the pooled one: the
+// same config must yield identical results whether the workspace is
+// fresh, pooled, or reused across differently shaped runs (buffer reuse
+// must never leak state between runs).
+func TestRunWithMatchesRun(t *testing.T) {
+	cfgs := []Config{
+		{Mt: 2, Mr: 2, B: 2, SNRPerBit: 10, Bits: 1200, Seed: 7},
+		{Mt: 4, Mr: 3, B: 4, SNRPerBit: 8, LocalSNRPerBit: 12, ForwardSNR: 20, Bits: 3000, Seed: 11, CoherenceBlocks: 3},
+		{Mt: 1, Mr: 1, B: 1, SNRPerBit: 6, Bits: 600, Seed: 3},
+	}
+	want := make([]Result, len(cfgs))
+	for i, cfg := range cfgs {
+		r, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = r
+	}
+	// One workspace reused across all shapes, twice over: results must
+	// not depend on what ran before.
+	ws := NewWorkspace()
+	for pass := 0; pass < 2; pass++ {
+		for i, cfg := range cfgs {
+			r, err := RunWith(ws, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r != want[i] {
+				t.Errorf("pass %d cfg %d: RunWith = %+v, Run = %+v", pass, i, r, want[i])
+			}
+		}
+	}
+}
+
+// TestTransportIntoMatchesTransport checks the in-place relay path
+// produces the same bits and rates as the allocating one.
+func TestTransportIntoMatchesTransport(t *testing.T) {
+	cfg := Config{Mt: 2, Mr: 2, B: 2, SNRPerBit: 9, LocalSNRPerBit: 10, Bits: 1200, Seed: 5}
+	src := make([]byte, 1200)
+	for i := range src {
+		src[i] = byte(i % 2)
+	}
+	wantOut, wantRes, err := Transport(cfg, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := NewWorkspace()
+	dst := make([]byte, len(src))
+	res, err := TransportInto(ws, cfg, src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res != wantRes {
+		t.Errorf("TransportInto res = %+v, Transport = %+v", res, wantRes)
+	}
+	for i := range dst {
+		if dst[i] != wantOut[i] {
+			t.Fatalf("bit %d: TransportInto = %d, Transport = %d", i, dst[i], wantOut[i])
+		}
+	}
+	if _, err := TransportInto(ws, cfg, src, make([]byte, len(src)-1)); err == nil {
+		t.Error("short dst accepted")
+	}
+}
+
+// TestRunWithAllocationFree proves the tentpole claim: a warmed
+// workspace runs the whole hop kernel without allocating.
+func TestRunWithAllocationFree(t *testing.T) {
+	cfg := Config{Mt: 2, Mr: 2, B: 2, SNRPerBit: 10, Bits: 1200, Seed: 1}
+	ws := NewWorkspace()
+	if _, err := RunWith(ws, cfg); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := RunWith(ws, cfg); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Errorf("RunWith allocates %.1f objects per run on a warm workspace, want 0", allocs)
+	}
+}

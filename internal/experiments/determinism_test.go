@@ -1,0 +1,36 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestGoldenReports compares every driver's Quick seed-1 output against
+// the snapshots under testdata/golden, for the serial path and for a
+// parallel row budget. The snapshots were captured from the original
+// allocating kernels, so this test is the bit-identical-reproducibility
+// contract for the workspace/in-place refactors and for sweep
+// parallelism alike. Regenerate intentionally changed reports with:
+//
+//	go run ./internal/tools/goldengen
+func TestGoldenReports(t *testing.T) {
+	for _, id := range IDs() {
+		t.Run(id, func(t *testing.T) {
+			want, err := os.ReadFile(filepath.Join("testdata", "golden", id+"_quick_seed1.txt"))
+			if err != nil {
+				t.Fatalf("golden snapshot missing (run go run ./internal/tools/goldengen): %v", err)
+			}
+			for _, workers := range []int{1, 3} {
+				rep, err := Run(id, Options{Seed: 1, Quick: true, Workers: workers})
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				if got := rep.String(); got != string(want) {
+					t.Errorf("workers=%d: report drifted from golden\n--- got ---\n%s\n--- want ---\n%s",
+						workers, got, want)
+				}
+			}
+		})
+	}
+}

@@ -50,33 +50,32 @@ func ExtROC(ctx context.Context, opts Options) (*Report, error) {
 	}
 	const snr = 0.19952623149688797 // -7 dB
 	pfas := []float64{0.1, 0.05, 0.01, 0.001}
-	progress := obs.ProgressFrom(ctx)
-	progress.AddTotal(int64(len(pfas)))
-	for _, pfa := range pfas {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
+	obs.ProgressFrom(ctx).AddTotal(int64(len(pfas)))
+	var err error
+	rep.Rows, err = sweepRows(ctx, opts, len(pfas), 6, func(a *RowArena, i int) error {
+		pfa := pfas[i]
 		det, err := sensing.NewDetectorForPfa(samples, pfa)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		pd := det.Pd(snr)
 		orPd, err := sensing.CooperativePd(sensing.FusionOR, 3, pd)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		orPfa, _ := sensing.CooperativePd(sensing.FusionOR, 3, det.Pfa())
 		majPd, _ := sensing.CooperativePd(sensing.FusionMajority, 3, pd)
 		majPfa, _ := sensing.CooperativePd(sensing.FusionMajority, 3, det.Pfa())
-		rep.Rows = append(rep.Rows, []string{
-			fmt.Sprintf("%g", pfa),
-			fmt.Sprintf("%.4f", pd),
-			fmt.Sprintf("%.4f", orPd),
-			fmt.Sprintf("%.4f", orPfa),
-			fmt.Sprintf("%.4f", majPd),
-			fmt.Sprintf("%.4f", majPfa),
-		})
-		progress.Add(1)
+		a.Float(pfa, 'g', -1)
+		a.Float(pd, 'f', 4)
+		a.Float(orPd, 'f', 4)
+		a.Float(orPfa, 'f', 4)
+		a.Float(majPd, 'f', 4)
+		a.Float(majPfa, 'f', 4)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rep, nil
 }
@@ -148,12 +147,10 @@ func ExtMultihop(ctx context.Context, opts Options) (*Report, error) {
 		},
 	}
 	snr := math.Pow(10, 1.1)
-	progress := obs.ProgressFrom(ctx)
-	progress.AddTotal(4)
-	for hops := 1; hops <= 4; hops++ {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
+	obs.ProgressFrom(ctx).AddTotal(4)
+	var err error
+	rep.Rows, err = sweepRows(ctx, opts, 4, 3, func(a *RowArena, i int) error {
+		hops := i + 1
 		route := make([]multihop.Hop, hops)
 		for i := range route {
 			route[i] = multihop.Hop{Mt: 2, Mr: 2, SNRPerBit: snr}
@@ -162,14 +159,15 @@ func ExtMultihop(ctx context.Context, opts Options) (*Report, error) {
 			Hops: route, B: 1, Bits: bits, Seed: opts.Seed,
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		rep.Rows = append(rep.Rows, []string{
-			fmt.Sprintf("%d", hops),
-			fmt.Sprintf("%.3e", r.EndToEndBER),
-			fmt.Sprintf("%.3e", r.PredictedBER),
-		})
-		progress.Add(1)
+		a.Int(int64(hops))
+		a.Float(r.EndToEndBER, 'e', 3)
+		a.Float(r.PredictedBER, 'e', 3)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rep, nil
 }
@@ -312,12 +310,9 @@ func ExtGame(ctx context.Context, opts Options) (*Report, error) {
 		return nil, err
 	}
 	puDists := []float64{500, 100, 30, 12}
-	progress := obs.ProgressFrom(ctx)
-	progress.AddTotal(int64(len(puDists)))
-	for _, puDist := range puDists {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
+	obs.ProgressFrom(ctx).AddTotal(int64(len(puDists)))
+	rep.Rows, err = sweepRows(ctx, opts, len(puDists), 4, func(a *RowArena, i int) error {
+		puDist := puDists[i]
 		g := powergame.Config{
 			Players: []powergame.Player{
 				{Tx: geom.Pt(0, 0), Rx: geom.Pt(10, 0)},
@@ -334,15 +329,16 @@ func ExtGame(ctx context.Context, opts Options) (*Report, error) {
 		}
 		r, err := powergame.Run(g)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		rep.Rows = append(rep.Rows, []string{
-			fmt.Sprintf("%.0f", puDist),
-			fmt.Sprintf("%.3g", r.InterferenceMargin(g.NoisePower)),
-			fmt.Sprintf("%v", r.Converged),
-			fmt.Sprintf("%.4f", coopMargin),
-		})
-		progress.Add(1)
+		a.Float(puDist, 'f', 0)
+		a.Float(r.InterferenceMargin(g.NoisePower), 'g', 3)
+		a.Bool(r.Converged)
+		a.Float(coopMargin, 'f', 4)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rep, nil
 }

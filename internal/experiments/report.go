@@ -8,6 +8,7 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"sort"
 	"strings"
 	"time"
@@ -83,6 +84,10 @@ type Options struct {
 	// Quick shrinks workloads (fewer bits/trials) for smoke tests and
 	// benchmarks; the full configuration matches the paper.
 	Quick bool
+	// Workers caps how many sweep rows a driver evaluates concurrently;
+	// 0 means GOMAXPROCS. Rows merge in row order whatever the budget,
+	// so any value yields bit-identical reports.
+	Workers int
 }
 
 // Driver regenerates one artifact. Drivers poll ctx between sweep
@@ -133,8 +138,13 @@ func RunCtx(ctx context.Context, id string, opts Options) (*Report, error) {
 	if err == nil {
 		elapsed := time.Since(start)
 		expDuration.With(id).Observe(elapsed.Seconds())
-		obs.Logger(ctx).Debug("experiment finished",
-			"experiment", id, "duration", elapsed, "quick", opts.Quick)
+		// Gate on Enabled: slog boxes its arguments before checking the
+		// level, which would put several allocations on every driver run
+		// even with debug logging off.
+		if lg := obs.Logger(ctx); lg.Enabled(ctx, slog.LevelDebug) {
+			lg.Debug("experiment finished",
+				"experiment", id, "duration", elapsed, "quick", opts.Quick)
+		}
 	}
 	return rep, err
 }

@@ -36,6 +36,32 @@ func (m *CMat) Clone() *CMat {
 	return c
 }
 
+// Zero sets every entry to zero and returns m.
+func (m *CMat) Zero() *CMat {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+	return m
+}
+
+// EnsureShape resizes dst to r-by-c, reusing its backing slice when it
+// has capacity, and returns dst (allocating a new matrix when dst is
+// nil). Contents are unspecified after the call; it exists so hot loops
+// can keep one scratch matrix across shape changes.
+func EnsureShape(dst *CMat, r, c int) *CMat {
+	if r <= 0 || c <= 0 {
+		panic(fmt.Sprintf("mathx: invalid CMat dims %dx%d", r, c))
+	}
+	if dst == nil {
+		return NewCMat(r, c)
+	}
+	if cap(dst.Data) < r*c {
+		dst.Data = make([]complex128, r*c)
+	}
+	dst.Rows, dst.Cols, dst.Data = r, c, dst.Data[:r*c]
+	return dst
+}
+
 // FrobeniusNorm2 returns ||M||_F^2 = sum |m_ij|^2. The paper's receive
 // SNR gamma_b is proportional to ||H||_F^2 (Section 2.3, eq. 5/6).
 func (m *CMat) FrobeniusNorm2() float64 {
@@ -52,13 +78,19 @@ func (m *CMat) FrobeniusNorm() float64 { return math.Sqrt(m.FrobeniusNorm2()) }
 
 // Transpose returns M^T without conjugation.
 func (m *CMat) Transpose() *CMat {
-	t := NewCMat(m.Cols, m.Rows)
+	return m.TransposeInto(nil)
+}
+
+// TransposeInto writes M^T into dst (reshaped as needed; allocated when
+// nil) and returns it. dst must not alias m.
+func (m *CMat) TransposeInto(dst *CMat) *CMat {
+	dst = EnsureShape(dst, m.Cols, m.Rows)
 	for i := 0; i < m.Rows; i++ {
 		for j := 0; j < m.Cols; j++ {
-			t.Set(j, i, m.At(i, j))
+			dst.Set(j, i, m.At(i, j))
 		}
 	}
-	return t
+	return dst
 }
 
 // ConjTranspose returns M^H.
@@ -74,10 +106,16 @@ func (m *CMat) ConjTranspose() *CMat {
 
 // Mul returns the matrix product m*o.
 func (m *CMat) Mul(o *CMat) *CMat {
+	return m.MulInto(o, nil)
+}
+
+// MulInto writes m*o into dst (reshaped as needed; allocated when nil)
+// and returns it. dst must not alias m or o.
+func (m *CMat) MulInto(o, dst *CMat) *CMat {
 	if m.Cols != o.Rows {
 		panic(fmt.Sprintf("mathx: CMat dims mismatch %dx%d * %dx%d", m.Rows, m.Cols, o.Rows, o.Cols))
 	}
-	p := NewCMat(m.Rows, o.Cols)
+	dst = EnsureShape(dst, m.Rows, o.Cols).Zero()
 	for i := 0; i < m.Rows; i++ {
 		for k := 0; k < m.Cols; k++ {
 			a := m.At(i, k)
@@ -85,11 +123,11 @@ func (m *CMat) Mul(o *CMat) *CMat {
 				continue
 			}
 			for j := 0; j < o.Cols; j++ {
-				p.Data[i*p.Cols+j] += a * o.At(k, j)
+				dst.Data[i*dst.Cols+j] += a * o.At(k, j)
 			}
 		}
 	}
-	return p
+	return dst
 }
 
 // MulVec returns M*x for a column vector x.

@@ -12,6 +12,24 @@ func NewRand(seed int64) *rand.Rand {
 	return rand.New(rand.NewSource(seed))
 }
 
+// ReusableRand couples a *rand.Rand with its source so hot paths can
+// re-seed one generator per run instead of allocating a fresh one.
+// Reseed(s) yields exactly the stream NewRand(s) would, so pooled
+// workspaces preserve bit-identical reproducibility.
+type ReusableRand struct {
+	Rand *rand.Rand
+	src  rand.Source
+}
+
+// NewReusableRand returns a reusable generator; call Reseed before use.
+func NewReusableRand() *ReusableRand {
+	src := rand.NewSource(0)
+	return &ReusableRand{Rand: rand.New(src), src: src}
+}
+
+// Reseed resets the generator to the deterministic stream of seed.
+func (r *ReusableRand) Reseed(seed int64) { r.src.Seed(seed) }
+
 // SplitMix64 advances a splitmix64 state and returns the next value.
 // It is used to derive statistically independent per-worker seeds from a
 // single experiment seed without the correlation hazards of seed+i.

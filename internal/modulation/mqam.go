@@ -56,14 +56,24 @@ func (s *Scheme) M() int { return 1 << s.BitsPerSymbol }
 // Modulate maps bits (len must be a multiple of b) to unit-energy complex
 // symbols.
 func (s *Scheme) Modulate(bits []byte) ([]complex128, error) {
+	return s.ModulateInto(bits, nil)
+}
+
+// ModulateInto is Modulate writing into dst (grown as needed), so block
+// loops can reuse one symbol buffer.
+func (s *Scheme) ModulateInto(bits []byte, dst []complex128) ([]complex128, error) {
 	if len(bits)%s.BitsPerSymbol != 0 {
 		return nil, fmt.Errorf("modulation: %d bits not a multiple of b=%d", len(bits), s.BitsPerSymbol)
 	}
-	out := make([]complex128, len(bits)/s.BitsPerSymbol)
-	for i := range out {
-		out[i] = s.MapSymbol(bits[i*s.BitsPerSymbol : (i+1)*s.BitsPerSymbol])
+	n := len(bits) / s.BitsPerSymbol
+	if cap(dst) < n {
+		dst = make([]complex128, n)
 	}
-	return out, nil
+	dst = dst[:n]
+	for i := range dst {
+		dst[i] = s.MapSymbol(bits[i*s.BitsPerSymbol : (i+1)*s.BitsPerSymbol])
+	}
+	return dst, nil
 }
 
 // MapSymbol maps exactly b bits to one symbol.
@@ -83,13 +93,21 @@ func (s *Scheme) MapSymbol(bits []byte) complex128 {
 
 // Demodulate hard-decides received symbols back to bits.
 func (s *Scheme) Demodulate(syms []complex128) []byte {
-	bits := make([]byte, 0, len(syms)*s.BitsPerSymbol)
-	buf := make([]byte, s.BitsPerSymbol)
-	for _, y := range syms {
-		s.DecideSymbol(y, buf)
-		bits = append(bits, buf...)
+	return s.DemodulateInto(syms, nil)
+}
+
+// DemodulateInto is Demodulate writing into dst (grown as needed), so
+// block loops can reuse one bit buffer.
+func (s *Scheme) DemodulateInto(syms []complex128, dst []byte) []byte {
+	n := len(syms) * s.BitsPerSymbol
+	if cap(dst) < n {
+		dst = make([]byte, n)
 	}
-	return bits
+	dst = dst[:n]
+	for i, y := range syms {
+		s.DecideSymbol(y, dst[i*s.BitsPerSymbol:(i+1)*s.BitsPerSymbol])
+	}
+	return dst
 }
 
 // DecideSymbol hard-decides one received symbol into dst (len b).

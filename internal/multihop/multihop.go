@@ -8,6 +8,7 @@ package multihop
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/coop"
 	"repro/internal/mathx"
@@ -69,20 +70,67 @@ type Result struct {
 	Bits int
 }
 
-// Run transports a random payload along the route.
+// Workspace holds the reusable scratch state for one goroutine's route
+// transports: a hop workspace plus the payload and ping-pong relay
+// buffers, so repeated runs allocate only the returned per-hop slice.
+// Not safe for concurrent use; keep one per worker.
+type Workspace struct {
+	rng   *mathx.ReusableRand
+	hop   *coop.Workspace
+	src   []byte
+	pong  [2][]byte
+	seeds []int64
+}
+
+// NewWorkspace returns an empty workspace; buffers grow on first use.
+func NewWorkspace() *Workspace {
+	return &Workspace{rng: mathx.NewReusableRand(), hop: coop.NewWorkspace()}
+}
+
+var wsPool = sync.Pool{New: func() any { return NewWorkspace() }}
+
+// GetWorkspace takes a workspace from the shared pool.
+func GetWorkspace() *Workspace { return wsPool.Get().(*Workspace) }
+
+// PutWorkspace returns a workspace to the shared pool.
+func PutWorkspace(ws *Workspace) { wsPool.Put(ws) }
+
+// Run transports a random payload along the route, using a pooled
+// workspace.
 func Run(cfg Config) (Result, error) {
+	ws := GetWorkspace()
+	defer PutWorkspace(ws)
+	return RunWith(ws, cfg)
+}
+
+// RunWith is Run on a caller-owned workspace. Hop i's decoded bits feed
+// hop i+1 through two ping-pong buffers, so the whole route reuses the
+// workspace's scratch while consuming exactly the rng streams a fresh
+// run would.
+func RunWith(ws *Workspace, cfg Config) (Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
 	}
-	rng := mathx.NewRand(cfg.Seed)
-	seeds := mathx.DeriveSeeds(cfg.Seed, len(cfg.Hops))
+	ws.rng.Reseed(cfg.Seed)
+	rng := ws.rng.Rand
+	if cap(ws.seeds) < len(cfg.Hops) {
+		ws.seeds = make([]int64, len(cfg.Hops))
+	}
+	ws.seeds = ws.seeds[:len(cfg.Hops)]
+	state := uint64(cfg.Seed)
+	for i := range ws.seeds {
+		ws.seeds[i] = int64(mathx.SplitMix64(&state))
+	}
 
 	// Block payloads may differ per hop (mt fixes the STBC); use a bit
 	// count divisible by every hop's block size: blocks are at most
 	// 3 symbols * 16 bits = 48 bits, so lcm <= 48*... simply round up to
 	// a multiple of the product of distinct block sizes.
 	bits := roundUpToBlocks(cfg)
-	src := make([]byte, bits)
+	if cap(ws.src) < bits {
+		ws.src = make([]byte, bits)
+	}
+	src := ws.src[:bits]
 	for i := range src {
 		src[i] = byte(rng.Intn(2))
 	}
@@ -95,15 +143,19 @@ func Run(cfg Config) (Result, error) {
 			SNRPerBit:      h.SNRPerBit,
 			LocalSNRPerBit: cfg.LocalSNRPerBit,
 			Bits:           bits,
-			Seed:           seeds[i],
+			Seed:           ws.seeds[i],
 		}
-		out, hopRes, err := coop.Transport(hopCfg, cur)
+		if cap(ws.pong[i%2]) < bits {
+			ws.pong[i%2] = make([]byte, bits)
+		}
+		dst := ws.pong[i%2][:bits]
+		hopRes, err := coop.TransportInto(ws.hop, hopCfg, cur, dst)
 		if err != nil {
 			return Result{}, fmt.Errorf("multihop: hop %d: %w", i, err)
 		}
 		res.PerHopBER[i] = hopRes.BER
 		res.PredictedBER += coop.PredictBER(hopCfg)
-		cur = out
+		cur = dst
 	}
 	errs := 0
 	for i := range src {

@@ -11,7 +11,8 @@ import (
 // honoring ctx between sweep points. Solver parameters ride along in
 // the cache key only; drivers configure their own solvers today.
 func ExperimentRunner(ctx context.Context, req Request) (string, error) {
-	rep, err := experiments.RunCtx(ctx, req.ID, experiments.Options{Seed: req.Seed, Quick: req.Quick})
+	rep, err := experiments.RunCtx(ctx, req.ID,
+		experiments.Options{Seed: req.Seed, Quick: req.Quick, Workers: req.Workers})
 	if err != nil {
 		return "", err
 	}

@@ -21,6 +21,11 @@ type Request struct {
 	Seed   int64             `json:"seed"`
 	Quick  bool              `json:"quick,omitempty"`
 	Params map[string]string `json:"params,omitempty"`
+	// Workers caps sweep-row concurrency inside the driver; 0 means
+	// GOMAXPROCS. It is deliberately excluded from the cache key:
+	// reports are bit-identical for every worker budget, so runs that
+	// differ only in Workers are the same computation.
+	Workers int `json:"workers,omitempty"`
 }
 
 // Runner computes the report text for a request. It must honor ctx.

@@ -50,7 +50,7 @@ func (mc MonteCarlo) RunMean(trials int, trial func(rng *rand.Rand) float64) mat
 // a given set of completed chunks. The returned error is ctx.Err() when
 // the run was cut short and nil when it ran to completion.
 func (mc MonteCarlo) RunMeanCtx(ctx context.Context, trials int, trial func(rng *rand.Rand) float64) (mathx.Running, error) {
-	parts, done, err := mc.runChunks(ctx, trials, func(rng *rand.Rand, n int) mathx.Running {
+	parts, done, err := runChunks(mc, ctx, trials, func(rng *rand.Rand, n int) mathx.Running {
 		var acc mathx.Running
 		for i := 0; i < n; i++ {
 			acc.Add(trial(rng))
@@ -68,23 +68,22 @@ func (mc MonteCarlo) RunCount(trials int, trial func(rng *rand.Rand) bool) int64
 }
 
 // RunCountCtx is RunCount with cancellation; see RunMeanCtx for the
-// partial-result contract.
+// partial-result contract. Chunks accumulate exact integer counts, so no
+// floating-point rounding can ever perturb the total.
 func (mc MonteCarlo) RunCountCtx(ctx context.Context, trials int, trial func(rng *rand.Rand) bool) (int64, error) {
-	parts, done, err := mc.runChunks(ctx, trials, func(rng *rand.Rand, n int) mathx.Running {
-		var acc mathx.Running
+	parts, done, err := runChunks(mc, ctx, trials, func(rng *rand.Rand, n int) int64 {
+		var hits int64
 		for i := 0; i < n; i++ {
 			if trial(rng) {
-				acc.Add(1)
-			} else {
-				acc.Add(0)
+				hits++
 			}
 		}
-		return acc
+		return hits
 	})
 	var total int64
 	for c, p := range parts {
 		if done[c] {
-			total += int64(p.Mean()*float64(p.N()) + 0.5)
+			total += p
 		}
 	}
 	return total, err
@@ -102,7 +101,25 @@ func (mc MonteCarlo) RunBatches(trials int, batch func(rng *rand.Rand, n int) ma
 // RunBatchesCtx is RunBatches with cancellation; see RunMeanCtx for the
 // partial-result contract.
 func (mc MonteCarlo) RunBatchesCtx(ctx context.Context, trials int, batch func(rng *rand.Rand, n int) mathx.Running) (mathx.Running, error) {
-	parts, done, err := mc.runChunks(ctx, trials, batch)
+	parts, done, err := runChunks(mc, ctx, trials, batch)
+	return mergeDone(parts, done), err
+}
+
+// RunBatchesScratch is RunBatches with a per-worker scratch workspace:
+// newScratch runs once per worker goroutine and its value is handed to
+// every batch that worker executes, so batches can reuse preallocated
+// buffers (e.g. a coop.Workspace) without any cross-goroutine sharing.
+// Chunk seeding and merge order are unchanged: results are bit-identical
+// to RunBatches whenever batch consumes the same rng stream.
+func RunBatchesScratch[S any](mc MonteCarlo, trials int, newScratch func() S, batch func(scratch S, rng *rand.Rand, n int) mathx.Running) mathx.Running {
+	r, _ := RunBatchesScratchCtx(mc, context.Background(), trials, newScratch, batch)
+	return r
+}
+
+// RunBatchesScratchCtx is RunBatchesScratch with cancellation; see
+// RunMeanCtx for the partial-result contract.
+func RunBatchesScratchCtx[S any](mc MonteCarlo, ctx context.Context, trials int, newScratch func() S, batch func(scratch S, rng *rand.Rand, n int) mathx.Running) (mathx.Running, error) {
+	parts, done, err := runChunksScratch(mc, ctx, trials, newScratch, batch)
 	return mergeDone(parts, done), err
 }
 
@@ -130,13 +147,24 @@ func mergeDone(parts []mathx.Running, done []bool) mathx.Running {
 // sink (obs.ProgressFrom) and to the cogmimod_mc_trials_total counter;
 // each chunk is also timed as an "mc.chunk" span. None of this touches
 // the trial math, so instrumented runs stay bit-identical.
-func (mc MonteCarlo) runChunks(ctx context.Context, trials int, batch func(rng *rand.Rand, n int) mathx.Running) ([]mathx.Running, []bool, error) {
+func runChunks[T any](mc MonteCarlo, ctx context.Context, trials int, batch func(rng *rand.Rand, n int) T) ([]T, []bool, error) {
+	return runChunksScratch(mc, ctx, trials,
+		func() struct{} { return struct{}{} },
+		func(_ struct{}, rng *rand.Rand, n int) T { return batch(rng, n) })
+}
+
+// runChunksScratch is the chunk pool shared by every run mode. Each
+// worker goroutine builds one scratch value and one reusable rng; chunk
+// c reseeds that rng to the c-th derived seed, which yields exactly the
+// stream a freshly allocated generator would, so worker-local reuse
+// never changes the statistics.
+func runChunksScratch[S, T any](mc MonteCarlo, ctx context.Context, trials int, newScratch func() S, batch func(scratch S, rng *rand.Rand, n int) T) ([]T, []bool, error) {
 	if trials <= 0 {
 		return nil, nil, ctx.Err()
 	}
 	chunks := (trials + chunkSize - 1) / chunkSize
 	seeds := mathx.DeriveSeeds(mc.Seed, chunks)
-	parts := make([]mathx.Running, chunks)
+	parts := make([]T, chunks)
 	done := make([]bool, chunks)
 
 	progress := obs.ProgressFrom(ctx)
@@ -156,6 +184,8 @@ func (mc MonteCarlo) runChunks(ctx context.Context, trials int, batch func(rng *
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			scratch := newScratch()
+			rng := mathx.NewReusableRand()
 			for ctx.Err() == nil {
 				c := int(next.Add(1)) - 1
 				if c >= chunks {
@@ -165,8 +195,9 @@ func (mc MonteCarlo) runChunks(ctx context.Context, trials int, batch func(rng *
 				if c == chunks-1 {
 					n = trials - c*chunkSize
 				}
+				rng.Reseed(seeds[c])
 				_, span := obs.StartSpan(ctx, "mc.chunk")
-				parts[c] = batch(mathx.NewRand(seeds[c]), n)
+				parts[c] = batch(scratch, rng.Rand, n)
 				span.End()
 				done[c] = true
 				mcTrials.Add(int64(n))

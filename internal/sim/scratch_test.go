@@ -1,0 +1,67 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/mathx"
+)
+
+// TestRunBatchesScratchMatchesRunBatches checks the per-worker scratch
+// path against the plain one for several worker counts: chunk seeding
+// and merge order are shared, so rng-equivalent batches must agree bit
+// for bit.
+func TestRunBatchesScratchMatchesRunBatches(t *testing.T) {
+	const trials = 10000
+	batch := func(rng *rand.Rand, n int) mathx.Running {
+		var acc mathx.Running
+		for i := 0; i < n; i++ {
+			acc.Add(rng.NormFloat64())
+		}
+		return acc
+	}
+	want := MonteCarlo{Seed: 9}.RunBatches(trials, batch)
+	for _, workers := range []int{1, 2, 5} {
+		mc := MonteCarlo{Seed: 9, Workers: workers}
+		got := RunBatchesScratch(mc, trials,
+			func() []float64 { return make([]float64, 16) },
+			func(scratch []float64, rng *rand.Rand, n int) mathx.Running {
+				var acc mathx.Running
+				for i := 0; i < n; i++ {
+					scratch[i%len(scratch)] = rng.NormFloat64()
+					acc.Add(scratch[i%len(scratch)])
+				}
+				return acc
+			})
+		if got != want {
+			t.Errorf("workers=%d: scratch path = %+v, plain = %+v", workers, got, want)
+		}
+	}
+}
+
+// TestRunCountExact checks the counting path returns exact integers:
+// a known deterministic pattern must be counted without any rounding,
+// including across the chunk boundary.
+func TestRunCountExact(t *testing.T) {
+	const trials = chunkSize*3 + 17
+	for _, workers := range []int{1, 4} {
+		mc := MonteCarlo{Seed: 5, Workers: workers}
+		var want int64
+		for c := 0; c < 4; c++ {
+			n := chunkSize
+			if c == 3 {
+				n = 17
+			}
+			rng := mathx.NewRand(mathx.DeriveSeeds(5, 4)[c])
+			for i := 0; i < n; i++ {
+				if rng.Float64() < 0.3 {
+					want++
+				}
+			}
+		}
+		got := mc.RunCount(trials, func(rng *rand.Rand) bool { return rng.Float64() < 0.3 })
+		if got != want {
+			t.Errorf("workers=%d: RunCount = %d, want %d", workers, got, want)
+		}
+	}
+}

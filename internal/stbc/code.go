@@ -26,12 +26,43 @@ type entry struct {
 	Coef complex128
 }
 
+// symEntry locates one generator cell carrying a given symbol: row t,
+// antenna a, conjugation flag and coefficient. The decoder walks these
+// lists instead of scanning the full T-by-Nt generator for every basis
+// vector, which keeps the matched filter allocation-free and skips the
+// structural zeros.
+type symEntry struct {
+	t, a int
+	conj bool
+	coef complex128
+}
+
 // Code is an orthogonal space-time block code.
 type Code struct {
 	name string
 	nt   int       // transmit antennas
 	k    int       // symbols per block
 	gen  [][]entry // T x Nt generator
+
+	// perSym[k] lists the generator cells transmitting symbol k in
+	// row-major order, precomputed at construction.
+	perSym [][]symEntry
+}
+
+// newCode finalises a code: it indexes the generator by symbol so the
+// decode hot path never rescans it.
+func newCode(c *Code) *Code {
+	c.perSym = make([][]symEntry, c.k)
+	for t, row := range c.gen {
+		for a, e := range row {
+			if e.Sym < 0 {
+				continue
+			}
+			c.perSym[e.Sym] = append(c.perSym[e.Sym],
+				symEntry{t: t, a: a, conj: e.Conj, coef: e.Coef})
+		}
+	}
+	return c
 }
 
 // Name returns the code's human-readable name.
@@ -51,17 +82,17 @@ func (c *Code) Rate() float64 { return float64(c.k) / float64(len(c.gen)) }
 
 // SISO is the trivial single-antenna "code".
 func SISO() *Code {
-	return &Code{
+	return newCode(&Code{
 		name: "SISO",
 		nt:   1,
 		k:    1,
 		gen:  [][]entry{{{Sym: 0, Coef: 1}}},
-	}
+	})
 }
 
 // Alamouti is the rate-1 orthogonal design for two transmit antennas.
 func Alamouti() *Code {
-	return &Code{
+	return newCode(&Code{
 		name: "Alamouti",
 		nt:   2,
 		k:    2,
@@ -69,13 +100,13 @@ func Alamouti() *Code {
 			{{Sym: 0, Coef: 1}, {Sym: 1, Coef: 1}},
 			{{Sym: 1, Conj: true, Coef: -1}, {Sym: 0, Conj: true, Coef: 1}},
 		},
-	}
+	})
 }
 
 // OSTBC3 is the rate-3/4 complex orthogonal design for three antennas.
 func OSTBC3() *Code {
 	n := entry{Sym: -1}
-	return &Code{
+	return newCode(&Code{
 		name: "OSTBC3 (rate 3/4)",
 		nt:   3,
 		k:    3,
@@ -85,13 +116,13 @@ func OSTBC3() *Code {
 			{{Sym: 2, Conj: true, Coef: -1}, n, {Sym: 0, Conj: true, Coef: 1}},
 			{n, {Sym: 2, Conj: true, Coef: -1}, {Sym: 1, Conj: true, Coef: 1}},
 		},
-	}
+	})
 }
 
 // OSTBC4 is the rate-3/4 complex orthogonal design for four antennas.
 func OSTBC4() *Code {
 	n := entry{Sym: -1}
-	return &Code{
+	return newCode(&Code{
 		name: "OSTBC4 (rate 3/4)",
 		nt:   4,
 		k:    3,
@@ -101,33 +132,37 @@ func OSTBC4() *Code {
 			{{Sym: 2, Conj: true, Coef: -1}, n, {Sym: 0, Conj: true, Coef: 1}, {Sym: 1, Coef: -1}},
 			{n, {Sym: 2, Conj: true, Coef: -1}, {Sym: 1, Conj: true, Coef: 1}, {Sym: 0, Coef: 1}},
 		},
-	}
+	})
 }
 
+// registered holds one immutable instance per transmitter count; codes
+// are read-only after construction, so every caller can share them and
+// the per-symbol decode index is built exactly once per process.
+var registered = [5]*Code{nil, SISO(), Alamouti(), OSTBC3(), OSTBC4()}
+
 // ForTransmitters returns the code the paper's clusters would run for the
-// given cooperative transmitter count (1..4).
+// given cooperative transmitter count (1..4). The returned code is a
+// shared immutable instance; construction cost is paid once per process.
 func ForTransmitters(mt int) (*Code, error) {
-	switch mt {
-	case 1:
-		return SISO(), nil
-	case 2:
-		return Alamouti(), nil
-	case 3:
-		return OSTBC3(), nil
-	case 4:
-		return OSTBC4(), nil
-	default:
+	if mt < 1 || mt >= len(registered) {
 		return nil, fmt.Errorf("stbc: no orthogonal design registered for mt=%d", mt)
 	}
+	return registered[mt], nil
 }
 
 // Encode maps one block of K symbols to the T-by-Nt transmit matrix
 // (row = channel use, column = antenna).
 func (c *Code) Encode(syms []complex128) *mathx.CMat {
+	return c.EncodeInto(syms, nil)
+}
+
+// EncodeInto is Encode writing into x (reshaped as needed; allocated
+// when nil), so per-block encoding can reuse one scratch matrix.
+func (c *Code) EncodeInto(syms []complex128, x *mathx.CMat) *mathx.CMat {
 	if len(syms) != c.k {
 		panic(fmt.Sprintf("stbc: %s encodes %d symbols, got %d", c.name, c.k, len(syms)))
 	}
-	x := mathx.NewCMat(len(c.gen), c.nt)
+	x = mathx.EnsureShape(x, len(c.gen), c.nt).Zero()
 	for t, row := range c.gen {
 		for a, e := range row {
 			if e.Sym < 0 {
@@ -159,38 +194,57 @@ func (c *Code) Transmit(x *mathx.CMat, h *mathx.CMat) *mathx.CMat {
 // exact per-symbol maximum likelihood; estimates are normalised so that,
 // absent noise, Decode(Transmit(Encode(s), h), h) == s.
 func (c *Code) Decode(y, h *mathx.CMat) []complex128 {
+	return c.DecodeInto(y, h, nil)
+}
+
+// DecodeInto is Decode writing the estimates into out (grown as needed),
+// so per-block decoding allocates nothing in steady state. It walks the
+// precomputed per-symbol generator index rather than scanning all T*Nt
+// cells per basis vector, visiting exactly the terms the dense matched
+// filter would accumulate, in the same order, so the estimates match
+// Decode bit for bit.
+func (c *Code) DecodeInto(y, h *mathx.CMat, out []complex128) []complex128 {
 	t, mr := y.Rows, y.Cols
 	if t != len(c.gen) {
 		panic(fmt.Sprintf("stbc: block length %d, code uses %d", t, len(c.gen)))
 	}
-	dim := 2 * t * mr
-	// Real-valued receive vector.
-	yv := make([]float64, dim)
-	for i := 0; i < t; i++ {
-		for j := 0; j < mr; j++ {
-			yv[2*(i*mr+j)] = real(y.At(i, j))
-			yv[2*(i*mr+j)+1] = imag(y.At(i, j))
-		}
+	if cap(out) < c.k {
+		out = make([]complex128, c.k)
 	}
-	out := make([]complex128, c.k)
-	basis := make([]complex128, c.k)
-	col := make([]float64, dim)
+	out = out[:c.k]
 	for k := 0; k < c.k; k++ {
 		var reDot, reN2, imDot, imN2 float64
+		entries := c.perSym[k]
 		for part := 0; part < 2; part++ {
-			for i := range basis {
-				basis[i] = 0
+			s := complex(1, 0)
+			if part == 1 {
+				s = complex(0, 1)
 			}
-			if part == 0 {
-				basis[k] = 1
-			} else {
-				basis[k] = 1i
-			}
-			c.noiselessColumn(basis, h, col)
 			dot, n2 := 0.0, 0.0
-			for i, v := range col {
-				dot += v * yv[i]
-				n2 += v * v
+			// Entries are row-major, so consecutive runs share a row t.
+			for start := 0; start < len(entries); {
+				row := entries[start].t
+				end := start + 1
+				for end < len(entries) && entries[end].t == row {
+					end++
+				}
+				for j := 0; j < mr; j++ {
+					var acc complex128
+					for _, e := range entries[start:end] {
+						sv := s
+						if e.conj {
+							sv = cmplx.Conj(sv)
+						}
+						acc += e.coef * sv * h.At(j, e.a)
+					}
+					re, im := real(acc), imag(acc)
+					yv := y.At(row, j)
+					dot += re * real(yv)
+					dot += im * imag(yv)
+					n2 += re * re
+					n2 += im * im
+				}
+				start = end
 			}
 			if part == 0 {
 				reDot, reN2 = dot, n2
@@ -208,27 +262,4 @@ func (c *Code) Decode(y, h *mathx.CMat) []complex128 {
 		out[k] = complex(re, im)
 	}
 	return out
-}
-
-// noiselessColumn writes the real-valued receive vector produced by the
-// given symbol block through h into dst.
-func (c *Code) noiselessColumn(syms []complex128, h *mathx.CMat, dst []float64) {
-	mr := h.Rows
-	for t, row := range c.gen {
-		for j := 0; j < mr; j++ {
-			var acc complex128
-			for a, e := range row {
-				if e.Sym < 0 {
-					continue
-				}
-				s := syms[e.Sym]
-				if e.Conj {
-					s = cmplx.Conj(s)
-				}
-				acc += e.Coef * s * h.At(j, a)
-			}
-			dst[2*(t*mr+j)] = real(acc)
-			dst[2*(t*mr+j)+1] = imag(acc)
-		}
-	}
 }

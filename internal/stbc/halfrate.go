@@ -14,12 +14,12 @@ func G3Half() *Code {
 		{{2, -1}, {3, +1}, {0, +1}},
 		{{3, -1}, {2, -1}, {1, +1}},
 	}
-	return &Code{
+	return newCode(&Code{
 		name: "G3 (rate 1/2)",
 		nt:   3,
 		k:    4,
 		gen:  buildHalfRate(rows[:]),
-	}
+	})
 }
 
 // G4Half is the rate-1/2 design for four transmit antennas.
@@ -40,12 +40,12 @@ func G4Half() *Code {
 			gen = append(gen, row)
 		}
 	}
-	return &Code{
+	return newCode(&Code{
 		name: "G4 (rate 1/2)",
 		nt:   4,
 		k:    4,
 		gen:  gen,
-	}
+	})
 }
 
 // spec is a compact (symbol index, sign) cell used to build the

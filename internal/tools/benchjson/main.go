@@ -1,0 +1,219 @@
+// Command benchjson turns `go test -bench` text output into a stable
+// JSON artifact and compares two such artifacts for regressions.
+//
+// Record mode (default) reads benchmark output on stdin and writes a
+// BENCH_<date>.json (or -o path) sorted by benchmark name:
+//
+//	go test -run=NONE -bench=. -benchtime=100x . | go run ./internal/tools/benchjson -o BENCH_2026-08-05.json
+//
+// Compare mode checks a new artifact against a baseline and exits
+// non-zero when any shared benchmark's ns/op regressed by more than
+// -threshold (fraction, default 0.20):
+//
+//	go run ./internal/tools/benchjson -compare BENCH_old.json BENCH_new.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Result is one benchmark line. Metrics carries every "value unit"
+// pair from the line: ns/op and the -benchmem B/op + allocs/op
+// columns, plus custom b.ReportMetric units such as MB/s or relerr.
+type Result struct {
+	Name    string             `json:"name"`
+	Iters   int64              `json:"iters"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// File is the artifact schema.
+type File struct {
+	Date       string   `json:"date"`
+	GoVersion  string   `json:"go_version,omitempty"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+func main() {
+	var (
+		out       = flag.String("o", "", "output path (default BENCH_<date>.json)")
+		compare   = flag.Bool("compare", false, "compare two artifacts: benchjson -compare OLD.json NEW.json")
+		threshold = flag.Float64("threshold", 0.20, "max allowed ns/op regression as a fraction (compare mode)")
+	)
+	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: benchjson -compare OLD.json NEW.json")
+			os.Exit(2)
+		}
+		worse, err := compareFiles(flag.Arg(0), flag.Arg(1), *threshold, os.Stdout)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(2)
+		}
+		if worse {
+			os.Exit(1)
+		}
+		return
+	}
+
+	f, err := parseBench(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(2)
+	}
+	if len(f.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(2)
+	}
+	path := *out
+	if path == "" {
+		path = "BENCH_" + f.Date + ".json"
+	}
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(2)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(2)
+	}
+	fmt.Printf("benchjson: wrote %d benchmarks to %s\n", len(f.Benchmarks), path)
+}
+
+// parseBench reads `go test -bench` output and collects benchmark
+// lines. Lines look like:
+//
+//	BenchmarkCoopScheme/2x2-8  100  1318036 ns/op  0 B/op  0 allocs/op
+//
+// The trailing -N on the name is the GOMAXPROCS suffix and is
+// stripped so artifacts from differently sized machines line up.
+func parseBench(r io.Reader) (*File, error) {
+	f := &File{Date: time.Now().Format("2006-01-02")}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if res, ok := parseLine(line); ok {
+			f.Benchmarks = append(f.Benchmarks, res)
+			continue
+		}
+		if v, ok := strings.CutPrefix(line, "goos:"); ok {
+			_ = v // goos recorded implicitly by date; ignore
+		}
+		if v, ok := strings.CutPrefix(line, "go version "); ok {
+			f.GoVersion = strings.TrimSpace(v)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	sort.Slice(f.Benchmarks, func(i, j int) bool {
+		return f.Benchmarks[i].Name < f.Benchmarks[j].Name
+	})
+	return f, nil
+}
+
+// parseLine parses one benchmark result line; ok is false for any
+// other output (headers, PASS, ok lines, test logs).
+func parseLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	res := Result{Name: stripProcs(fields[0]), Iters: iters, Metrics: map[string]float64{}}
+	// Remaining fields come in "value unit" pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		res.Metrics[fields[i+1]] = v
+	}
+	if _, ok := res.Metrics["ns/op"]; !ok {
+		return Result{}, false
+	}
+	return res, true
+}
+
+// stripProcs removes the trailing -N GOMAXPROCS suffix from a
+// benchmark name, leaving sub-benchmark paths intact.
+func stripProcs(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// compareFiles reports benchmarks shared by both artifacts whose
+// ns/op grew by more than threshold, writing a table to w. It returns
+// true when at least one regression was found.
+func compareFiles(oldPath, newPath string, threshold float64, w io.Writer) (bool, error) {
+	oldF, err := readFile(oldPath)
+	if err != nil {
+		return false, err
+	}
+	newF, err := readFile(newPath)
+	if err != nil {
+		return false, err
+	}
+	oldBy := make(map[string]Result, len(oldF.Benchmarks))
+	for _, b := range oldF.Benchmarks {
+		oldBy[b.Name] = b
+	}
+	worse := false
+	for _, nb := range newF.Benchmarks {
+		ob, ok := oldBy[nb.Name]
+		if !ok {
+			fmt.Fprintf(w, "new       %-50s %12.0f ns/op\n", nb.Name, nb.Metrics["ns/op"])
+			continue
+		}
+		oldNs, newNs := ob.Metrics["ns/op"], nb.Metrics["ns/op"]
+		if oldNs <= 0 {
+			continue
+		}
+		delta := (newNs - oldNs) / oldNs
+		tag := "ok"
+		if delta > threshold {
+			tag = "REGRESS"
+			worse = true
+		}
+		fmt.Fprintf(w, "%-9s %-50s %12.0f -> %12.0f ns/op (%+.1f%%)\n",
+			tag, nb.Name, oldNs, newNs, 100*delta)
+	}
+	if worse {
+		fmt.Fprintf(w, "benchjson: ns/op regression above %.0f%% detected\n", 100*threshold)
+	}
+	return worse, nil
+}
+
+func readFile(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &f, nil
+}

@@ -1,0 +1,111 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: some CPU
+BenchmarkCoopScheme/2x2-8         	     100	   1318036 ns/op	 569.00 MB/s	       0 B/op	       0 allocs/op
+BenchmarkFig7-8                   	     100	    194624 ns/op	      16 allocs/op
+BenchmarkClustering/greedy_n=24   	     100	     51234 ns/op	    4096 B/op	      12 allocs/op
+--- BENCH: BenchmarkNoise
+    bench_test.go:10: noisy log line
+BenchmarkRelErr-8                 	      50	    900000 ns/op	         0.00310 relerr
+PASS
+ok  	repro	1.234s
+`
+
+func TestParseBench(t *testing.T) {
+	f, err := parseBench(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Benchmarks) != 4 {
+		t.Fatalf("parsed %d benchmarks, want 4: %+v", len(f.Benchmarks), f.Benchmarks)
+	}
+	// Sorted by name, GOMAXPROCS suffix stripped.
+	byName := map[string]Result{}
+	for _, b := range f.Benchmarks {
+		byName[b.Name] = b
+	}
+	cs, ok := byName["BenchmarkCoopScheme/2x2"]
+	if !ok {
+		t.Fatalf("GOMAXPROCS suffix not stripped: %+v", f.Benchmarks)
+	}
+	if cs.Iters != 100 || cs.Metrics["ns/op"] != 1318036 || cs.Metrics["allocs/op"] != 0 || cs.Metrics["MB/s"] != 569 {
+		t.Errorf("bad metrics: %+v", cs)
+	}
+	// Sub-benchmark with n=24 in the name must keep its full path.
+	if _, ok := byName["BenchmarkClustering/greedy_n=24"]; !ok {
+		t.Errorf("sub-benchmark name mangled: %+v", f.Benchmarks)
+	}
+	if re := byName["BenchmarkRelErr"]; re.Metrics["relerr"] != 0.0031 {
+		t.Errorf("custom metric lost: %+v", re)
+	}
+}
+
+func TestParseLineRejectsNonBench(t *testing.T) {
+	for _, line := range []string{
+		"PASS",
+		"ok  	repro	1.2s",
+		"Benchmark only-a-name",
+		"BenchmarkX 12 nounit",
+		"    bench_test.go:10: BenchmarkLooking 100 5 ns/op", // indented log
+	} {
+		if _, ok := parseLine(line); ok {
+			t.Errorf("accepted %q", line)
+		}
+	}
+	if _, ok := parseLine("BenchmarkX-4 12 5.0 widgets"); ok {
+		t.Error("accepted line without ns/op")
+	}
+}
+
+func TestCompareFiles(t *testing.T) {
+	dir := t.TempDir()
+	oldP := filepath.Join(dir, "old.json")
+	newP := filepath.Join(dir, "new.json")
+	write := func(path, body string) {
+		if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write(oldP, `{"date":"2026-01-01","benchmarks":[
+		{"name":"BenchmarkA","iters":100,"metrics":{"ns/op":1000}},
+		{"name":"BenchmarkB","iters":100,"metrics":{"ns/op":1000}}]}`)
+
+	// Within threshold: 10% growth on A, B unchanged.
+	write(newP, `{"date":"2026-01-02","benchmarks":[
+		{"name":"BenchmarkA","iters":100,"metrics":{"ns/op":1100}},
+		{"name":"BenchmarkB","iters":100,"metrics":{"ns/op":1000}},
+		{"name":"BenchmarkNew","iters":100,"metrics":{"ns/op":5}}]}`)
+	var sb strings.Builder
+	worse, err := compareFiles(oldP, newP, 0.20, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if worse {
+		t.Errorf("10%% growth flagged as regression:\n%s", sb.String())
+	}
+
+	// Over threshold: 50% growth on B.
+	write(newP, `{"date":"2026-01-02","benchmarks":[
+		{"name":"BenchmarkB","iters":100,"metrics":{"ns/op":1500}}]}`)
+	sb.Reset()
+	worse, err = compareFiles(oldP, newP, 0.20, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !worse {
+		t.Errorf("50%% growth not flagged:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), "REGRESS") {
+		t.Errorf("missing REGRESS tag:\n%s", sb.String())
+	}
+}

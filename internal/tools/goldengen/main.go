@@ -1,0 +1,33 @@
+// Command goldengen regenerates the golden report snapshots under
+// internal/experiments/testdata/golden. The determinism tests compare
+// live driver output against these files, so they must only be
+// regenerated when a report's content is intentionally changed —
+// refactors of the simulation kernels must reproduce them bit for bit.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	dir := filepath.Join("internal", "experiments", "testdata", "golden")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	for _, id := range experiments.IDs() {
+		rep, err := experiments.Run(id, experiments.Options{Seed: 1, Quick: true})
+		if err != nil {
+			log.Fatalf("%s: %v", id, err)
+		}
+		path := filepath.Join(dir, id+"_quick_seed1.txt")
+		if err := os.WriteFile(path, []byte(rep.String()), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+}

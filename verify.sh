@@ -23,4 +23,7 @@ go test -race ./internal/obs ./internal/service ./cmd/cogmimod
 echo ">> go test -race ./..."
 go test -race ./...
 
+echo ">> bench smoke (1 iteration)"
+go test -run=NONE -bench=. -benchtime=1x . >/dev/null
+
 echo "verify: ok"
