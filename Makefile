@@ -1,7 +1,7 @@
 # Tier-1 verification plus the race detector. `make verify` is what CI
 # and pre-merge checks should run.
 
-.PHONY: verify vet fmt-check build test race bench bench-compare metrics-smoke
+.PHONY: verify vet fmt-check build test race bench bench-compare metrics-smoke cluster-smoke
 
 BENCH_DATE := $(shell date +%Y-%m-%d)
 BENCH_JSON := BENCH_$(BENCH_DATE).json
@@ -40,3 +40,10 @@ bench-compare: bench
 # metric names are exposed. A cheap end-to-end observability check.
 metrics-smoke:
 	go run ./internal/tools/metricssmoke
+
+# Runs ext-coopber through a loopback coordinator with 3 workers, kills
+# one mid-run, and requires the merged report to match the serial
+# golden file byte-for-byte. End-to-end determinism check of
+# internal/cluster.
+cluster-smoke:
+	go run ./internal/tools/clustersmoke

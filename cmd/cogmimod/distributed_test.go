@@ -1,0 +1,261 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/service"
+	"repro/internal/sim"
+)
+
+// TestShardEndpoint drives the worker-side shard API: a valid request
+// returns the per-chunk partials, malformed ones get 400s.
+func TestShardEndpoint(t *testing.T) {
+	ts, _ := newTestServer(t, service.Config{Workers: 1})
+
+	good := cluster.ShardRequest{
+		Kernel: "coop.ber",
+		Params: map[string]float64{"bits": 8},
+		Seed:   7, Trials: 3 * sim.ChunkSize,
+		ChunkLo: 1, ChunkHi: 3, ChunkSize: sim.ChunkSize,
+	}
+	body, _ := json.Marshal(good)
+	resp, err := http.Post(ts.URL+"/v1/shards", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	var res cluster.ShardResult
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Partials) != 2 {
+		t.Fatalf("%d partials, want 2", len(res.Partials))
+	}
+	for i, p := range res.Partials {
+		if p.N != sim.ChunkSize {
+			t.Errorf("partial %d covers %d trials, want %d", i, p.N, sim.ChunkSize)
+		}
+	}
+
+	for name, bad := range map[string]cluster.ShardRequest{
+		"chunk size mismatch": {Kernel: "coop.ber", Seed: 7, Trials: sim.ChunkSize, ChunkHi: 1, ChunkSize: 1024},
+		"range out of plan":   {Kernel: "coop.ber", Seed: 7, Trials: sim.ChunkSize, ChunkLo: 0, ChunkHi: 2, ChunkSize: sim.ChunkSize},
+		"no kernel":           {Seed: 7, Trials: sim.ChunkSize, ChunkHi: 1, ChunkSize: sim.ChunkSize},
+	} {
+		body, _ := json.Marshal(bad)
+		resp, err := http.Post(ts.URL+"/v1/shards", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400", name, resp.StatusCode)
+		}
+	}
+}
+
+// TestHealthzDrainingReturns503 covers the graceful-shutdown health
+// flip: once draining, /healthz answers 503 with a JSON body and the
+// shard endpoint refuses new work, so coordinators reroute.
+func TestHealthzDrainingReturns503(t *testing.T) {
+	svc, err := service.New(service.Config{
+		Workers: 1,
+		Runner:  service.ExperimentRunner,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.Start()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		svc.Stop(ctx)
+	}()
+
+	var draining atomic.Bool
+	ts := httptest.NewServer(newMux(svc, muxConfig{Draining: &draining}))
+	defer ts.Close()
+
+	resp, body := getJSON(t, ts.URL+"/healthz")
+	if resp.StatusCode != http.StatusOK || body["status"] != "ok" {
+		t.Fatalf("healthy: status %d body %v", resp.StatusCode, body)
+	}
+
+	draining.Store(true)
+	resp, body = getJSON(t, ts.URL+"/healthz")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining healthz status = %d, want 503", resp.StatusCode)
+	}
+	if body["status"] != "draining" {
+		t.Fatalf("draining healthz body = %v, want status=draining", body)
+	}
+
+	req := cluster.ShardRequest{Kernel: "coop.ber", Seed: 1, Trials: sim.ChunkSize, ChunkHi: 1, ChunkSize: sim.ChunkSize}
+	raw, _ := json.Marshal(req)
+	sresp, err := http.Post(ts.URL+"/v1/shards", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sresp.Body.Close()
+	if sresp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining shard status = %d, want 503", sresp.StatusCode)
+	}
+}
+
+// TestRetryAfterHint pins the 429 hint derivation: queue backlog priced
+// at the observed mean job duration, clamped to [1, 60], with the old
+// fixed 1s before any job has run.
+func TestRetryAfterHint(t *testing.T) {
+	cases := []struct {
+		st   service.Stats
+		want string
+	}{
+		{service.Stats{}, "1"}, // no history → legacy fallback
+		{service.Stats{MeanJobSeconds: 0.01, QueueDepth: 3, Workers: 2}, "1"},
+		{service.Stats{MeanJobSeconds: 2, QueueDepth: 3, Workers: 2}, "4"},
+		{service.Stats{MeanJobSeconds: 5, QueueDepth: 9, Workers: 1}, "50"},
+		{service.Stats{MeanJobSeconds: 30, QueueDepth: 63, Workers: 4}, "60"}, // clamped
+		{service.Stats{MeanJobSeconds: 2, QueueDepth: 0, Workers: 0}, "2"},    // worker floor
+	}
+	for _, tc := range cases {
+		if got := retryAfterHint(tc.st); got != tc.want {
+			t.Errorf("retryAfterHint(%+v) = %q, want %q", tc.st, got, tc.want)
+		}
+	}
+}
+
+// TestMeanJobSecondsAccumulates checks the Stats plumbing feeding the
+// hint: jobs that ran move the mean; before any job it is zero.
+func TestMeanJobSecondsAccumulates(t *testing.T) {
+	block := make(chan struct{})
+	svc, err := service.New(service.Config{
+		Workers: 1,
+		Runner: func(ctx context.Context, req service.Request) (string, error) {
+			<-block
+			return "report", nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.Start()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		svc.Stop(ctx)
+	}()
+
+	if m := svc.Stats().MeanJobSeconds; m != 0 {
+		t.Fatalf("mean before any job = %v, want 0", m)
+	}
+	jv, err := svc.Submit(service.Request{ID: "fig6a", Seed: 1, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond) // let the job occupy the worker
+	close(block)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := svc.Wait(ctx, jv.ID); err != nil {
+		t.Fatal(err)
+	}
+	if m := svc.Stats().MeanJobSeconds; m <= 0 {
+		t.Fatalf("mean after a ran job = %v, want > 0", m)
+	}
+}
+
+// TestDeleteRunningJobCancelsContext is the running-job cancellation
+// contract: DELETE on a job that holds a worker must cancel the job's
+// context, land the job in "canceled", and leave no cache entry behind.
+func TestDeleteRunningJobCancelsContext(t *testing.T) {
+	started := make(chan struct{})
+	ctxDone := make(chan struct{})
+	cfg := service.Config{
+		Workers: 1,
+		Runner: func(ctx context.Context, req service.Request) (string, error) {
+			close(started)
+			<-ctx.Done() // block until cancelled; proves ctx fired
+			close(ctxDone)
+			return "", ctx.Err()
+		},
+		KnownIDs: []string{"blocky"},
+	}
+	ts, svc := newTestServer(t, cfg)
+
+	resp, body := postJSON(t, ts.URL+"/v1/experiments", `{"id":"blocky","seed":1}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status = %d, want 202", resp.StatusCode)
+	}
+	jobID, _ := body["job"].(string)
+	key, _ := body["key"].(string)
+	if jobID == "" || key == "" {
+		t.Fatalf("submit response missing job/key: %v", body)
+	}
+
+	select {
+	case <-started:
+	case <-time.After(5 * time.Second):
+		t.Fatal("job never started running")
+	}
+
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+jobID, nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusOK {
+		t.Fatalf("delete status = %d, want 200", dresp.StatusCode)
+	}
+
+	// The running job's context must actually fire — a cancel that only
+	// flips the state but leaves the runner blocked would leak the
+	// worker forever.
+	select {
+	case <-ctxDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("DELETE did not cancel the running job's context")
+	}
+
+	// The job must settle in "canceled" (never "failed": the runner
+	// returning ctx.Err() after an explicit cancel is not a failure).
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_, jbody := getJSON(t, fmt.Sprintf("%s/v1/jobs/%s", ts.URL, jobID))
+		if st, _ := jbody["state"].(string); st == string(service.StateCanceled) {
+			break
+		} else if time.Now().After(deadline) {
+			t.Fatalf("job state = %q, want %q", st, service.StateCanceled)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// No cache entry may exist for the cancelled job's key: a later
+	// identical request must recompute, not read a poisoned result.
+	if _, ok := svc.Result(service.Key(key)); ok {
+		t.Fatal("cancelled job left a cache entry behind")
+	}
+	rresp, err := http.Get(ts.URL + "/v1/results/" + key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rresp.Body.Close()
+	if rresp.StatusCode != http.StatusNotFound {
+		t.Fatalf("results status = %d, want 404", rresp.StatusCode)
+	}
+	if n := svc.Stats().CacheEntries; n != 0 {
+		t.Fatalf("cache entries = %d, want 0", n)
+	}
+}

@@ -7,6 +7,12 @@
 //
 //	cogmimod -addr :8345 -workers 4 -queue 64 -cache 256
 //	cogmimod -log-level debug -log-json -pprof
+//	cogmimod -addr :8345 -peers localhost:8346,localhost:8347
+//
+// With -peers the node becomes a cluster coordinator: kernel-based
+// Monte-Carlo experiments shard their chunk ranges across the listed
+// worker nodes (each just a plain cogmimod) and merge to results
+// bit-identical to a local run; see internal/cluster.
 //
 // API (JSON):
 //
@@ -16,7 +22,8 @@
 //	DELETE /v1/jobs/{id}        cancel a job
 //	GET    /v1/results/{key}    fetch a cached report by content key
 //	GET    /v1/stats            service counters as JSON
-//	GET    /healthz             liveness probe
+//	POST   /v1/shards           execute a Monte-Carlo chunk range (worker side)
+//	GET    /healthz             liveness probe; 503 {"status":"draining"} during shutdown
 //	GET    /metrics             expvar dump (legacy surface)
 //	GET    /metrics/prom        Prometheus text exposition
 //	GET    /debug/pprof/        profiling endpoints (with -pprof)
@@ -38,10 +45,14 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/service"
+	"repro/internal/sim"
 )
 
 func main() {
@@ -51,9 +62,15 @@ func main() {
 		queue    = flag.Int("queue", 64, "job queue depth before 429s")
 		cacheN   = flag.Int("cache", 256, "result cache entries")
 		grace    = flag.Duration("grace", 10*time.Second, "shutdown grace period")
+		drainFor = flag.Duration("drain", time.Second, "how long /healthz advertises draining (503) before the listener closes")
 		logLevel = flag.String("log-level", "info", "log level: debug, info, warn or error")
 		logJSON  = flag.Bool("log-json", false, "emit logs as JSON instead of text")
 		pprofOn  = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+
+		peers      = flag.String("peers", "", "comma-separated worker node addresses; enables coordinator mode")
+		shards     = flag.Int("shards", 0, "shards per Monte-Carlo run in coordinator mode (0 = one per ready peer)")
+		hedgeAfter = flag.Duration("hedge-after", 0, "re-dispatch straggler shards after this long (0 = off)")
+		probeEvery = flag.Duration("probe-interval", 5*time.Second, "peer health probe interval in coordinator mode")
 	)
 	flag.Parse()
 
@@ -63,11 +80,37 @@ func main() {
 	}
 	slog.SetDefault(logger)
 
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+
+	// In coordinator mode every job's Monte-Carlo work fans out to the
+	// peer nodes: the runner attaches a cluster coordinator to the job
+	// context, and kernel-based experiments (sim.RunKernelCtx) shard
+	// automatically — with bit-identical results, so a coordinator node
+	// answers exactly what a standalone one would.
+	runner := service.ExperimentRunner
+	if *peers != "" {
+		addrs := splitPeers(*peers)
+		tr := &cluster.HTTPTransport{}
+		reg := cluster.NewRegistry(tr, addrs...)
+		go reg.Run(ctx, *probeEvery)
+		co := cluster.NewCoordinator(tr, reg, cluster.Config{
+			Shards:        *shards,
+			HedgeAfter:    *hedgeAfter,
+			LocalFallback: true,
+			LocalWorkers:  *workers,
+		})
+		runner = func(jctx context.Context, req service.Request) (string, error) {
+			return service.ExperimentRunner(sim.WithExecutor(jctx, co), req)
+		}
+		logger.Info("coordinator mode", "peers", addrs, "shards", *shards, "hedge_after", *hedgeAfter)
+	}
+
 	svc, err := service.New(service.Config{
 		Workers:      *workers,
 		QueueDepth:   *queue,
 		CacheEntries: *cacheN,
-		Runner:       service.ExperimentRunner,
+		Runner:       runner,
 		KnownIDs:     service.KnownExperimentIDs(),
 		Logger:       logger,
 	})
@@ -77,14 +120,18 @@ func main() {
 	svc.Start()
 	publishMetrics(svc)
 
+	var draining atomic.Bool
 	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           newMux(svc, muxConfig{Logger: logger, Pprof: *pprofOn}),
+		Addr: *addr,
+		Handler: newMux(svc, muxConfig{
+			Logger:       logger,
+			Pprof:        *pprofOn,
+			Draining:     &draining,
+			NodeID:       *addr,
+			ShardWorkers: *workers,
+		}),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
-
-	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer cancel()
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
@@ -92,7 +139,21 @@ func main() {
 
 	select {
 	case <-ctx.Done():
-		logger.Info("shutting down")
+		// Flip health to draining first and keep the listener up for a
+		// beat: /healthz must answer 503 {"status":"draining"} so
+		// coordinators and load balancers observe the drain and stop
+		// routing here before the socket disappears. Shutdown closes
+		// listeners immediately, so without this window the 503 would
+		// be unreachable in practice.
+		draining.Store(true)
+		logger.Info("shutting down", "drain_window", *drainFor)
+		select {
+		case <-time.After(*drainFor):
+		case err := <-errCh:
+			if !errors.Is(err, http.ErrServerClosed) {
+				fatal(err)
+			}
+		}
 	case err := <-errCh:
 		if !errors.Is(err, http.ErrServerClosed) {
 			fatal(err)
@@ -107,6 +168,18 @@ func main() {
 	if err := svc.Stop(shutdownCtx); err != nil {
 		logger.Error("service stop", "error", err)
 	}
+}
+
+// splitPeers parses the -peers list, dropping empty entries so a
+// trailing comma is harmless.
+func splitPeers(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 // newLogger builds the process logger on stderr at the given level.

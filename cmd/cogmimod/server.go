@@ -6,11 +6,15 @@ import (
 	"expvar"
 	"fmt"
 	"log/slog"
+	"math"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/obs"
 	"repro/internal/service"
 )
@@ -37,6 +41,20 @@ type muxConfig struct {
 	Logger *slog.Logger
 	// Pprof mounts net/http/pprof under /debug/pprof/.
 	Pprof bool
+	// Draining, when set and true, flips /healthz to 503 and makes the
+	// shard endpoint refuse new work — the signal remote coordinators
+	// use to stop routing to a node that is shutting down.
+	Draining *atomic.Bool
+	// NodeID tags shard results served by this node; defaults to the
+	// listen address in main.
+	NodeID string
+	// ShardWorkers caps goroutines per shard execution; 0 = GOMAXPROCS.
+	ShardWorkers int
+}
+
+// draining reports the drain state, tolerating a nil flag (tests).
+func (c muxConfig) draining() bool {
+	return c.Draining != nil && c.Draining.Load()
 }
 
 // newMux wires the service into the v1 JSON API, wrapped in the
@@ -59,7 +77,7 @@ func newMux(svc *service.Service, cfg muxConfig) http.Handler {
 			httpError(w, http.StatusBadRequest, err.Error())
 			return
 		case errors.Is(err, service.ErrQueueFull):
-			w.Header().Set("Retry-After", "1")
+			w.Header().Set("Retry-After", retryAfterHint(svc.Stats()))
 			httpError(w, http.StatusTooManyRequests, err.Error())
 			return
 		case errors.Is(err, service.ErrStopped):
@@ -122,7 +140,39 @@ func newMux(svc *service.Service, cfg muxConfig) http.Handler {
 	})
 
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		if cfg.draining() {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+			return
+		}
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+
+	mux.HandleFunc("POST /v1/shards", func(w http.ResponseWriter, r *http.Request) {
+		if cfg.draining() {
+			httpError(w, http.StatusServiceUnavailable, "draining: not accepting shards")
+			return
+		}
+		var req cluster.ShardRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Sprintf("bad shard body: %v", err))
+			return
+		}
+		if err := req.Validate(); err != nil {
+			httpError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		res, err := cluster.ExecuteShard(r.Context(), cfg.NodeID, cfg.ShardWorkers, req)
+		if err != nil {
+			if r.Context().Err() != nil {
+				// Coordinator cancelled (lost hedge race or aborted run);
+				// nobody reads the response.
+				httpError(w, http.StatusServiceUnavailable, "shard cancelled")
+				return
+			}
+			httpError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, res)
 	})
 
 	// expvar stays on /metrics for existing scrapers; the Prometheus
@@ -143,6 +193,30 @@ func newMux(svc *service.Service, cfg muxConfig) http.Handler {
 		logger = slog.Default()
 	}
 	return withObs(logger, mux)
+}
+
+// retryAfterHint estimates when a 429'd client should come back: the
+// queued work ahead of it (plus its own job) divided across the worker
+// pool, priced at the observed mean job duration. Before any job has
+// run — or if the arithmetic degenerates — the old fixed hint of 1s is
+// kept, and the estimate is clamped to [1s, 60s] so a pathological
+// backlog cannot tell clients to go away for an hour.
+func retryAfterHint(st service.Stats) string {
+	mean := st.MeanJobSeconds
+	if mean <= 0 || math.IsNaN(mean) || math.IsInf(mean, 0) {
+		return "1"
+	}
+	workers := st.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	secs := math.Ceil(mean * float64(st.QueueDepth+1) / float64(workers))
+	if secs < 1 {
+		secs = 1
+	} else if secs > 60 {
+		secs = 60
+	}
+	return strconv.Itoa(int(secs))
 }
 
 // httpDuration times full request handling, split by method.

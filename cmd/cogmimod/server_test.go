@@ -269,7 +269,7 @@ func TestValidationAndHealth(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("list: status=%d", resp.StatusCode)
 	}
-	if ids, _ := body["experiments"].([]any); len(ids) != 14 {
+	if ids, _ := body["experiments"].([]any); len(ids) != 15 {
 		t.Errorf("experiment list = %v", body["experiments"])
 	}
 

@@ -6,6 +6,10 @@
 //	cogsim -id table2
 //	cogsim -all -seed 7
 //	cogsim -id fig7 -quick
+//	cogsim -id ext-coopber -remote localhost:8346,localhost:8347
+//
+// -remote shards kernel-based Monte-Carlo runs across cogmimod worker
+// nodes (see internal/cluster); output is bit-identical to a local run.
 //
 // On a terminal, a live progress line on stderr tracks completed work
 // (sweep points, testbed runs, Monte-Carlo trials) while the tables
@@ -38,6 +42,7 @@ func main() {
 		plot     = flag.Bool("plot", false, "render numeric reports as an ASCII chart")
 		logY     = flag.Bool("logy", false, "log-scale the plot's y axis (use with fig7)")
 		workers  = flag.Int("workers", 0, "sweep-row concurrency; 0 means GOMAXPROCS (results are identical for any value)")
+		remote   = flag.String("remote", "", "comma-separated cogmimod worker addresses; shard Monte-Carlo kernels across them (results are identical)")
 		progress = flag.String("progress", "auto", "live progress line on stderr: auto, on or off")
 		logLevel = flag.String("log-level", "warn", "log level: debug, info, warn or error")
 	)
@@ -59,6 +64,13 @@ func main() {
 	// the tracker; on a terminal a printer renders it live.
 	tracker := obs.NewTracker()
 	ctx = obs.WithProgress(ctx, tracker)
+	if *remote != "" {
+		peers := splitPeers(*remote)
+		if len(peers) == 0 {
+			fatal(fmt.Errorf("bad -remote %q: no addresses", *remote))
+		}
+		ctx = withRemote(ctx, peers, *workers)
+	}
 	showProgress := *progress == "on" || (*progress == "auto" && obs.IsTerminal(os.Stderr))
 	watch := func(label string) (stop func()) {
 		if !showProgress {

@@ -1,0 +1,39 @@
+package main
+
+import (
+	"context"
+	"strings"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+)
+
+// withRemote turns the run into a distributed one: kernel-based
+// Monte-Carlo experiments (ext-coopber) shard their chunk ranges across
+// the given cogmimod worker nodes over HTTP, while everything else runs
+// locally as usual. Results are bit-identical to a local run — the
+// chunk-seeded reproducibility contract holds across process
+// boundaries — so -remote changes wall-clock time, never output.
+// LocalFallback keeps the run alive when every peer is down.
+func withRemote(ctx context.Context, peers []string, localWorkers int) context.Context {
+	tr := &cluster.HTTPTransport{}
+	reg := cluster.NewRegistry(tr, peers...)
+	go reg.Run(ctx, 0) // default probe interval
+	co := cluster.NewCoordinator(tr, reg, cluster.Config{
+		LocalFallback: true,
+		LocalWorkers:  localWorkers,
+	})
+	return sim.WithExecutor(ctx, co)
+}
+
+// splitPeers parses the -remote list, dropping empty entries so a
+// trailing comma is harmless.
+func splitPeers(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

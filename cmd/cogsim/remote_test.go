@@ -1,0 +1,83 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/experiments"
+)
+
+func TestSplitPeers(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"a:1,b:2", []string{"a:1", "b:2"}},
+		{" a:1 , b:2 ,", []string{"a:1", "b:2"}},
+		{",,", nil},
+		{"", nil},
+	}
+	for _, tc := range cases {
+		if got := splitPeers(tc.in); !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("splitPeers(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+// shardServer is a minimal cogmimod worker: the same two endpoints the
+// HTTP transport speaks, backed by the same ExecuteShard a real node
+// uses.
+func shardServer(t *testing.T, id string) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	})
+	mux.HandleFunc("POST /v1/shards", func(w http.ResponseWriter, r *http.Request) {
+		var req cluster.ShardRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		res, err := cluster.ExecuteShard(r.Context(), id, 1, req)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(res)
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// TestRemoteMatchesLocal runs ext-coopber with -remote wiring against
+// two real HTTP worker servers and expects the report byte-identical to
+// the plain local run — the user-facing form of the cluster guarantee.
+func TestRemoteMatchesLocal(t *testing.T) {
+	opts := experiments.Options{Seed: 1, Quick: true, Workers: 2}
+	local, err := experiments.RunCtx(context.Background(), "ext-coopber", opts)
+	if err != nil {
+		t.Fatalf("local run: %v", err)
+	}
+
+	w1 := shardServer(t, "w1")
+	w2 := shardServer(t, "w2")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ctx = withRemote(ctx, []string{w1.URL, w2.URL}, 2)
+
+	remote, err := experiments.RunCtx(ctx, "ext-coopber", opts)
+	if err != nil {
+		t.Fatalf("remote run: %v", err)
+	}
+	if remote.String() != local.String() {
+		t.Fatalf("remote report differs from local:\n--- remote ---\n%s\n--- local ---\n%s", remote.String(), local.String())
+	}
+}

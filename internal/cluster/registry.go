@@ -1,0 +1,168 @@
+package cluster
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// WorkerState is the registry's view of one worker node.
+type WorkerState int
+
+const (
+	// Ready workers accept shards.
+	Ready WorkerState = iota
+	// Draining workers are shutting down gracefully: no new shards, but
+	// the node is not counted dead — it may finish in-flight work.
+	Draining
+	// Dead workers failed probeFailLimit consecutive probes (or a shard
+	// attempt observed a hard failure); their shards are re-assigned.
+	Dead
+)
+
+func (s WorkerState) String() string {
+	switch s {
+	case Ready:
+		return "ready"
+	case Draining:
+		return "draining"
+	case Dead:
+		return "dead"
+	}
+	return "unknown"
+}
+
+// probeFailLimit is how many consecutive failed probes demote a worker
+// to Dead. One lost probe is noise; three in a row is a crash.
+const probeFailLimit = 3
+
+type workerEntry struct {
+	addr  string
+	state WorkerState
+	fails int
+}
+
+// Registry tracks the health of a fixed peer set. States move on probe
+// evidence only:
+//
+//	Ready ──(probe fails ×3 | shard hard-fails)──► Dead
+//	Ready ──(probe says draining)────────────────► Draining
+//	Dead / Draining ──(probe succeeds)───────────► Ready
+//
+// Recovery is intentional: a worker that restarts rejoins the pool at
+// the next successful probe, and determinism does not care which worker
+// computes a chunk — only the chunk seed does.
+type Registry struct {
+	mu      sync.Mutex
+	workers []*workerEntry
+	tr      Transport
+}
+
+// NewRegistry tracks the given peer addresses, all initially Ready.
+func NewRegistry(tr Transport, addrs ...string) *Registry {
+	r := &Registry{tr: tr}
+	for _, a := range addrs {
+		r.workers = append(r.workers, &workerEntry{addr: a, state: Ready})
+	}
+	return r
+}
+
+// Ready returns the addresses currently accepting shards, in the stable
+// configuration order.
+func (r *Registry) Ready() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []string
+	for _, w := range r.workers {
+		if w.state == Ready {
+			out = append(out, w.addr)
+		}
+	}
+	return out
+}
+
+// State reports a worker's current state; unknown addresses are Dead.
+func (r *Registry) State(addr string) WorkerState {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, w := range r.workers {
+		if w.addr == addr {
+			return w.state
+		}
+	}
+	return Dead
+}
+
+// MarkFailed records a hard shard failure (connection refused/reset)
+// observed outside the probe loop, demoting the worker immediately so
+// pending shards stop being routed to it.
+func (r *Registry) MarkFailed(addr string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, w := range r.workers {
+		if w.addr == addr {
+			w.state = Dead
+			w.fails = probeFailLimit
+			return
+		}
+	}
+}
+
+// ProbeOnce probes every worker once and applies the state transitions.
+func (r *Registry) ProbeOnce(ctx context.Context) {
+	r.mu.Lock()
+	addrs := make([]string, len(r.workers))
+	for i, w := range r.workers {
+		addrs[i] = w.addr
+	}
+	r.mu.Unlock()
+
+	results := make([]error, len(addrs))
+	var wg sync.WaitGroup
+	for i, a := range addrs {
+		wg.Add(1)
+		go func(i int, a string) {
+			defer wg.Done()
+			pctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+			defer cancel()
+			results[i] = r.tr.Probe(pctx, a)
+		}(i, a)
+	}
+	wg.Wait()
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i, w := range r.workers {
+		if results[i] == nil {
+			w.fails = 0
+			w.state = Ready
+			continue
+		}
+		w.fails++
+		if w.fails >= probeFailLimit {
+			w.state = Dead
+		} else if w.state == Ready {
+			// Soft-fail: treat as draining until the verdict is in, so
+			// new shards avoid a wobbly node without declaring it dead.
+			w.state = Draining
+		}
+	}
+}
+
+// Run probes the peer set every interval until ctx is done. Call it in
+// a goroutine next to the coordinator.
+func (r *Registry) Run(ctx context.Context, interval time.Duration) {
+	if interval <= 0 {
+		interval = 5 * time.Second
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			r.ProbeOnce(ctx)
+		}
+	}
+}

@@ -1,0 +1,37 @@
+package cluster
+
+import (
+	"context"
+
+	"repro/internal/mathx"
+	"repro/internal/sim"
+)
+
+// ExecuteShard runs one shard on this node: it validates the request
+// against the local plan geometry, rebuilds the kernel batch from the
+// registry, executes exactly the requested chunk range with workers
+// goroutines, and returns the per-chunk partials in chunk order. Both
+// the HTTP shard endpoint (cmd/cogmimod) and the loopback transport
+// call it, so the in-process test path exercises the same code a remote
+// worker runs.
+//
+// workerID tags the result so coordinators can attribute partials;
+// workers <= 0 uses GOMAXPROCS.
+func ExecuteShard(ctx context.Context, workerID string, workers int, req ShardRequest) (ShardResult, error) {
+	if err := req.Validate(); err != nil {
+		metWorkerShards.With("failed").Inc()
+		return ShardResult{}, err
+	}
+	mc := sim.MonteCarlo{Seed: req.Seed, Workers: workers}
+	parts, err := mc.RunKernelChunksCtx(ctx, req.Kernel, req.Params, req.Trials, req.ChunkLo, req.ChunkHi)
+	if err != nil {
+		metWorkerShards.With("failed").Inc()
+		return ShardResult{}, err
+	}
+	snaps := make([]mathx.RunningSnapshot, len(parts))
+	for i := range parts {
+		snaps[i] = parts[i].Snapshot()
+	}
+	metWorkerShards.With("ok").Inc()
+	return ShardResult{Partials: snaps, WorkerID: workerID}, nil
+}

@@ -41,6 +41,28 @@ func (r *Running) Merge(o Running) {
 	r.n += o.n
 }
 
+// RunningSnapshot is the exported state of a Running accumulator, for
+// serialisation across process boundaries. JSON float64 encoding uses
+// the shortest round-tripping representation, so a snapshot that crosses
+// the wire restores the exact bits — the property the distributed
+// Monte-Carlo merge (internal/cluster) depends on.
+type RunningSnapshot struct {
+	N    int64   `json:"n"`
+	Mean float64 `json:"mean"`
+	M2   float64 `json:"m2"`
+}
+
+// Snapshot exports the accumulator state.
+func (r *Running) Snapshot() RunningSnapshot {
+	return RunningSnapshot{N: r.n, Mean: r.mean, M2: r.m2}
+}
+
+// RunningFromSnapshot rebuilds an accumulator from exported state.
+// RunningFromSnapshot(r.Snapshot()) is bit-identical to r.
+func RunningFromSnapshot(s RunningSnapshot) Running {
+	return Running{n: s.N, mean: s.Mean, m2: s.M2}
+}
+
 // N returns the number of observations.
 func (r *Running) N() int64 { return r.n }
 

@@ -1,0 +1,101 @@
+package service
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// FuzzCanonicalKey pins the content-address invariant behind the result
+// cache: the key depends only on the request's meaning, never on how
+// its JSON was laid out. Two documents with the same fields in
+// different orders, arbitrary whitespace, and params in any sequence
+// must decode to requests with identical keys — and a request with a
+// different seed must not collide.
+func FuzzCanonicalKey(f *testing.F) {
+	f.Add("fig6a", int64(1), true, "snr", "10", "bits", "64", " ")
+	f.Add("table2", int64(-42), false, "a", "", "b", "x y", "\n\t ")
+	f.Add("ext-coopber", int64(0), true, "k", "v", "k2", "v2", "  \t")
+	f.Fuzz(func(t *testing.T, id string, seed int64, quick bool, p1k, p1v, p2k, p2v, ws string) {
+		// JSON strings come from json.Marshal, so any input is legal;
+		// only the whitespace filler must actually be whitespace.
+		ws = sanitizeWS(ws)
+		if p1k == p2k {
+			// Duplicate JSON object keys are last-one-wins: reordering
+			// them legitimately changes the decoded request.
+			p2v = p1v
+		}
+		q := func(s string) string {
+			b, _ := json.Marshal(s)
+			return string(b)
+		}
+		seedJSON, _ := json.Marshal(seed)
+		quickJSON, _ := json.Marshal(quick)
+
+		docA := `{"id":` + q(id) + `,"seed":` + string(seedJSON) + `,"quick":` + string(quickJSON) +
+			`,"params":{` + q(p1k) + `:` + q(p1v) + `,` + q(p2k) + `:` + q(p2v) + `}}`
+		// Same request: reversed field order, reversed params, noisy
+		// whitespace everywhere JSON allows it.
+		docB := "{" + ws + `"params"` + ws + ":" + ws + "{" + ws + q(p2k) + ws + ":" + ws + q(p2v) +
+			ws + "," + ws + q(p1k) + ws + ":" + ws + q(p1v) + ws + "}" + ws +
+			"," + ws + `"quick"` + ws + ":" + ws + string(quickJSON) +
+			"," + ws + `"seed"` + ws + ":" + ws + string(seedJSON) +
+			"," + ws + `"id"` + ws + ":" + ws + q(id) + ws + "}"
+
+		var a, b Request
+		if err := json.Unmarshal([]byte(docA), &a); err != nil {
+			t.Fatalf("docA did not parse: %v\n%s", err, docA)
+		}
+		if err := json.Unmarshal([]byte(docB), &b); err != nil {
+			t.Fatalf("docB did not parse: %v\n%s", err, docB)
+		}
+		ka, kb := CanonicalKey(a), CanonicalKey(b)
+		if ka != kb {
+			t.Errorf("layout changed the key:\n%s -> %s\n%s -> %s", docA, ka, docB, kb)
+		}
+
+		// Sensitivity: the key must track meaning, not just ignore form.
+		c := a
+		c.Seed = a.Seed + 1
+		if CanonicalKey(c) == ka {
+			t.Errorf("seed change did not change the key (seed %d)", a.Seed)
+		}
+	})
+}
+
+// sanitizeWS maps arbitrary fuzz bytes onto legal JSON whitespace.
+func sanitizeWS(s string) string {
+	if s == "" {
+		return ""
+	}
+	var b strings.Builder
+	for _, r := range s {
+		switch r % 4 {
+		case 0:
+			b.WriteByte(' ')
+		case 1:
+			b.WriteByte('\t')
+		case 2:
+			b.WriteByte('\n')
+		case 3:
+			b.WriteByte('\r')
+		}
+	}
+	return b.String()
+}
+
+// TestCanonicalKeyParamOrderIrrelevant is the deterministic companion
+// of the fuzz target, kept for plain `go test` runs.
+func TestCanonicalKeyParamOrderIrrelevant(t *testing.T) {
+	a := Request{ID: "fig7", Seed: 3, Quick: true, Params: map[string]string{"x": "1", "y": "2", "z": "3"}}
+	b := Request{Params: map[string]string{"z": "3", "y": "2", "x": "1"}, Quick: true, Seed: 3, ID: "fig7"}
+	if CanonicalKey(a) != CanonicalKey(b) {
+		t.Fatal("param construction order changed the key")
+	}
+	// Workers is excluded by design: identical computation, same key.
+	c := a
+	c.Workers = 8
+	if CanonicalKey(c) != CanonicalKey(a) {
+		t.Fatal("Workers leaked into the cache key")
+	}
+}

@@ -112,6 +112,11 @@ type Stats struct {
 	// CacheHitRatio is hits/(hits+misses) over completed lookups, 0
 	// before any traffic. Coalesced waits count as neither.
 	CacheHitRatio float64 `json:"cache_hit_ratio"`
+	// MeanJobSeconds is the average wall-clock of jobs that ran to a
+	// terminal state, 0 before the first one. Cache hits answered
+	// without running are excluded, so the value estimates how long a
+	// queued job will occupy a worker.
+	MeanJobSeconds float64 `json:"mean_job_seconds"`
 }
 
 // Config sizes a Service. Zero values pick sane defaults.
@@ -157,6 +162,13 @@ type Service struct {
 	stopped bool
 
 	submitted, rejected, nDone, nFailed, nCanceled int64
+
+	// ranSeconds/ranJobs accumulate the wall-clock of jobs that actually
+	// ran (cache hits and never-started jobs excluded); their ratio is
+	// Stats.MeanJobSeconds, which the HTTP layer turns into Retry-After
+	// hints under queue pressure.
+	ranSeconds float64
+	ranJobs    int64
 }
 
 // Errors surfaced to the transport layer.
@@ -367,6 +379,9 @@ func (s *Service) Stats() Stats {
 		QueueCapacity: cap(s.queue),
 		Workers:       s.cfg.Workers,
 	}
+	if s.ranJobs > 0 {
+		st.MeanJobSeconds = s.ranSeconds / float64(s.ranJobs)
+	}
 	s.mu.Unlock()
 	st.CacheEntries = s.cache.len()
 	st.CacheHits = s.cache.stats.hits.Load()
@@ -465,7 +480,12 @@ func (s *Service) finish(j *job, st State, hit bool, msg string) {
 	}
 	metJobs.With(string(st)).Inc()
 	if !j.started.IsZero() {
-		metJobDuration.Observe(j.finished.Sub(j.started).Seconds())
+		d := j.finished.Sub(j.started).Seconds()
+		metJobDuration.Observe(d)
+		if !hit {
+			s.ranSeconds += d
+			s.ranJobs++
+		}
 	}
 	close(j.done)
 	j.cancel()

@@ -1,0 +1,72 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/mathx"
+)
+
+// BatchFunc runs n Monte-Carlo trials on the given chunk stream and
+// returns their streaming statistics. It is the unit of work a chunk
+// executes, locally or on a remote shard worker.
+type BatchFunc func(rng *rand.Rand, n int) mathx.Running
+
+// KernelFunc builds a BatchFunc from flat numeric parameters. Building
+// must validate the parameters — the returned batch runs on hot paths
+// and on remote workers, so it has no error channel of its own. The
+// flat map is deliberate: it is the whole cross-process contract, which
+// keeps the shard wire format free of per-kernel types.
+type KernelFunc func(params map[string]float64) (BatchFunc, error)
+
+// kernels is the process-wide registry of named Monte-Carlo kernels.
+// A kernel name is meaningful across processes: a coordinator ships
+// (kernel, params, seed, trials, chunk range) and the worker rebuilds
+// the identical batch from its own registry, so both binaries must
+// register the same kernels (cmd/cogmimod does, via the experiments
+// package's dependency on internal/simkern).
+var kernels = struct {
+	sync.RWMutex
+	m map[string]KernelFunc
+}{m: make(map[string]KernelFunc)}
+
+// RegisterKernel adds a named kernel; duplicate names panic, exactly
+// like duplicate experiment IDs would, because registration happens at
+// package init time.
+func RegisterKernel(name string, k KernelFunc) {
+	if name == "" || k == nil {
+		panic("sim: RegisterKernel needs a name and a kernel")
+	}
+	kernels.Lock()
+	defer kernels.Unlock()
+	if _, dup := kernels.m[name]; dup {
+		panic(fmt.Sprintf("sim: kernel %q registered twice", name))
+	}
+	kernels.m[name] = k
+}
+
+// KernelIDs lists the registered kernel names in stable order.
+func KernelIDs() []string {
+	kernels.RLock()
+	defer kernels.RUnlock()
+	ids := make([]string, 0, len(kernels.m))
+	for id := range kernels.m {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// NewKernelBatch builds the batch function of a registered kernel.
+func NewKernelBatch(name string, params map[string]float64) (BatchFunc, error) {
+	kernels.RLock()
+	k, ok := kernels.m[name]
+	kernels.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("sim: unknown kernel %q (have %s)", name, strings.Join(KernelIDs(), ", "))
+	}
+	return k(params)
+}

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"context"
+	"fmt"
 	"math/rand"
 	"runtime"
 	"sync"
@@ -16,13 +17,6 @@ import (
 // the registry, but cogsim runs feed the same counter).
 var mcTrials = obs.Default.Counter("cogmimod_mc_trials_total",
 	"Monte-Carlo trials completed, summed over all runs.")
-
-// chunkSize is the number of trials served by one PRNG stream. Chunks —
-// not workers — own random streams, which is what makes a run independent
-// of the worker count: chunk i always uses the i-th derived seed and
-// always covers the same trial indices, so parallelism changes wall-clock
-// time but never the answer.
-const chunkSize = 2048
 
 // MonteCarlo distributes independent trials over a worker pool.
 //
@@ -162,8 +156,9 @@ func runChunksScratch[S, T any](mc MonteCarlo, ctx context.Context, trials int, 
 	if trials <= 0 {
 		return nil, nil, ctx.Err()
 	}
-	chunks := (trials + chunkSize - 1) / chunkSize
-	seeds := mathx.DeriveSeeds(mc.Seed, chunks)
+	plan := Plan{Seed: mc.Seed, Trials: trials}
+	chunks := plan.Chunks()
+	seeds := plan.Seeds()
 	parts := make([]T, chunks)
 	done := make([]bool, chunks)
 
@@ -191,10 +186,7 @@ func runChunksScratch[S, T any](mc MonteCarlo, ctx context.Context, trials int, 
 				if c >= chunks {
 					return
 				}
-				n := chunkSize
-				if c == chunks-1 {
-					n = trials - c*chunkSize
-				}
+				n := plan.ChunkTrials(c)
 				rng.Reseed(seeds[c])
 				_, span := obs.StartSpan(ctx, "mc.chunk")
 				parts[c] = batch(scratch, rng.Rand, n)
@@ -207,4 +199,68 @@ func runChunksScratch[S, T any](mc MonteCarlo, ctx context.Context, trials int, 
 	}
 	wg.Wait()
 	return parts, done, ctx.Err()
+}
+
+// RunChunkRangeCtx executes only chunks [lo, hi) of the run's Plan and
+// returns their per-chunk partials indexed from lo. It is the worker
+// side of the distributed executor: a shard covers a contiguous chunk
+// range, each chunk is driven by exactly the seed the full local run
+// would use, and the caller merges partials back in global chunk order.
+// An incomplete range (cancellation) returns the context error and no
+// partials — a shard is all-or-nothing, so a retried or re-assigned
+// shard can never double-count chunks.
+func (mc MonteCarlo) RunChunkRangeCtx(ctx context.Context, trials, lo, hi int, batch func(rng *rand.Rand, n int) mathx.Running) ([]mathx.Running, error) {
+	plan := Plan{Seed: mc.Seed, Trials: trials}
+	chunks := plan.Chunks()
+	if lo < 0 || hi > chunks || lo >= hi {
+		return nil, fmt.Errorf("sim: chunk range [%d, %d) outside plan of %d chunks", lo, hi, chunks)
+	}
+	seeds := plan.Seeds()
+	parts := make([]mathx.Running, hi-lo)
+	done := make([]bool, hi-lo)
+
+	progress := obs.ProgressFrom(ctx)
+
+	workers := mc.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > hi-lo {
+		workers = hi - lo
+	}
+
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := mathx.NewReusableRand()
+			for ctx.Err() == nil {
+				i := int(next.Add(1)) - 1
+				if i >= hi-lo {
+					return
+				}
+				c := lo + i
+				n := plan.ChunkTrials(c)
+				rng.Reseed(seeds[c])
+				_, span := obs.StartSpan(ctx, "mc.chunk")
+				parts[i] = batch(rng.Rand, n)
+				span.End()
+				done[i] = true
+				mcTrials.Add(int64(n))
+				progress.Add(int64(n))
+			}
+		}()
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	for _, ok := range done {
+		if !ok {
+			return nil, context.Canceled
+		}
+	}
+	return parts, nil
 }

@@ -1,0 +1,165 @@
+// Package simkern registers the repository's named Monte-Carlo kernels
+// with the sim registry. A kernel is the transportable form of a trial
+// function: a name plus flat numeric parameters, from which any process
+// holding this package can rebuild the identical batch. That is what
+// lets internal/cluster ship chunk ranges to remote cogmimod workers —
+// coordinator and worker both derive the batch from the same
+// (kernel, params) pair, so a shard computed anywhere is bit-identical
+// to the chunk the local pool would have run.
+//
+// Import the package (usually transitively, via internal/experiments)
+// for its registration side effects.
+package simkern
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/coop"
+	"repro/internal/mathx"
+	"repro/internal/multihop"
+	"repro/internal/sim"
+)
+
+func init() {
+	sim.RegisterKernel("coop.ber", coopBER)
+	sim.RegisterKernel("multihop.ber", multihopBER)
+}
+
+// intParam reads an integral parameter, rejecting NaN, fractions and
+// out-of-range values so bad requests fail at kernel build time — the
+// batch itself has no error channel.
+func intParam(params map[string]float64, name string, def int) (int, error) {
+	v, ok := params[name]
+	if !ok {
+		return def, nil
+	}
+	if math.IsNaN(v) || v != math.Trunc(v) || v < math.MinInt32 || v > math.MaxInt32 {
+		return 0, fmt.Errorf("simkern: parameter %q = %v is not a small integer", name, v)
+	}
+	return int(v), nil
+}
+
+// coopBER measures the end-to-end BER of one cooperative hop
+// (internal/coop) per trial. Parameters:
+//
+//	mt, mr   cooperating node counts (default 2x2)
+//	b        bits per symbol (default 1)
+//	snr_db   long-haul per-bit SNR in dB (default 10)
+//	local_db intra-cluster per-bit SNR in dB (absent = ideal links)
+//	bits     information bits per trial (default 64)
+//
+// Each trial reseeds the hop from the chunk stream, so trial t of chunk
+// c is the same experiment no matter which worker runs the chunk.
+func coopBER(params map[string]float64) (sim.BatchFunc, error) {
+	mt, err := intParam(params, "mt", 2)
+	if err != nil {
+		return nil, err
+	}
+	mr, err := intParam(params, "mr", 2)
+	if err != nil {
+		return nil, err
+	}
+	b, err := intParam(params, "b", 1)
+	if err != nil {
+		return nil, err
+	}
+	bits, err := intParam(params, "bits", 64)
+	if err != nil {
+		return nil, err
+	}
+	snrDB, ok := params["snr_db"]
+	if !ok {
+		snrDB = 10
+	}
+	cfg := coop.Config{
+		Mt: mt, Mr: mr, B: b,
+		SNRPerBit: math.Pow(10, snrDB/10),
+		Bits:      bits,
+	}
+	if localDB, ok := params["local_db"]; ok {
+		cfg.LocalSNRPerBit = math.Pow(10, localDB/10)
+	}
+	cfg.Seed = 1 // placeholder for validation; trials reseed per draw
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return func(rng *rand.Rand, n int) mathx.Running {
+		ws := coop.GetWorkspace()
+		defer coop.PutWorkspace(ws)
+		var acc mathx.Running
+		c := cfg
+		for i := 0; i < n; i++ {
+			c.Seed = rng.Int63()
+			r, err := coop.RunWith(ws, c)
+			if err != nil {
+				// Validated above; unreachable for a registered run.
+				panic(err)
+			}
+			acc.Add(r.BER)
+		}
+		return acc
+	}, nil
+}
+
+// multihopBER measures the end-to-end BER of a route of identical
+// cooperative hops (internal/multihop) per trial. Parameters:
+//
+//	hops     hop count (default 2)
+//	mt, mr   node counts per hop (default 2x2)
+//	b        bits per symbol (default 1)
+//	snr_db   per-hop per-bit SNR in dB (default 10)
+//	bits     payload bits per trial (default 64)
+func multihopBER(params map[string]float64) (sim.BatchFunc, error) {
+	hops, err := intParam(params, "hops", 2)
+	if err != nil {
+		return nil, err
+	}
+	if hops < 1 || hops > 16 {
+		return nil, fmt.Errorf("simkern: hop count %d outside [1, 16]", hops)
+	}
+	mt, err := intParam(params, "mt", 2)
+	if err != nil {
+		return nil, err
+	}
+	mr, err := intParam(params, "mr", 2)
+	if err != nil {
+		return nil, err
+	}
+	b, err := intParam(params, "b", 1)
+	if err != nil {
+		return nil, err
+	}
+	bits, err := intParam(params, "bits", 64)
+	if err != nil {
+		return nil, err
+	}
+	snrDB, ok := params["snr_db"]
+	if !ok {
+		snrDB = 10
+	}
+	route := make([]multihop.Hop, hops)
+	for i := range route {
+		route[i] = multihop.Hop{Mt: mt, Mr: mr, SNRPerBit: math.Pow(10, snrDB/10)}
+	}
+	cfg := multihop.Config{Hops: route, B: b, Bits: bits, Seed: 1}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return func(rng *rand.Rand, n int) mathx.Running {
+		ws := multihop.GetWorkspace()
+		defer multihop.PutWorkspace(ws)
+		var acc mathx.Running
+		c := cfg
+		for i := 0; i < n; i++ {
+			c.Seed = rng.Int63()
+			r, err := multihop.RunWith(ws, c)
+			if err != nil {
+				panic(err)
+			}
+			acc.Add(r.EndToEndBER)
+		}
+		return acc
+	}, nil
+}

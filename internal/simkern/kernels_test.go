@@ -1,0 +1,58 @@
+package simkern
+
+import (
+	"testing"
+
+	"repro/internal/mathx"
+	"repro/internal/sim"
+)
+
+func TestKernelsRegistered(t *testing.T) {
+	for _, name := range []string{"coop.ber", "multihop.ber"} {
+		if _, err := sim.NewKernelBatch(name, nil); err != nil {
+			t.Errorf("kernel %q not buildable with defaults: %v", name, err)
+		}
+	}
+}
+
+func TestKernelRejectsBadParams(t *testing.T) {
+	cases := []struct {
+		kernel string
+		params map[string]float64
+	}{
+		{"coop.ber", map[string]float64{"mt": 2.5}},
+		{"coop.ber", map[string]float64{"mt": 9}},
+		{"coop.ber", map[string]float64{"bits": -1}},
+		{"multihop.ber", map[string]float64{"hops": 0}},
+		{"multihop.ber", map[string]float64{"b": 99}},
+	}
+	for _, tc := range cases {
+		if _, err := sim.NewKernelBatch(tc.kernel, tc.params); err == nil {
+			t.Errorf("%s with %v: want build error, got nil", tc.kernel, tc.params)
+		}
+	}
+}
+
+// TestKernelDeterministic pins the property the distributed executor
+// relies on: rebuilding a batch from (kernel, params) and replaying the
+// same rng stream yields bit-identical statistics.
+func TestKernelDeterministic(t *testing.T) {
+	params := map[string]float64{"mt": 2, "mr": 2, "snr_db": 6, "bits": 32}
+	run := func() mathx.Running {
+		batch, err := sim.NewKernelBatch("coop.ber", params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return batch(mathx.NewRand(42), 50)
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("same seed, different stats: %+v vs %+v", a, b)
+	}
+	if a.N() != 50 {
+		t.Fatalf("N = %d, want 50", a.N())
+	}
+	if a.Mean() <= 0 || a.Mean() >= 0.5 {
+		t.Fatalf("BER mean %v outside (0, 0.5)", a.Mean())
+	}
+}

@@ -26,4 +26,7 @@ go test -race ./...
 echo ">> bench smoke (1 iteration)"
 go test -run=NONE -bench=. -benchtime=1x . >/dev/null
 
+echo ">> cluster smoke (loopback coordinator, 3 workers, 1 induced death)"
+go run ./internal/tools/clustersmoke
+
 echo "verify: ok"
