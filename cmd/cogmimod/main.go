@@ -6,6 +6,7 @@
 // Usage:
 //
 //	cogmimod -addr :8345 -workers 4 -queue 64 -cache 256
+//	cogmimod -data-dir /var/lib/cogmimod -store-max-bytes 268435456
 //	cogmimod -log-level debug -log-json -pprof
 //	cogmimod -addr :8345 -peers localhost:8346,localhost:8347
 //
@@ -14,6 +15,14 @@
 // worker nodes (each just a plain cogmimod) and merge to results
 // bit-identical to a local run; see internal/cluster.
 //
+// With -data-dir the result cache is backed by a durable
+// content-addressed store (internal/store): computed reports survive
+// restarts and are served as cache hits, the in-memory LRU is warmed
+// from disk at boot, and the campaign endpoints come alive — campaigns
+// checkpoint per Monte-Carlo chunk and any campaign interrupted by a
+// crash (even SIGKILL) resumes on the next boot, byte-identically; see
+// internal/campaign.
+//
 // API (JSON):
 //
 //	POST   /v1/experiments      {"id":"fig6a","seed":1,"quick":true,"wait":true}
@@ -21,6 +30,9 @@
 //	GET    /v1/jobs/{id}        job state, timestamps and live progress
 //	DELETE /v1/jobs/{id}        cancel a job
 //	GET    /v1/results/{key}    fetch a cached report by content key
+//	POST   /v1/campaigns        submit a campaign spec (requires -data-dir)
+//	GET    /v1/campaigns        list campaigns, live and stored
+//	GET    /v1/campaigns/{id}   campaign status with per-experiment progress
 //	GET    /v1/stats            service counters as JSON
 //	POST   /v1/shards           execute a Monte-Carlo chunk range (worker side)
 //	GET    /healthz             liveness probe; 503 {"status":"draining"} during shutdown
@@ -50,9 +62,11 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/campaign"
 	"repro/internal/cluster"
 	"repro/internal/service"
 	"repro/internal/sim"
+	"repro/internal/store"
 )
 
 func main() {
@@ -66,6 +80,9 @@ func main() {
 		logLevel = flag.String("log-level", "info", "log level: debug, info, warn or error")
 		logJSON  = flag.Bool("log-json", false, "emit logs as JSON instead of text")
 		pprofOn  = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+
+		dataDir  = flag.String("data-dir", "", "durable result store directory; empty keeps everything in memory")
+		storeMax = flag.Int64("store-max-bytes", 256<<20, "size bound the store GC enforces over unprotected entries (0 = unbounded)")
 
 		peers      = flag.String("peers", "", "comma-separated worker node addresses; enables coordinator mode")
 		shards     = flag.Int("shards", 0, "shards per Monte-Carlo run in coordinator mode (0 = one per ready peer)")
@@ -82,6 +99,23 @@ func main() {
 
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer cancel()
+
+	// The durable store opens first: corrupted entries are quarantined
+	// during open, and everything downstream (cache, campaigns) treats
+	// the handle as ready state.
+	var st *store.Store
+	if *dataDir != "" {
+		var err error
+		st, err = store.Open(store.Options{Dir: *dataDir, MaxBytes: *storeMax, Logger: logger})
+		if err != nil {
+			fatal(err)
+		}
+		defer st.Close()
+		stats := st.Stats()
+		logger.Info("durable store open",
+			"dir", *dataDir, "entries", stats.Entries, "bytes", stats.Bytes,
+			"quarantined", stats.Quarantined)
+	}
 
 	// In coordinator mode every job's Monte-Carlo work fans out to the
 	// peer nodes: the runner attaches a cluster coordinator to the job
@@ -113,12 +147,24 @@ func main() {
 		Runner:       runner,
 		KnownIDs:     service.KnownExperimentIDs(),
 		Logger:       logger,
+		Store:        st,
 	})
 	if err != nil {
 		fatal(err)
 	}
+	svc.WarmFromStore()
 	svc.Start()
 	publishMetrics(svc)
+
+	// Campaigns need durability for their checkpoints; without -data-dir
+	// the endpoints answer 503 instead of pretending to be crash-safe.
+	var campaigns *campaign.Manager
+	if st != nil {
+		campaigns = campaign.NewManager(st, *workers, logger)
+		if n := campaigns.ResumeAll(); n > 0 {
+			logger.Info("resumed interrupted campaigns", "count", n)
+		}
+	}
 
 	var draining atomic.Bool
 	srv := &http.Server{
@@ -129,6 +175,7 @@ func main() {
 			Draining:     &draining,
 			NodeID:       *addr,
 			ShardWorkers: *workers,
+			Campaigns:    campaigns,
 		}),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
@@ -164,6 +211,13 @@ func main() {
 	defer cancelShutdown()
 	if err := srv.Shutdown(shutdownCtx); err != nil {
 		logger.Error("shutdown", "error", err)
+	}
+	if campaigns != nil {
+		// Interrupted campaigns keep their durable "running" state and
+		// resume on the next boot.
+		if err := campaigns.Stop(shutdownCtx); err != nil {
+			logger.Error("campaign stop", "error", err)
+		}
 	}
 	if err := svc.Stop(shutdownCtx); err != nil {
 		logger.Error("service stop", "error", err)

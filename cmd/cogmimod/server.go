@@ -5,6 +5,7 @@ import (
 	"errors"
 	"expvar"
 	"fmt"
+	"io"
 	"log/slog"
 	"math"
 	"net/http"
@@ -14,6 +15,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/campaign"
 	"repro/internal/cluster"
 	"repro/internal/obs"
 	"repro/internal/service"
@@ -50,6 +52,10 @@ type muxConfig struct {
 	NodeID string
 	// ShardWorkers caps goroutines per shard execution; 0 = GOMAXPROCS.
 	ShardWorkers int
+	// Campaigns serves the /v1/campaigns endpoints; nil (no -data-dir)
+	// makes them answer 503, since campaigns without durable storage
+	// could not keep their crash-safety promise.
+	Campaigns *campaign.Manager
 }
 
 // draining reports the drain state, tolerating a nil flag (tests).
@@ -137,6 +143,59 @@ func newMux(svc *service.Service, cfg muxConfig) http.Handler {
 
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, svc.Stats())
+	})
+
+	mux.HandleFunc("POST /v1/campaigns", func(w http.ResponseWriter, r *http.Request) {
+		if cfg.Campaigns == nil {
+			httpError(w, http.StatusServiceUnavailable, "campaigns need durable storage: start cogmimod with -data-dir")
+			return
+		}
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+		if err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Sprintf("reading spec: %v", err))
+			return
+		}
+		spec, err := campaign.ParseSpec(body)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		id, started, err := cfg.Campaigns.Submit(spec)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		// Idempotent by content address: resubmitting a spec returns the
+		// existing campaign instead of starting a duplicate.
+		code := http.StatusAccepted
+		if !started {
+			code = http.StatusOK
+		}
+		st, _ := cfg.Campaigns.Get(id)
+		writeJSON(w, code, map[string]any{
+			"campaign": id, "started": started, "status": st.Status,
+		})
+	})
+
+	mux.HandleFunc("GET /v1/campaigns", func(w http.ResponseWriter, r *http.Request) {
+		if cfg.Campaigns == nil {
+			httpError(w, http.StatusServiceUnavailable, "campaigns need durable storage: start cogmimod with -data-dir")
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"campaigns": cfg.Campaigns.List()})
+	})
+
+	mux.HandleFunc("GET /v1/campaigns/{id}", func(w http.ResponseWriter, r *http.Request) {
+		if cfg.Campaigns == nil {
+			httpError(w, http.StatusServiceUnavailable, "campaigns need durable storage: start cogmimod with -data-dir")
+			return
+		}
+		st, ok := cfg.Campaigns.Get(r.PathValue("id"))
+		if !ok {
+			httpError(w, http.StatusNotFound, "no such campaign")
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
 	})
 
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"os"
+
+	"repro/internal/campaign"
+	"repro/internal/obs"
+	"repro/internal/store"
+)
+
+// runCampaign executes a campaign spec against a durable store and
+// returns the assembled report. Interrupting the run (Ctrl-C, or even
+// SIGKILL) loses at most one checkpoint interval of Monte-Carlo work:
+// rerunning the same command resumes from the persisted checkpoints
+// and produces a report byte-identical to an uninterrupted run.
+func runCampaign(ctx context.Context, specPath, dataDir string, workers int, showProgress bool) (string, error) {
+	if dataDir == "" {
+		return "", fmt.Errorf("-campaign needs -data-dir for checkpoints and results")
+	}
+	payload, err := os.ReadFile(specPath)
+	if err != nil {
+		return "", err
+	}
+	spec, err := campaign.ParseSpec(payload)
+	if err != nil {
+		return "", fmt.Errorf("%s: %w", specPath, err)
+	}
+	st, err := store.Open(store.Options{Dir: dataDir, Logger: slog.Default()})
+	if err != nil {
+		return "", err
+	}
+	defer st.Close()
+
+	runner := campaign.Runner{
+		Store:   st,
+		Workers: workers,
+		Logger:  slog.Default(),
+	}
+	if showProgress {
+		runner.Observer = &progressObserver{}
+	}
+	fmt.Fprintf(os.Stderr, "cogsim: campaign %s (%s): %d experiments\n",
+		spec.ID(), spec.Name, len(spec.Experiments))
+	_, stats, err := runner.Run(ctx, spec)
+	if err != nil {
+		if ctx.Err() != nil {
+			fmt.Fprintln(os.Stderr, "cogsim: interrupted; rerun the same command to resume from checkpoints")
+		}
+		return "", err
+	}
+	fmt.Fprintf(os.Stderr, "cogsim: campaign done: %d computed, %d cached, %d chunks resumed\n",
+		stats.Computed, stats.Cached, stats.ChunksResumed)
+	// The report comes from the store rather than the Run return so the
+	// printed bytes are exactly the durable ones.
+	report, _, ok := st.Get("campaign/" + spec.ID() + "/report")
+	if !ok {
+		return "", fmt.Errorf("campaign finished but report missing from store")
+	}
+	return string(report), nil
+}
+
+// progressObserver renders a live per-experiment progress line on
+// stderr while a campaign entry runs.
+type progressObserver struct {
+	stop func()
+}
+
+func (p *progressObserver) ExperimentStarted(i int, name string, tracker *obs.Tracker) {
+	p.stop = obs.StartProgressPrinter(os.Stderr, name, tracker, 0)
+}
+
+func (p *progressObserver) ExperimentFinished(i int, name string, cached bool, err error) {
+	if p.stop != nil {
+		p.stop()
+		p.stop = nil
+	}
+	switch {
+	case err != nil:
+		fmt.Fprintf(os.Stderr, "cogsim: %s failed: %v\n", name, err)
+	case cached:
+		fmt.Fprintf(os.Stderr, "cogsim: %s: cached\n", name)
+	}
+}

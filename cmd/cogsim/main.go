@@ -7,9 +7,16 @@
 //	cogsim -all -seed 7
 //	cogsim -id fig7 -quick
 //	cogsim -id ext-coopber -remote localhost:8346,localhost:8347
+//	cogsim -campaign campaigns/figures.json -data-dir ./data
 //
 // -remote shards kernel-based Monte-Carlo runs across cogmimod worker
 // nodes (see internal/cluster); output is bit-identical to a local run.
+//
+// -campaign runs a named list of experiments with per-chunk durable
+// checkpoints (see internal/campaign): an interrupted run — Ctrl-C or a
+// hard kill — resumes from the checkpoints in -data-dir on the next
+// invocation and still prints a report byte-identical to an
+// uninterrupted run.
 //
 // On a terminal, a live progress line on stderr tracks completed work
 // (sweep points, testbed runs, Monte-Carlo trials) while the tables
@@ -43,6 +50,8 @@ func main() {
 		logY     = flag.Bool("logy", false, "log-scale the plot's y axis (use with fig7)")
 		workers  = flag.Int("workers", 0, "sweep-row concurrency; 0 means GOMAXPROCS (results are identical for any value)")
 		remote   = flag.String("remote", "", "comma-separated cogmimod worker addresses; shard Monte-Carlo kernels across them (results are identical)")
+		campSpec = flag.String("campaign", "", "campaign spec file; runs it with durable checkpoints (needs -data-dir)")
+		dataDir  = flag.String("data-dir", "", "durable store directory for -campaign checkpoints and results")
 		progress = flag.String("progress", "auto", "live progress line on stderr: auto, on or off")
 		logLevel = flag.String("log-level", "warn", "log level: debug, info, warn or error")
 	)
@@ -89,6 +98,12 @@ func main() {
 	switch {
 	case *list:
 		fmt.Println(strings.Join(experiments.IDs(), "\n"))
+	case *campSpec != "":
+		report, err := runCampaign(ctx, *campSpec, *dataDir, *workers, showProgress)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(report)
 	case *all:
 		stop := watch("all")
 		reps, err := experiments.RunAllCtx(ctx, experiments.Options{Seed: *seed, Quick: *quick, Workers: *workers})
@@ -119,7 +134,7 @@ func main() {
 		}
 		fmt.Print(out)
 	default:
-		fmt.Fprintln(os.Stderr, "cogsim: need -id, -all or -list")
+		fmt.Fprintln(os.Stderr, "cogsim: need -id, -all, -list or -campaign")
 		flag.Usage()
 		os.Exit(2)
 	}

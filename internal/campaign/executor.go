@@ -1,0 +1,185 @@
+package campaign
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"sync/atomic"
+
+	"repro/internal/mathx"
+	"repro/internal/obs"
+	"repro/internal/sim"
+	"repro/internal/store"
+)
+
+// checkpoint is the durable progress record of one kernel run: the
+// per-chunk partials for chunks [0, len(Partials)). It stores per-chunk
+// snapshots rather than a folded prefix because sim.RunKernelCtx
+// demands one partial per chunk and folds them itself — resume must
+// hand back exactly the operation sequence an uninterrupted run folds.
+type checkpoint struct {
+	Version   int                     `json:"version"`
+	Kernel    string                  `json:"kernel"`
+	Params    map[string]float64      `json:"params"`
+	Seed      int64                   `json:"seed"`
+	Trials    int                     `json:"trials"`
+	ChunkSize int                     `json:"chunk_size"`
+	Partials  []mathx.RunningSnapshot `json:"partials"`
+}
+
+const checkpointVersion = 1
+
+// runHash content-addresses one kernel run, independent of map
+// ordering. It names both checkpoints and kernel-entry results.
+func runHash(run sim.KernelRun) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "kernel=%s\n", run.Kernel)
+	fmt.Fprintf(h, "seed=%d\n", run.Seed)
+	fmt.Fprintf(h, "trials=%d\n", run.Trials)
+	fmt.Fprintf(h, "chunksize=%d\n", sim.ChunkSize)
+	for _, k := range sortedFloatKeys(run.Params) {
+		fmt.Fprintf(h, "param.%s=%s\n", k,
+			strconv.FormatFloat(run.Params[k], 'g', -1, 64))
+	}
+	return hex.EncodeToString(h.Sum(nil))[:16]
+}
+
+// ckptExecutor is a sim.Executor that persists chunk progress through
+// the result store. Attached to an experiment's context it intercepts
+// every kernel-named Monte-Carlo run, replays any checkpointed chunk
+// prefix, computes the remaining chunks in bounded ranges and persists
+// a new checkpoint after each range. It is safe for concurrent
+// RunShards calls (sweep drivers evaluate rows in parallel): distinct
+// runs checkpoint under distinct content-addressed keys.
+type ckptExecutor struct {
+	store   *store.Store
+	cid     string
+	expIdx  int
+	every   int // chunks per checkpoint interval, >= 1
+	workers int
+	stats   *runCounters
+}
+
+// runCounters aggregates executor activity with atomics; RunShards
+// runs concurrently under sweep parallelism.
+type runCounters struct {
+	chunksResumed  atomic.Int64
+	chunksComputed atomic.Int64
+	checkpoints    atomic.Int64
+}
+
+func (e *ckptExecutor) RunShards(ctx context.Context, run sim.KernelRun) ([]mathx.Running, error) {
+	plan := run.Plan()
+	chunks := plan.Chunks()
+	key := ckptPrefix(e.cid, e.expIdx) + runHash(run)
+
+	partials := e.loadCheckpoint(key, run, chunks)
+	resumed := len(partials)
+
+	// The local chunk pool reports AddTotal when it runs; with an
+	// executor attached nothing else accounts for this run, so report
+	// the budget here and credit the replayed prefix as already done.
+	progress := obs.ProgressFrom(ctx)
+	progress.AddTotal(int64(run.Trials))
+	if resumed > 0 {
+		var replayedTrials int64
+		for c := 0; c < resumed; c++ {
+			replayedTrials += int64(plan.ChunkTrials(c))
+		}
+		progress.Add(replayedTrials)
+		e.stats.chunksResumed.Add(int64(resumed))
+		metChunksResumed.Add(int64(resumed))
+	}
+
+	mc := sim.MonteCarlo{Seed: run.Seed, Workers: e.workers}
+	for lo := resumed; lo < chunks; lo += e.every {
+		hi := lo + e.every
+		if hi > chunks {
+			hi = chunks
+		}
+		parts, err := mc.RunKernelChunksCtx(ctx, run.Kernel, run.Params, run.Trials, lo, hi)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range parts {
+			partials = append(partials, p.Snapshot())
+		}
+		e.stats.chunksComputed.Add(int64(hi - lo))
+		metChunksComputed.Add(int64(hi - lo))
+		if err := e.saveCheckpoint(key, run, partials); err != nil {
+			return nil, fmt.Errorf("campaign: persisting checkpoint: %w", err)
+		}
+	}
+
+	out := make([]mathx.Running, len(partials))
+	for i, s := range partials {
+		out[i] = mathx.RunningFromSnapshot(s)
+	}
+	return out, nil
+}
+
+// loadCheckpoint returns the checkpointed chunk prefix for run, or nil
+// when there is none or it does not match the run (a stale record for
+// a different budget, kernel version or chunk size is discarded —
+// never trusted, never fatal).
+func (e *ckptExecutor) loadCheckpoint(key string, run sim.KernelRun, chunks int) []mathx.RunningSnapshot {
+	payload, _, ok := e.store.Get(key)
+	if !ok {
+		return nil
+	}
+	var ck checkpoint
+	if err := json.Unmarshal(payload, &ck); err != nil {
+		_ = e.store.Delete(key)
+		return nil
+	}
+	if ck.Version != checkpointVersion ||
+		ck.Kernel != run.Kernel ||
+		ck.Seed != run.Seed ||
+		ck.Trials != run.Trials ||
+		ck.ChunkSize != sim.ChunkSize ||
+		len(ck.Partials) > chunks ||
+		!sameParams(ck.Params, run.Params) {
+		_ = e.store.Delete(key)
+		return nil
+	}
+	return ck.Partials
+}
+
+func (e *ckptExecutor) saveCheckpoint(key string, run sim.KernelRun, partials []mathx.RunningSnapshot) error {
+	payload, err := json.Marshal(checkpoint{
+		Version:   checkpointVersion,
+		Kernel:    run.Kernel,
+		Params:    run.Params,
+		Seed:      run.Seed,
+		Trials:    run.Trials,
+		ChunkSize: sim.ChunkSize,
+		Partials:  partials,
+	})
+	if err != nil {
+		return err
+	}
+	if err := e.store.Put(key, payload, store.Meta{
+		Kind: "checkpoint", Experiment: run.Kernel, Seed: run.Seed,
+	}); err != nil {
+		return err
+	}
+	e.stats.checkpoints.Add(1)
+	metCheckpoints.Inc()
+	return nil
+}
+
+func sameParams(a, b map[string]float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		bv, ok := b[k]
+		if !ok || bv != v {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,30 @@
+package campaign
+
+import "repro/internal/obs"
+
+// Campaign metrics in the stack's Default registry, served by cogmimod
+// at /metrics/prom alongside the store and service series.
+var (
+	metRuns = obs.Default.CounterVec("cogmimod_campaign_runs_total",
+		"Campaign runs by terminal status (interrupted counts a run that stopped on context cancellation and can resume).",
+		"status")
+	metExperiments = obs.Default.CounterVec("cogmimod_campaign_experiments_total",
+		"Campaign experiment entries by outcome.", "status")
+	metCheckpoints = obs.Default.Counter("cogmimod_campaign_checkpoints_total",
+		"Chunk checkpoints durably persisted.")
+	metChunksResumed = obs.Default.Counter("cogmimod_campaign_chunks_resumed_total",
+		"Monte-Carlo chunks replayed from checkpoints instead of recomputed.")
+	metChunksComputed = obs.Default.Counter("cogmimod_campaign_chunks_computed_total",
+		"Monte-Carlo chunks computed under campaign checkpointing.")
+)
+
+// init pre-seeds the labeled series so every outcome scrapes as 0
+// before any traffic.
+func init() {
+	for _, s := range []string{"done", "failed", "interrupted"} {
+		metRuns.With(s).Add(0)
+	}
+	for _, s := range []string{"computed", "cached", "failed"} {
+		metExperiments.With(s).Add(0)
+	}
+}

@@ -1,0 +1,37 @@
+package campaign
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestShippedSpecsValidate keeps the ready-made specs under campaigns/
+// honest: every shipped file must parse and validate against the live
+// experiment and kernel registries, so a renamed experiment id cannot
+// silently strand them.
+func TestShippedSpecsValidate(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join("..", "..", "campaigns", "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no shipped campaign specs found under campaigns/")
+	}
+	seen := make(map[string]string)
+	for _, path := range paths {
+		payload, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec, err := ParseSpec(payload)
+		if err != nil {
+			t.Errorf("%s: %v", path, err)
+			continue
+		}
+		if prev, dup := seen[spec.ID()]; dup {
+			t.Errorf("%s has the same campaign id as %s", path, prev)
+		}
+		seen[spec.ID()] = path
+	}
+}

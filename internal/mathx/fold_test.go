@@ -1,0 +1,156 @@
+package mathx
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+// These tests pin the invariant checkpoint resume (internal/campaign)
+// leans on: a Monte-Carlo result is a strict left-to-right fold of
+// per-chunk Running partials, and that fold can be cut at ANY chunk
+// boundary, its prefix partials serialised to JSON and restored, and
+// the continued fold still produces bit-identical state. Checkpoints
+// therefore store the per-chunk snapshot list — never pre-merged
+// prefixes — so a resumed fold replays the exact same operation
+// sequence as an uninterrupted one.
+
+// chunkPartials builds nChunks Running accumulators over pseudo-random
+// observations, the same shape sim's kernel runners produce.
+func chunkPartials(seed int64, nChunks, perChunk int) []Running {
+	rng := NewRand(seed)
+	parts := make([]Running, nChunks)
+	for i := range parts {
+		for j := 0; j < perChunk; j++ {
+			// Mix magnitudes so merges exercise non-trivial rounding.
+			x := rng.NormFloat64() * math.Pow(10, float64(rng.Intn(7)-3))
+			parts[i].Add(x)
+		}
+	}
+	return parts
+}
+
+// foldLeft merges partials strictly left-to-right, exactly as
+// sim.RunKernelCtx does.
+func foldLeft(parts []Running) Running {
+	var total Running
+	for _, p := range parts {
+		total.Merge(p)
+	}
+	return total
+}
+
+func bitsEqual(a, b Running) bool {
+	sa, sb := a.Snapshot(), b.Snapshot()
+	return sa.N == sb.N &&
+		math.Float64bits(sa.Mean) == math.Float64bits(sb.Mean) &&
+		math.Float64bits(sa.M2) == math.Float64bits(sb.M2)
+}
+
+// TestFoldResumeBitIdenticalAtEverySplit cuts the fold at every chunk
+// boundary k, round-trips the first k partials through JSON (the
+// checkpoint encoding), and folds the restored prefix plus the live
+// suffix. Every split point must reproduce the golden fold exactly.
+func TestFoldResumeBitIdenticalAtEverySplit(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42, 12345} {
+		parts := chunkPartials(seed, 16, 64)
+		golden := foldLeft(parts)
+		for k := 0; k <= len(parts); k++ {
+			snaps := make([]RunningSnapshot, k)
+			for i := 0; i < k; i++ {
+				snaps[i] = parts[i].Snapshot()
+			}
+			data, err := json.Marshal(snaps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var restored []RunningSnapshot
+			if err := json.Unmarshal(data, &restored); err != nil {
+				t.Fatal(err)
+			}
+			var resumed Running
+			for _, s := range restored {
+				r := RunningFromSnapshot(s)
+				resumed.Merge(r)
+			}
+			for _, p := range parts[k:] {
+				resumed.Merge(p)
+			}
+			if !bitsEqual(resumed, golden) {
+				t.Fatalf("seed %d split %d: resumed fold differs from golden: %+v vs %+v",
+					seed, k, resumed.Snapshot(), golden.Snapshot())
+			}
+		}
+	}
+}
+
+// TestFoldIndependentOfCheckpointInterval reruns the fold under every
+// checkpoint interval (how many chunks land in one checkpoint write):
+// the grouping only changes WHEN snapshots hit disk, never the fold
+// order, so all intervals must agree bit-for-bit.
+func TestFoldIndependentOfCheckpointInterval(t *testing.T) {
+	parts := chunkPartials(99, 24, 32)
+	golden := foldLeft(parts)
+	for every := 1; every <= len(parts); every++ {
+		// Simulate the runner: compute chunks in ranges of `every`,
+		// checkpointing (serialising) each range's per-chunk partials.
+		var ckpt []RunningSnapshot
+		for lo := 0; lo < len(parts); lo += every {
+			hi := lo + every
+			if hi > len(parts) {
+				hi = len(parts)
+			}
+			for _, p := range parts[lo:hi] {
+				ckpt = append(ckpt, p.Snapshot())
+			}
+		}
+		data, err := json.Marshal(ckpt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var restored []RunningSnapshot
+		if err := json.Unmarshal(data, &restored); err != nil {
+			t.Fatal(err)
+		}
+		var total Running
+		for _, s := range restored {
+			r := RunningFromSnapshot(s)
+			total.Merge(r)
+		}
+		if !bitsEqual(total, golden) {
+			t.Fatalf("interval %d: fold differs from golden", every)
+		}
+	}
+}
+
+// TestSnapshotJSONRoundTripExact pins the encoding property underneath
+// all of the above: Go's float64 JSON encoding is the shortest
+// round-tripping decimal, so restored snapshots carry the exact bits —
+// including denormals, extremes and negative zero.
+func TestSnapshotJSONRoundTripExact(t *testing.T) {
+	values := []float64{
+		0, math.Copysign(0, -1), 1.0 / 3.0, math.Pi,
+		math.SmallestNonzeroFloat64, math.MaxFloat64,
+		4.9406564584124654e-320, // subnormal
+		0.1 + 0.2,               // classic non-representable sum
+		-1e-308, 6.02214076e23,
+	}
+	for _, mean := range values {
+		for _, m2 := range values {
+			s := RunningSnapshot{N: 12345, Mean: mean, M2: m2}
+			data, err := json.Marshal(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var back RunningSnapshot
+			if err := json.Unmarshal(data, &back); err != nil {
+				t.Fatal(err)
+			}
+			if back.N != s.N ||
+				math.Float64bits(back.Mean) != math.Float64bits(s.Mean) ||
+				math.Float64bits(back.M2) != math.Float64bits(s.M2) {
+				t.Fatalf("round trip changed bits: %+v -> %s -> %+v", s, data, back)
+			}
+		}
+	}
+}

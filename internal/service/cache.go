@@ -41,6 +41,7 @@ func CanonicalKey(req Request) Key {
 // block the serving path.
 type cacheStats struct {
 	hits      atomic.Int64 // served from a completed entry
+	diskHits  atomic.Int64 // served from the durable store's loader
 	coalesced atomic.Int64 // waited on another caller's in-flight computation
 	misses    atomic.Int64 // had to compute
 	evictions atomic.Int64
@@ -69,6 +70,12 @@ type cache struct {
 	entries  map[Key]*list.Element // of *entry
 	lru      *list.List            // front = most recent
 	stats    cacheStats
+
+	// load, when set, resolves a miss from durable storage before the
+	// compute path runs. It executes outside the mutex, under the same
+	// single-flight registration as a computation, so concurrent callers
+	// of one key trigger one disk read.
+	load func(Key) (string, bool)
 }
 
 func newCache(maxEntries int) *cache {
@@ -131,6 +138,22 @@ func (c *cache) do(ctx context.Context, key Key, compute func() (string, error))
 		c.inflight[key] = f
 		c.mu.Unlock()
 
+		// A durable result from a previous process counts as a hit: the
+		// computation is avoided, only the disk read is paid.
+		if c.load != nil {
+			if val, ok := c.load(key); ok {
+				f.val = val
+				c.mu.Lock()
+				delete(c.inflight, key)
+				c.insertLocked(key, val)
+				c.mu.Unlock()
+				close(f.done)
+				c.stats.diskHits.Add(1)
+				metCacheDiskHits.Inc()
+				return val, true, nil
+			}
+		}
+
 		c.stats.misses.Add(1)
 		metCacheMisses.Inc()
 		f.val, f.err = compute()
@@ -161,6 +184,13 @@ func (c *cache) insertLocked(key Key, val string) {
 		c.stats.evictions.Add(1)
 		metCacheEvictions.Inc()
 	}
+}
+
+// put records a completed result directly — the cache-warming path.
+func (c *cache) put(key Key, val string) {
+	c.mu.Lock()
+	c.insertLocked(key, val)
+	c.mu.Unlock()
 }
 
 // len reports the number of completed entries.

@@ -17,6 +17,8 @@ var (
 		"Time jobs spent queued before a worker picked them up.", nil)
 	metCacheHits = obs.Default.Counter("cogmimod_cache_hits_total",
 		"Result-cache lookups served from a completed entry.")
+	metCacheDiskHits = obs.Default.Counter("cogmimod_cache_disk_hits_total",
+		"Result-cache lookups served from the durable store instead of computing.")
 	metCacheCoalesced = obs.Default.Counter("cogmimod_cache_coalesced_total",
 		"Result-cache lookups coalesced onto another caller's in-flight computation.")
 	metCacheMisses = obs.Default.Counter("cogmimod_cache_misses_total",

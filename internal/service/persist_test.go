@@ -1,0 +1,156 @@
+package service
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/store"
+)
+
+func openTestStore(t *testing.T, dir string) *store.Store {
+	t.Helper()
+	st, err := store.Open(store.Options{Dir: dir})
+	if err != nil {
+		t.Fatalf("opening store: %v", err)
+	}
+	t.Cleanup(func() { st.Close() })
+	return st
+}
+
+func waitDone(t *testing.T, s *Service, id string) JobView {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	jv, err := s.Wait(ctx, id)
+	if err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if jv.State != StateDone {
+		t.Fatalf("job state = %s (%s), want done", jv.State, jv.Error)
+	}
+	return jv
+}
+
+// TestResultsSurviveRestart is the durability contract at the service
+// layer: a result computed before a "restart" (a brand-new Service over
+// the same store directory) is served as a cache hit, without invoking
+// the runner again.
+func TestResultsSurviveRestart(t *testing.T) {
+	dir := t.TempDir()
+	var runs atomic.Int64
+	runner := func(ctx context.Context, req Request) (string, error) {
+		runs.Add(1)
+		return "report:" + req.ID, nil
+	}
+	req := Request{ID: "fig6a", Seed: 42}
+
+	st1 := openTestStore(t, dir)
+	s1 := startService(t, Config{Workers: 1, Runner: runner, Store: st1})
+	jv, err := s1.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, s1, jv.ID)
+	if runs.Load() != 1 {
+		t.Fatalf("runner ran %d times, want 1", runs.Load())
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s1.Stop(ctx); err != nil {
+		t.Fatal(err)
+	}
+	st1.Close()
+
+	// The "restarted" process: fresh store handle, fresh service, cold
+	// in-memory cache.
+	st2 := openTestStore(t, dir)
+	s2 := startService(t, Config{Workers: 1, Runner: runner, Store: st2})
+	jv2, err := s2.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := waitDone(t, s2, jv2.ID)
+	if !done.CacheHit {
+		t.Error("restarted service recomputed instead of hitting the durable store")
+	}
+	if runs.Load() != 1 {
+		t.Errorf("runner ran %d times across restart, want 1", runs.Load())
+	}
+	if got := s2.Stats().CacheDiskHits; got != 1 {
+		t.Errorf("disk hits = %d, want 1", got)
+	}
+	if report, ok := s2.Result(jv2.Key); !ok || report != "report:fig6a" {
+		t.Errorf("Result = (%q, %t)", report, ok)
+	}
+}
+
+// TestWarmFromStore pins the boot-warming bound: at most CacheEntries
+// results are preloaded, newest first, and warmed entries answer
+// without any disk read-through.
+func TestWarmFromStore(t *testing.T) {
+	dir := t.TempDir()
+	st := openTestStore(t, dir)
+	var keys []Key
+	for _, id := range []string{"fig6a", "fig6b", "fig7", "fig8"} {
+		req := Request{ID: id, Seed: 1}
+		key := CanonicalKey(req)
+		keys = append(keys, key)
+		if err := st.Put(string(key), []byte("report:"+id), store.Meta{Kind: "result", Experiment: id, Seed: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Non-result kinds must not be warmed into the result cache.
+	if err := st.Put("campaign/cdead/spec", []byte("{}"), store.Meta{Kind: "campaign-spec"}); err != nil {
+		t.Fatal(err)
+	}
+
+	s := startService(t, Config{
+		Workers: 1, CacheEntries: 3, Store: st,
+		Runner: func(ctx context.Context, req Request) (string, error) {
+			return "computed", nil
+		},
+	})
+	if got := s.WarmFromStore(); got != 3 {
+		t.Fatalf("WarmFromStore loaded %d entries, want 3 (cache bound)", got)
+	}
+	if got := s.cache.len(); got != 3 {
+		t.Fatalf("cache holds %d entries after warming, want 3", got)
+	}
+	// The newest three results (fig6b, fig7, fig8) are in; the oldest
+	// fell outside the bound but remains reachable through read-through.
+	for _, key := range keys[1:] {
+		if _, ok := s.cache.get(key); !ok {
+			t.Errorf("key %s missing from warmed cache", key[:8])
+		}
+	}
+	if _, ok := s.cache.get(keys[0]); ok {
+		t.Error("oldest result warmed despite exceeding the cache bound")
+	}
+	if report, ok := s.Result(keys[0]); !ok || report != "report:fig6a" {
+		t.Errorf("read-through for unwarmed key = (%q, %t)", report, ok)
+	}
+}
+
+// TestServiceWithoutStoreUnchanged guards the default path: no Store
+// configured means no read-through, no warming, no disk hits.
+func TestServiceWithoutStoreUnchanged(t *testing.T) {
+	s := startService(t, Config{
+		Workers: 1,
+		Runner: func(ctx context.Context, req Request) (string, error) {
+			return "r", nil
+		},
+	})
+	if got := s.WarmFromStore(); got != 0 {
+		t.Fatalf("WarmFromStore without a store loaded %d", got)
+	}
+	jv, err := s.Submit(Request{ID: "fig6a", Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, s, jv.ID)
+	if st := s.Stats(); st.CacheDiskHits != 0 {
+		t.Errorf("disk hits = %d without a store", st.CacheDiskHits)
+	}
+}

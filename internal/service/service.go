@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/store"
 )
 
 // Request identifies one experiment computation. Params carries solver
@@ -106,6 +107,7 @@ type Stats struct {
 	Workers        int   `json:"workers"`
 	CacheEntries   int   `json:"cache_entries"`
 	CacheHits      int64 `json:"cache_hits"`
+	CacheDiskHits  int64 `json:"cache_disk_hits"`
 	CacheCoalesced int64 `json:"cache_coalesced"`
 	CacheMisses    int64 `json:"cache_misses"`
 	CacheEvictions int64 `json:"cache_evictions"`
@@ -140,6 +142,11 @@ type Config struct {
 	// Each job logs through a child logger carrying job_id, experiment
 	// and (when the submission had one) trace_id.
 	Logger *slog.Logger
+	// Store, when non-nil, backs the result cache with durable storage:
+	// misses read through to it before computing, computed results
+	// write through to it, and WarmFromStore preloads the LRU at boot —
+	// so cache hits survive process restarts.
+	Store *store.Store
 }
 
 // Service schedules experiment jobs onto a bounded worker pool.
@@ -213,7 +220,43 @@ func New(cfg Config) (*Service, error) {
 			s.known[id] = true
 		}
 	}
+	if cfg.Store != nil {
+		s.cache.load = func(key Key) (string, bool) {
+			payload, _, ok := cfg.Store.Get(string(key))
+			return string(payload), ok
+		}
+	}
 	return s, nil
+}
+
+// WarmFromStore preloads the in-memory LRU with the newest durable
+// results, up to the cache capacity, and returns how many entries were
+// loaded. Call it once at boot, before serving: reports computed by a
+// previous process then answer as ordinary cache hits without touching
+// the disk again.
+func (s *Service) WarmFromStore() int {
+	if s.cfg.Store == nil {
+		return 0
+	}
+	entries := s.cfg.Store.EntriesByKind("result")
+	if len(entries) > s.cache.max {
+		entries = entries[:s.cache.max]
+	}
+	loaded := 0
+	// Entries come newest-first; insert in reverse so the newest result
+	// ends up most recently used and survives eviction the longest.
+	for i := len(entries) - 1; i >= 0; i-- {
+		payload, _, ok := s.cfg.Store.Get(entries[i].Key)
+		if !ok {
+			continue // quarantined between listing and read
+		}
+		s.cache.put(Key(entries[i].Key), string(payload))
+		loaded++
+	}
+	if loaded > 0 {
+		s.logger.Info("cache warmed from durable store", "entries", loaded)
+	}
+	return loaded
 }
 
 // Start launches the worker pool.
@@ -361,9 +404,20 @@ func (s *Service) Wait(ctx context.Context, id string) (JobView, error) {
 	}
 }
 
-// Result returns a completed report by cache key.
+// Result returns a completed report by cache key, falling through to
+// the durable store — results computed before the last restart stay
+// addressable even when the LRU has moved on.
 func (s *Service) Result(key Key) (string, bool) {
-	return s.cache.get(key)
+	if val, ok := s.cache.get(key); ok {
+		return val, true
+	}
+	if s.cache.load != nil {
+		if val, ok := s.cache.load(key); ok {
+			s.cache.put(key, val)
+			return val, true
+		}
+	}
+	return "", false
 }
 
 // Stats snapshots the service counters.
@@ -385,6 +439,7 @@ func (s *Service) Stats() Stats {
 	s.mu.Unlock()
 	st.CacheEntries = s.cache.len()
 	st.CacheHits = s.cache.stats.hits.Load()
+	st.CacheDiskHits = s.cache.stats.diskHits.Load()
 	st.CacheCoalesced = s.cache.stats.coalesced.Load()
 	st.CacheMisses = s.cache.stats.misses.Load()
 	st.CacheEvictions = s.cache.stats.evictions.Load()
@@ -432,11 +487,21 @@ func (s *Service) run(j *job) {
 	obs.ObserveSpan(ctx, "queue.wait", wait)
 	logger.Info("job started", "queue_wait", wait)
 
-	_, hit, err := s.cache.do(ctx, j.key, func() (string, error) {
+	val, hit, err := s.cache.do(ctx, j.key, func() (string, error) {
 		dctx, span := obs.StartSpan(ctx, "driver.run")
 		defer span.End()
 		return s.runner(dctx, j.req)
 	})
+	if err == nil && !hit && s.cfg.Store != nil {
+		// Write-through: a freshly computed result becomes durable before
+		// the job is reported done. Persistence failure degrades to an
+		// in-memory-only cache entry rather than failing the job.
+		if perr := s.cfg.Store.Put(string(j.key), []byte(val), store.Meta{
+			Kind: "result", Experiment: j.req.ID, Seed: j.req.Seed,
+		}); perr != nil {
+			logger.Warn("result not persisted", "error", perr)
+		}
+	}
 	switch {
 	case err == nil:
 		s.finish(j, StateDone, hit, "")

@@ -1,0 +1,51 @@
+// Package store is the repository's durable, content-addressed result
+// store: the disk layer under the service's in-memory LRU cache and
+// under campaign checkpoints (internal/campaign). A cogmimod restart
+// loses nothing that reached the store — cache hits survive process
+// death, and interrupted campaigns resume from their last checkpoint.
+//
+// # Layout
+//
+// A store owns one directory:
+//
+//	<dir>/
+//	  MANIFEST.json     versioned marker identifying the on-disk format
+//	  index.log         append-only JSON-lines index (a rebuildable cache)
+//	  objects/<hash>    one self-describing JSON entry per key
+//	  quarantine/       corrupted files moved aside, never deleted
+//
+// Every entry is keyed by an arbitrary string — the service uses its
+// canonical request key (hex SHA-256 of the request), campaigns use
+// structured names like "campaign/<id>/spec" — and stored under the
+// hex SHA-256 of that key so keys never constrain file naming. The
+// object file embeds the key, metadata, and a SHA-256 checksum of the
+// payload, so the objects directory alone can rebuild the index.
+//
+// # Durability
+//
+// All writes are atomic: payloads are written to a temp file in the
+// same directory, fsynced, renamed over the target, and the directory
+// is fsynced. The index is append-only with one fsync per record; a
+// crash can at worst truncate the final line, which replay tolerates.
+// A put is ordered object-first, index-second, so every index entry
+// references a complete object; an orphaned object (crash between the
+// two writes) is adopted back into the index on the next open.
+//
+// # Corruption tolerance
+//
+// Open never fails on bad data: an unreadable manifest is quarantined
+// and reinitialised, unparseable index lines are skipped and counted,
+// and an object that fails decoding or checksum verification — at open
+// or at read time — is moved to quarantine/ and surfaced through the
+// cogmimod_store_quarantined_total metric instead of a panic or a
+// silently wrong result.
+//
+// # GC
+//
+// The store is size-bounded (Options.MaxBytes): when object bytes
+// exceed the bound, the least-recently-used evictable entries are
+// deleted. Campaign control records (kinds "campaign-spec",
+// "campaign-state" and "checkpoint") are never evicted — interrupting
+// a resumable campaign to free cache space would trade durability for
+// capacity — so the bound effectively applies to result payloads.
+package store

@@ -1,0 +1,83 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// FuzzIndexReplay feeds arbitrary bytes — truncated, duplicated and
+// bit-flipped index logs among them — through replayIndex. The
+// contract under fuzzing: never panic, never error on mere corruption
+// (only on reader failure, which bytes.Reader cannot produce), and
+// every surviving entry must be a well-formed put.
+func FuzzIndexReplay(f *testing.F) {
+	valid := `{"op":"put","key":"abc","kind":"result","size":42,"t":123}` + "\n" +
+		`{"op":"put","key":"abc","kind":"result","size":43,"t":124}` + "\n" +
+		`{"op":"del","key":"abc"}` + "\n"
+	f.Add([]byte(valid))
+	f.Add([]byte(valid[:len(valid)/2])) // truncated mid-line
+	flipped := []byte(valid)
+	flipped[10] ^= 0x80
+	f.Add(flipped)
+	f.Add([]byte(`{"op":"put","key":"a","size":-1}` + "\n"))
+	f.Add([]byte(`{"op":"nope","key":"a"}` + "\n"))
+	f.Add([]byte("\x00\x01\x02 not json at all"))
+	f.Add([]byte(""))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		live, bad, err := replayIndex(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("replayIndex errored on in-memory input: %v", err)
+		}
+		if bad < 0 {
+			t.Fatalf("negative corrupt-line count %d", bad)
+		}
+		for key, l := range live {
+			if l.Op != opPut || l.Key != key || l.Key == "" || l.Size < 0 {
+				t.Fatalf("replay kept a malformed entry: %+v under %q", l, key)
+			}
+		}
+	})
+}
+
+// FuzzObjectDecode pushes arbitrary bytes through the object decoder.
+// Corruption of any shape must come back as an error — quarantine
+// material — never a panic and never an object whose checksum does not
+// match its payload.
+func FuzzObjectDecode(f *testing.F) {
+	good, _ := json.Marshal(object{
+		Version: FormatVersion,
+		Key:     "some/key",
+		Meta:    Meta{Kind: "result", Experiment: "fig7", Seed: 3},
+		Created: 456,
+		Sum:     payloadSum([]byte("payload bytes")),
+		Payload: []byte("payload bytes"),
+	})
+	f.Add(good)
+	f.Add(good[:len(good)-7]) // truncated
+	flipped := bytes.Clone(good)
+	flipped[len(flipped)/3] ^= 0x01
+	f.Add(flipped)
+	f.Add(bytes.Repeat(good, 2)) // duplicated/concatenated
+	f.Add([]byte(`{"version":1,"key":"k","sum":"00","payload":"QQ=="}`))
+	f.Add([]byte(`{"version":99,"key":"k"}`))
+	f.Add([]byte("{}"))
+	f.Add([]byte(nil))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		obj, err := decodeObject(data)
+		if err != nil {
+			return // quarantined; the only acceptable failure mode
+		}
+		if obj.Key == "" {
+			t.Fatal("decoder accepted an object with no key")
+		}
+		if obj.Sum != payloadSum(obj.Payload) {
+			t.Fatal("decoder accepted a payload that fails its checksum")
+		}
+		if obj.Version <= 0 || obj.Version > FormatVersion {
+			t.Fatalf("decoder accepted unsupported version %d", obj.Version)
+		}
+	})
+}

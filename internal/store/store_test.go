@@ -1,0 +1,358 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func mustOpen(t *testing.T, dir string, maxBytes int64) *Store {
+	t.Helper()
+	s, err := Open(Options{Dir: dir, MaxBytes: maxBytes})
+	if err != nil {
+		t.Fatalf("Open(%s): %v", dir, err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), 0)
+	payload := []byte("== fig6a: a report ==\nwith\nlines\x00and a NUL byte")
+	meta := Meta{Kind: "result", Experiment: "fig6a", Seed: 7}
+	if err := s.Put("k1", payload, meta); err != nil {
+		t.Fatal(err)
+	}
+	got, gotMeta, ok := s.Get("k1")
+	if !ok {
+		t.Fatal("Get miss after Put")
+	}
+	if !bytes.Equal(got, payload) {
+		t.Errorf("payload round-trip: got %q want %q", got, payload)
+	}
+	if gotMeta != meta {
+		t.Errorf("meta round-trip: got %+v want %+v", gotMeta, meta)
+	}
+	if _, _, ok := s.Get("absent"); ok {
+		t.Error("Get on absent key reported a hit")
+	}
+	st := s.Stats()
+	if st.Entries != 1 || st.Puts != 1 || st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("stats: %+v", st)
+	}
+}
+
+func TestSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, 0)
+	for i := 0; i < 5; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		if err := s.Put(key, []byte("payload "+key), Meta{Kind: "result", Experiment: "fig7"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Put("key-2", []byte("overwritten"), Meta{Kind: "result"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete("key-4"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := mustOpen(t, dir, 0)
+	if got := s2.Stats().Entries; got != 4 {
+		t.Fatalf("entries after reopen: got %d want 4", got)
+	}
+	if p, _, ok := s2.Get("key-2"); !ok || string(p) != "overwritten" {
+		t.Errorf("key-2 after reopen: ok=%v payload=%q", ok, p)
+	}
+	if _, _, ok := s2.Get("key-4"); ok {
+		t.Error("deleted key-4 resurrected by reopen")
+	}
+	if p, _, ok := s2.Get("key-0"); !ok || string(p) != "payload key-0" {
+		t.Errorf("key-0 after reopen: ok=%v payload=%q", ok, p)
+	}
+}
+
+// TestCorruptObjectQuarantined flips one byte of an object file and
+// checks the read path reports a miss, quarantines the file, and drops
+// the entry — never an error or a wrong payload.
+func TestCorruptObjectQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, 0)
+	if err := s.Put("victim", []byte(strings.Repeat("data", 64)), Meta{Kind: "result"}); err != nil {
+		t.Fatal(err)
+	}
+	path := s.objectPath("victim")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, _, ok := s.Get("victim"); ok {
+		t.Fatal("corrupt entry served as a hit")
+	}
+	if s.Has("victim") {
+		t.Error("corrupt entry still indexed")
+	}
+	if got := s.Stats().Quarantined; got != 1 {
+		t.Errorf("quarantined: got %d want 1", got)
+	}
+	q, err := os.ReadDir(filepath.Join(dir, "quarantine"))
+	if err != nil || len(q) != 1 {
+		t.Errorf("quarantine dir: %v entries, err %v", len(q), err)
+	}
+	// The quarantine must be durable: a reopen stays corruption-free.
+	s.Close()
+	s2 := mustOpen(t, dir, 0)
+	if _, _, ok := s2.Get("victim"); ok {
+		t.Error("corrupt entry resurrected by reopen")
+	}
+}
+
+// TestCorruptAtOpenQuarantined corrupts an object while the store is
+// closed; the next open must quarantine on first read rather than fail.
+func TestCorruptAtOpenQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, 0)
+	if err := s.Put("a", []byte("payload-a"), Meta{Kind: "result"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("b", []byte("payload-b"), Meta{Kind: "result"}); err != nil {
+		t.Fatal(err)
+	}
+	path := s.objectPath("a")
+	s.Close()
+	if err := os.WriteFile(path, []byte("garbage, not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := mustOpen(t, dir, 0)
+	if _, _, ok := s2.Get("a"); ok {
+		t.Error("corrupt object served after reopen")
+	}
+	if p, _, ok := s2.Get("b"); !ok || string(p) != "payload-b" {
+		t.Errorf("healthy sibling lost: ok=%v payload=%q", ok, p)
+	}
+}
+
+// TestTruncatedIndexTolerated simulates a crash mid-append: a partial
+// final line must not break replay or lose earlier entries.
+func TestTruncatedIndexTolerated(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, 0)
+	if err := s.Put("kept", []byte("kept-payload"), Meta{Kind: "result"}); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	f, err := os.OpenFile(filepath.Join(dir, "index.log"), os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"op":"put","key":"half`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s2 := mustOpen(t, dir, 0)
+	if p, _, ok := s2.Get("kept"); !ok || string(p) != "kept-payload" {
+		t.Errorf("entry lost to truncated index: ok=%v payload=%q", ok, p)
+	}
+}
+
+// TestOrphanObjectAdopted simulates a crash between the object write
+// and the index append: the complete object must be adopted on reopen.
+func TestOrphanObjectAdopted(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, 0)
+	if err := s.Put("orphan", []byte("orphan-payload"), Meta{Kind: "result", Experiment: "fig8"}); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	// Drop the index entirely; the object directory is the truth.
+	if err := os.Remove(filepath.Join(dir, "index.log")); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := mustOpen(t, dir, 0)
+	p, meta, ok := s2.Get("orphan")
+	if !ok || string(p) != "orphan-payload" {
+		t.Fatalf("orphan not adopted: ok=%v payload=%q", ok, p)
+	}
+	if meta.Experiment != "fig8" {
+		t.Errorf("adopted meta: %+v", meta)
+	}
+}
+
+// TestIndexedObjectMissingDropped covers the inverse drift: an index
+// entry whose object file vanished is dropped at open, not served.
+func TestIndexedObjectMissingDropped(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, 0)
+	if err := s.Put("gone", []byte("x"), Meta{Kind: "result"}); err != nil {
+		t.Fatal(err)
+	}
+	path := s.objectPath("gone")
+	s.Close()
+	if err := os.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+	s2 := mustOpen(t, dir, 0)
+	if s2.Has("gone") {
+		t.Error("entry with missing object still indexed")
+	}
+}
+
+func TestCorruptManifestReinitialised(t *testing.T) {
+	dir := t.TempDir()
+	mustOpen(t, dir, 0).Close()
+	if err := os.WriteFile(filepath.Join(dir, "MANIFEST.json"), []byte("\x01\x02 not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := mustOpen(t, dir, 0)
+	if got := s.Stats().Quarantined; got != 1 {
+		t.Errorf("quarantined: got %d want 1", got)
+	}
+}
+
+func TestFutureManifestRefused(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "MANIFEST.json"),
+		[]byte(`{"version":99}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(Options{Dir: dir}); err == nil {
+		t.Fatal("Open accepted a future-version manifest")
+	}
+}
+
+// TestGCBound checks the size bound evicts LRU result entries but
+// never campaign control records.
+func TestGCBound(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, 2048)
+	if err := s.Put("campaign/x/spec", bytes.Repeat([]byte("s"), 64), Meta{Kind: "campaign-spec"}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 16; i++ {
+		key := fmt.Sprintf("res-%02d", i)
+		if err := s.Put(key, bytes.Repeat([]byte("r"), 256), Meta{Kind: "result"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.Evictions == 0 {
+		t.Fatal("size bound never evicted")
+	}
+	if st.Bytes > 2048 {
+		t.Errorf("still over bound: %d bytes", st.Bytes)
+	}
+	if !s.Has("campaign/x/spec") {
+		t.Error("protected campaign-spec entry was evicted")
+	}
+	if s.Has("res-00") {
+		t.Error("oldest result entry survived eviction pressure")
+	}
+	if !s.Has("res-15") {
+		t.Error("newest result entry was evicted")
+	}
+}
+
+func TestDeletePrefix(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), 0)
+	for i := 0; i < 3; i++ {
+		if err := s.Put(fmt.Sprintf("campaign/c1/ckpt/%d", i), []byte("x"), Meta{Kind: "checkpoint"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Put("campaign/c1/spec", []byte("x"), Meta{Kind: "campaign-spec"}); err != nil {
+		t.Fatal(err)
+	}
+	if n := s.DeletePrefix("campaign/c1/ckpt/"); n != 3 {
+		t.Fatalf("DeletePrefix removed %d, want 3", n)
+	}
+	if !s.Has("campaign/c1/spec") {
+		t.Error("prefix delete overreached")
+	}
+}
+
+func TestEntriesNewestFirst(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), 0)
+	for _, key := range []string{"a", "b", "c"} {
+		if err := s.Put(key, []byte(key), Meta{Kind: "result"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	es := s.Entries()
+	if len(es) != 3 {
+		t.Fatalf("entries: %d", len(es))
+	}
+	for i := 1; i < len(es); i++ {
+		if es[i].Created > es[i-1].Created {
+			t.Errorf("entries not newest-first: %v", es)
+		}
+	}
+	if got := s.EntriesByKind("nope"); len(got) != 0 {
+		t.Errorf("EntriesByKind(nope): %v", got)
+	}
+}
+
+// TestCompaction drives enough churn to trigger log compaction and
+// verifies nothing is lost across it and a reopen.
+func TestCompaction(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, 0)
+	for round := 0; round < 40; round++ {
+		for i := 0; i < 4; i++ {
+			key := fmt.Sprintf("k%d", i)
+			if err := s.Put(key, []byte(fmt.Sprintf("round %d", round)), Meta{Kind: "result"}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	fi, err := os.Stat(filepath.Join(dir, "index.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 160 puts at ~100 bytes/line would be ~16k without compaction.
+	if fi.Size() > 8<<10 {
+		t.Errorf("index.log never compacted: %d bytes", fi.Size())
+	}
+	s.Close()
+	s2 := mustOpen(t, dir, 0)
+	for i := 0; i < 4; i++ {
+		if p, _, ok := s2.Get(fmt.Sprintf("k%d", i)); !ok || string(p) != "round 39" {
+			t.Errorf("k%d after compaction+reopen: ok=%v payload=%q", i, ok, p)
+		}
+	}
+}
+
+func TestClosedStoreErrors(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), 0)
+	s.Close()
+	if err := s.Put("k", []byte("v"), Meta{}); err != ErrClosed {
+		t.Errorf("Put after Close: %v", err)
+	}
+	if _, _, ok := s.Get("k"); ok {
+		t.Error("Get after Close hit")
+	}
+	if err := s.Close(); err != nil {
+		t.Errorf("double Close: %v", err)
+	}
+}
+
+func TestEmptyKeyRejected(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), 0)
+	if err := s.Put("", []byte("v"), Meta{}); err == nil {
+		t.Error("empty key accepted")
+	}
+}

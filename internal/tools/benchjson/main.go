@@ -165,8 +165,10 @@ func stripProcs(name string) string {
 }
 
 // compareFiles reports benchmarks shared by both artifacts whose
-// ns/op grew by more than threshold, writing a table to w. It returns
-// true when at least one regression was found.
+// ns/op grew by more than threshold, writing a table to w. Benchmarks
+// missing from the baseline are reported as "new" and benchmarks that
+// vanished from the new run as "missing"; neither fails the compare —
+// only a genuine regression on a shared benchmark returns true.
 func compareFiles(oldPath, newPath string, threshold float64, w io.Writer) (bool, error) {
 	oldF, err := readFile(oldPath)
 	if err != nil {
@@ -181,7 +183,9 @@ func compareFiles(oldPath, newPath string, threshold float64, w io.Writer) (bool
 		oldBy[b.Name] = b
 	}
 	worse := false
+	seen := make(map[string]bool, len(newF.Benchmarks))
 	for _, nb := range newF.Benchmarks {
+		seen[nb.Name] = true
 		ob, ok := oldBy[nb.Name]
 		if !ok {
 			fmt.Fprintf(w, "new       %-50s %12.0f ns/op\n", nb.Name, nb.Metrics["ns/op"])
@@ -199,6 +203,11 @@ func compareFiles(oldPath, newPath string, threshold float64, w io.Writer) (bool
 		}
 		fmt.Fprintf(w, "%-9s %-50s %12.0f -> %12.0f ns/op (%+.1f%%)\n",
 			tag, nb.Name, oldNs, newNs, 100*delta)
+	}
+	for _, ob := range oldF.Benchmarks {
+		if !seen[ob.Name] {
+			fmt.Fprintf(w, "missing   %-50s (in baseline, not in new run)\n", ob.Name)
+		}
 	}
 	if worse {
 		fmt.Fprintf(w, "benchjson: ns/op regression above %.0f%% detected\n", 100*threshold)

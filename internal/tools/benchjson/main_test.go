@@ -93,8 +93,12 @@ func TestCompareFiles(t *testing.T) {
 	if worse {
 		t.Errorf("10%% growth flagged as regression:\n%s", sb.String())
 	}
+	// A benchmark the baseline lacks is informational, never a failure.
+	if !strings.Contains(sb.String(), "new       BenchmarkNew") {
+		t.Errorf("baseline-missing benchmark not reported as new:\n%s", sb.String())
+	}
 
-	// Over threshold: 50% growth on B.
+	// Over threshold: 50% growth on B; A vanished from the new run.
 	write(newP, `{"date":"2026-01-02","benchmarks":[
 		{"name":"BenchmarkB","iters":100,"metrics":{"ns/op":1500}}]}`)
 	sb.Reset()
@@ -107,5 +111,38 @@ func TestCompareFiles(t *testing.T) {
 	}
 	if !strings.Contains(sb.String(), "REGRESS") {
 		t.Errorf("missing REGRESS tag:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), "missing   BenchmarkA") {
+		t.Errorf("benchmark dropped from the new run not reported:\n%s", sb.String())
+	}
+}
+
+// TestCompareOnlyNewAndMissingSucceeds pins the exit contract when the
+// two artifacts share nothing: lots of churn, zero regressions, so the
+// compare must succeed.
+func TestCompareOnlyNewAndMissingSucceeds(t *testing.T) {
+	dir := t.TempDir()
+	oldP := filepath.Join(dir, "old.json")
+	newP := filepath.Join(dir, "new.json")
+	if err := os.WriteFile(oldP, []byte(`{"date":"2026-01-01","benchmarks":[
+		{"name":"BenchmarkGone","iters":100,"metrics":{"ns/op":1000}}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(newP, []byte(`{"date":"2026-01-02","benchmarks":[
+		{"name":"BenchmarkFresh","iters":100,"metrics":{"ns/op":9000}}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	worse, err := compareFiles(oldP, newP, 0.20, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if worse {
+		t.Errorf("disjoint artifacts reported as regression:\n%s", sb.String())
+	}
+	for _, want := range []string{"new       BenchmarkFresh", "missing   BenchmarkGone"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, sb.String())
+		}
 	}
 }

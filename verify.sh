@@ -29,4 +29,7 @@ go test -run=NONE -bench=. -benchtime=1x . >/dev/null
 echo ">> cluster smoke (loopback coordinator, 3 workers, 1 induced death)"
 go run ./internal/tools/clustersmoke
 
+echo ">> campaign smoke (SIGKILL mid-experiment, resume from checkpoints)"
+go run ./internal/tools/campaignsmoke
+
 echo "verify: ok"
