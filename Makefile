@@ -1,7 +1,7 @@
 # Tier-1 verification plus the race detector. `make verify` is what CI
 # and pre-merge checks should run.
 
-.PHONY: verify vet fmt-check build test race bench bench-compare metrics-smoke cluster-smoke campaign-smoke
+.PHONY: verify vet fmt-check build test race bench bench-compare metrics-smoke cluster-smoke campaign-smoke loadgen-smoke
 
 BENCH_DATE := $(shell date +%Y-%m-%d)
 BENCH_JSON := BENCH_$(BENCH_DATE).json
@@ -52,6 +52,14 @@ metrics-smoke:
 # internal/cluster.
 cluster-smoke:
 	go run ./internal/tools/clustersmoke
+
+# Drives 50 tenants — one with a 10× burst submitted first — through
+# the real HTTP stack and fails if the light tenants' p99 queue wait
+# exceeds 2× the fair share or 1× the heavy tenant's p99. Also follows
+# jobs over SSE and checks progress monotonicity. End-to-end fairness
+# check of internal/tenant scheduling.
+loadgen-smoke:
+	go run ./internal/tools/loadgen/cmd
 
 # Runs a checkpointing campaign in a child process, SIGKILLs it
 # mid-experiment, resumes from the durable checkpoints and requires the

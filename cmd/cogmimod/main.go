@@ -23,22 +23,34 @@
 // crash (even SIGKILL) resumes on the next boot, byte-identically; see
 // internal/campaign.
 //
-// API (JSON):
+// The server is multi-tenant: callers identify themselves with the
+// X-Tenant-Id header (anonymous requests map to the "default" tenant)
+// and jobs are dispatched weighted-fairly across tenants instead of
+// global FIFO, so one tenant's backlog cannot starve another. -quota-
+// rate/-quota-burst add per-tenant token-bucket admission control;
+// over-quota submissions answer 429 with a Retry-After derived from
+// that tenant's own budget. Scheduling only reorders jobs — reports
+// stay bit-identical regardless of tenancy.
 //
-//	POST   /v1/experiments      {"id":"fig6a","seed":1,"quick":true,"wait":true}
-//	GET    /v1/experiments      list runnable experiment IDs
-//	GET    /v1/jobs/{id}        job state, timestamps and live progress
-//	DELETE /v1/jobs/{id}        cancel a job
-//	GET    /v1/results/{key}    fetch a cached report by content key
-//	POST   /v1/campaigns        submit a campaign spec (requires -data-dir)
-//	GET    /v1/campaigns        list campaigns, live and stored
-//	GET    /v1/campaigns/{id}   campaign status with per-experiment progress
-//	GET    /v1/stats            service counters as JSON
-//	POST   /v1/shards           execute a Monte-Carlo chunk range (worker side)
-//	GET    /healthz             liveness probe; 503 {"status":"draining"} during shutdown
-//	GET    /metrics             expvar dump (legacy surface)
-//	GET    /metrics/prom        Prometheus text exposition
-//	GET    /debug/pprof/        profiling endpoints (with -pprof)
+// API (JSON; see internal/httpapi):
+//
+//	POST   /v1/experiments       {"id":"fig6a","seed":1,"quick":true,"wait":true}
+//	GET    /v1/experiments       list runnable experiment IDs
+//	GET    /v1/jobs/{id}         job state, timestamps and live progress
+//	GET    /v1/jobs/{id}/events  server-sent events: progress stream until completion
+//	DELETE /v1/jobs/{id}         cancel a job
+//	GET    /v1/results/{key}     fetch a cached report by content key
+//	POST   /v1/campaigns         submit a campaign spec (requires -data-dir)
+//	GET    /v1/campaigns         list campaigns, live and stored
+//	GET    /v1/campaigns/{id}    campaign status with per-experiment progress
+//	GET    /v1/stats             service counters as JSON
+//	GET    /v1/tenants           per-tenant queue/running/weight snapshots
+//	POST   /v1/shards            execute a Monte-Carlo chunk range (worker side)
+//	GET    /healthz              liveness probe with queue/tenant/worker detail;
+//	                             503 {"status":"draining"} during shutdown
+//	GET    /metrics              expvar dump (legacy surface)
+//	GET    /metrics/prom         Prometheus text exposition
+//	GET    /debug/pprof/         profiling endpoints (with -pprof)
 //
 // Every response carries an X-Trace-Id header (generated, or echoed
 // from the request); the same id tags all log lines of the request and
@@ -64,9 +76,11 @@ import (
 
 	"repro/internal/campaign"
 	"repro/internal/cluster"
+	"repro/internal/httpapi"
 	"repro/internal/service"
 	"repro/internal/sim"
 	"repro/internal/store"
+	"repro/internal/tenant"
 )
 
 func main() {
@@ -83,6 +97,10 @@ func main() {
 
 		dataDir  = flag.String("data-dir", "", "durable result store directory; empty keeps everything in memory")
 		storeMax = flag.Int64("store-max-bytes", 256<<20, "size bound the store GC enforces over unprotected entries (0 = unbounded)")
+
+		quotaRate   = flag.Float64("quota-rate", 0, "per-tenant admission rate in jobs/second (0 = no admission control)")
+		quotaBurst  = flag.Int("quota-burst", 0, "per-tenant burst budget (0 = derive from -quota-rate)")
+		tenantQueue = flag.Int("tenant-queue", 0, "per-tenant queue bound before 429s (0 = the global -queue bound)")
 
 		peers      = flag.String("peers", "", "comma-separated worker node addresses; enables coordinator mode")
 		shards     = flag.Int("shards", 0, "shards per Monte-Carlo run in coordinator mode (0 = one per ready peer)")
@@ -148,13 +166,18 @@ func main() {
 		KnownIDs:     service.KnownExperimentIDs(),
 		Logger:       logger,
 		Store:        st,
+		Tenants:      tenant.Options{QueueDepth: *tenantQueue},
+		Quota:        tenant.Quota{Rate: *quotaRate, Burst: *quotaBurst},
 	})
 	if err != nil {
 		fatal(err)
 	}
 	svc.WarmFromStore()
 	svc.Start()
-	publishMetrics(svc)
+	httpapi.PublishMetrics(svc)
+	if *quotaRate > 0 {
+		logger.Info("per-tenant quotas on", "rate", *quotaRate, "burst", *quotaBurst)
+	}
 
 	// Campaigns need durability for their checkpoints; without -data-dir
 	// the endpoints answer 503 instead of pretending to be crash-safe.
@@ -169,7 +192,7 @@ func main() {
 	var draining atomic.Bool
 	srv := &http.Server{
 		Addr: *addr,
-		Handler: newMux(svc, muxConfig{
+		Handler: httpapi.NewMux(svc, httpapi.Config{
 			Logger:       logger,
 			Pprof:        *pprofOn,
 			Draining:     &draining,

@@ -7,10 +7,18 @@
 //	cogsim -all -seed 7
 //	cogsim -id fig7 -quick
 //	cogsim -id ext-coopber -remote localhost:8346,localhost:8347
+//	cogsim -id fig7 -server localhost:8080 -tenant acme
 //	cogsim -campaign campaigns/figures.json -data-dir ./data
 //
 // -remote shards kernel-based Monte-Carlo runs across cogmimod worker
 // nodes (see internal/cluster); output is bit-identical to a local run.
+//
+// -server submits the experiment to a running cogmimod daemon instead
+// of computing locally and follows the job's SSE event stream: the
+// usual progress line tracks the server-side run live, and the report
+// the daemon rendered is printed on completion. -tenant names the
+// submitting tenant (the X-Tenant-Id header), so the job queues and is
+// quota-billed under that tenant; unset means the default tenant.
 //
 // -campaign runs a named list of experiments with per-chunk durable
 // checkpoints (see internal/campaign): an interrupted run — Ctrl-C or a
@@ -34,8 +42,11 @@ import (
 	"strings"
 	"syscall"
 
+	"time"
+
 	"repro/internal/experiments"
 	"repro/internal/obs"
+	"repro/internal/service"
 )
 
 func main() {
@@ -50,6 +61,8 @@ func main() {
 		logY     = flag.Bool("logy", false, "log-scale the plot's y axis (use with fig7)")
 		workers  = flag.Int("workers", 0, "sweep-row concurrency; 0 means GOMAXPROCS (results are identical for any value)")
 		remote   = flag.String("remote", "", "comma-separated cogmimod worker addresses; shard Monte-Carlo kernels across them (results are identical)")
+		server   = flag.String("server", "", "cogmimod base URL; submit there and follow the job over SSE instead of computing locally (use with -id)")
+		tenantID = flag.String("tenant", "", "tenant id for -server submissions (X-Tenant-Id); empty means the default tenant")
 		campSpec = flag.String("campaign", "", "campaign spec file; runs it with durable checkpoints (needs -data-dir)")
 		dataDir  = flag.String("data-dir", "", "durable store directory for -campaign checkpoints and results")
 		progress = flag.String("progress", "auto", "live progress line on stderr: auto, on or off")
@@ -121,6 +134,18 @@ func main() {
 			}
 			fmt.Print(out)
 		}
+	case *id != "" && *server != "":
+		if err := waitServerHealthy(ctx, *server, 5*time.Second); err != nil {
+			fatal(err)
+		}
+		stop := watch(*id)
+		report, err := runViaServer(ctx, *server, *tenantID,
+			service.Request{ID: *id, Seed: *seed, Quick: *quick}, tracker)
+		stop()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(report)
 	case *id != "":
 		stop := watch(*id)
 		rep, err := experiments.RunCtx(ctx, *id, experiments.Options{Seed: *seed, Quick: *quick, Workers: *workers})

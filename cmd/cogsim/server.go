@@ -1,0 +1,166 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/httpapi"
+	"repro/internal/obs"
+	"repro/internal/service"
+	"repro/internal/tenant"
+)
+
+// runViaServer submits the experiment to a cogmimod daemon and follows
+// the job over its SSE event stream instead of computing locally. The
+// daemon's progress events feed the same tracker the local path uses,
+// so the terminal progress line looks identical either way; the report
+// printed at the end is the one the server rendered. -tenant names the
+// submitting tenant via the X-Tenant-Id header, so the job lands in
+// that tenant's queue and is billed against its quota.
+func runViaServer(ctx context.Context, base, tenantID string, req service.Request, tracker *obs.Tracker) (string, error) {
+	base = strings.TrimRight(base, "/")
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+
+	body, err := json.Marshal(req)
+	if err != nil {
+		return "", err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/experiments", bytes.NewReader(body))
+	if err != nil {
+		return "", err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	if tenantID != "" {
+		hreq.Header.Set(tenant.Header, tenantID)
+	}
+	resp, err := http.DefaultClient.Do(hreq)
+	if err != nil {
+		return "", fmt.Errorf("submitting to %s: %w", base, err)
+	}
+	var submitted struct {
+		Job   string `json:"job"`
+		Error string `json:"error"`
+	}
+	decodeErr := json.NewDecoder(resp.Body).Decode(&submitted)
+	resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusTooManyRequests:
+		return "", fmt.Errorf("server over quota for tenant %q: retry after %ss",
+			tenantID, resp.Header.Get("Retry-After"))
+	case resp.StatusCode != http.StatusAccepted:
+		if decodeErr == nil && submitted.Error != "" {
+			return "", fmt.Errorf("server rejected the job: %s", submitted.Error)
+		}
+		return "", fmt.Errorf("server rejected the job: status %d", resp.StatusCode)
+	case decodeErr != nil:
+		return "", fmt.Errorf("decoding submit response: %w", decodeErr)
+	}
+
+	return followJob(ctx, base, submitted.Job, tracker)
+}
+
+// followJob consumes the job's SSE stream to its terminal event,
+// mirroring progress into the tracker as deltas (the stream reports
+// absolute counts; the tracker accumulates).
+func followJob(ctx context.Context, base, jobID string, tracker *obs.Tracker) (string, error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/jobs/"+jobID+"/events", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := http.DefaultClient.Do(hreq)
+	if err != nil {
+		return "", fmt.Errorf("opening event stream: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return "", fmt.Errorf("event stream for %s: status %d", jobID, resp.StatusCode)
+	}
+
+	var report string
+	var terminal struct {
+		state string
+		errs  string
+	}
+	var prevDone, prevTotal int64
+	err = httpapi.ReadSSE(resp.Body, func(ev httpapi.Event) error {
+		var jv struct {
+			State    string                `json:"state"`
+			Error    string                `json:"error"`
+			Report   string                `json:"report"`
+			Progress *service.ProgressInfo `json:"progress"`
+		}
+		if err := json.Unmarshal(ev.Data, &jv); err != nil {
+			return fmt.Errorf("event payload: %w", err)
+		}
+		if p := jv.Progress; p != nil {
+			tracker.AddTotal(p.TotalTrials - prevTotal)
+			tracker.Add(p.DoneTrials - prevDone)
+			prevDone, prevTotal = p.DoneTrials, p.TotalTrials
+		}
+		if ev.Name == "complete" {
+			terminal.state = jv.State
+			terminal.errs = jv.Error
+			report = jv.Report
+		}
+		return nil
+	})
+	if err != nil {
+		// A cancelled context surfaces as a read error on the stream;
+		// report the interruption, not the transport detail.
+		if ctx.Err() != nil {
+			return "", ctx.Err()
+		}
+		return "", fmt.Errorf("reading event stream: %w", err)
+	}
+	switch terminal.state {
+	case string(service.StateDone):
+		return report, nil
+	case "":
+		return "", fmt.Errorf("event stream for %s ended without a terminal event", jobID)
+	default:
+		return "", fmt.Errorf("job %s ended %s: %s", jobID, terminal.state, terminal.errs)
+	}
+}
+
+// waitServerHealthy polls /healthz until the daemon answers, for
+// scripts that start cogmimod and immediately submit through cogsim.
+func waitServerHealthy(ctx context.Context, base string, timeout time.Duration) error {
+	base = strings.TrimRight(base, "/")
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	deadline := time.Now().Add(timeout)
+	for {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/healthz", nil)
+		if err != nil {
+			return err
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			if err != nil {
+				return fmt.Errorf("server %s not healthy after %v: %w", base, timeout, err)
+			}
+			return fmt.Errorf("server %s not healthy after %v", base, timeout)
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+}

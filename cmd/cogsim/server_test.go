@@ -1,0 +1,103 @@
+package main
+
+import (
+	"context"
+	"log/slog"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/httpapi"
+	"repro/internal/obs"
+	"repro/internal/service"
+)
+
+func startDaemon(t *testing.T, cfg service.Config) *httptest.Server {
+	t.Helper()
+	if cfg.Logger == nil {
+		cfg.Logger = slog.New(slog.DiscardHandler)
+	}
+	svc, err := service.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.Start()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		svc.Stop(ctx)
+	})
+	ts := httptest.NewServer(httpapi.NewMux(svc, httpapi.Config{Logger: cfg.Logger}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestRunViaServerFollowsToReport: the -server path submits, streams
+// progress into the tracker without polling, and returns the report the
+// daemon rendered.
+func TestRunViaServerFollowsToReport(t *testing.T) {
+	const steps = 3
+	runner := func(ctx context.Context, req service.Request) (string, error) {
+		p := obs.ProgressFrom(ctx)
+		p.AddTotal(steps)
+		for i := 0; i < steps; i++ {
+			select {
+			case <-ctx.Done():
+				return "", ctx.Err()
+			case <-time.After(2 * time.Millisecond):
+			}
+			p.Add(1)
+		}
+		return "server-rendered report for " + req.ID, nil
+	}
+	ts := startDaemon(t, service.Config{Workers: 1, Runner: runner})
+
+	if err := waitServerHealthy(context.Background(), ts.URL, 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	tracker := obs.NewTracker()
+	report, err := runViaServer(context.Background(), ts.URL, "acme",
+		service.Request{ID: "fig7", Seed: 3}, tracker)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report != "server-rendered report for fig7" {
+		t.Fatalf("report = %q", report)
+	}
+	if snap := tracker.Snapshot(); snap.Done != steps || snap.Total != steps {
+		t.Fatalf("tracker = %d/%d, want %d/%d", snap.Done, snap.Total, steps, steps)
+	}
+}
+
+// TestRunViaServerSurfacesFailure: a failing job turns into an error
+// naming the terminal state, not a silent empty report.
+func TestRunViaServerSurfacesFailure(t *testing.T) {
+	ts := startDaemon(t, service.Config{
+		Workers: 1,
+		Runner: func(ctx context.Context, req service.Request) (string, error) {
+			return "", context.DeadlineExceeded
+		},
+	})
+	_, err := runViaServer(context.Background(), ts.URL, "",
+		service.Request{ID: "fig7", Seed: 4}, obs.NewTracker())
+	if err == nil || !strings.Contains(err.Error(), "failed") {
+		t.Fatalf("err = %v, want terminal-state failure", err)
+	}
+}
+
+// TestRunViaServerRejectsBadSubmission: a 400 from the daemon (invalid
+// tenant id) surfaces the server's error message.
+func TestRunViaServerRejectsBadSubmission(t *testing.T) {
+	ts := startDaemon(t, service.Config{
+		Workers: 1,
+		Runner: func(ctx context.Context, req service.Request) (string, error) {
+			return "r", nil
+		},
+	})
+	_, err := runViaServer(context.Background(), ts.URL, "not a tenant!",
+		service.Request{ID: "fig7", Seed: 5}, obs.NewTracker())
+	if err == nil || !strings.Contains(err.Error(), "rejected") {
+		t.Fatalf("err = %v, want submit rejection", err)
+	}
+}

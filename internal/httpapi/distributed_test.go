@@ -1,4 +1,4 @@
-package main
+package httpapi
 
 import (
 	"bytes"
@@ -85,7 +85,7 @@ func TestHealthzDrainingReturns503(t *testing.T) {
 	}()
 
 	var draining atomic.Bool
-	ts := httptest.NewServer(newMux(svc, muxConfig{Draining: &draining}))
+	ts := httptest.NewServer(NewMux(svc, Config{Draining: &draining}))
 	defer ts.Close()
 
 	resp, body := getJSON(t, ts.URL+"/healthz")

@@ -1,4 +1,4 @@
-package main
+package httpapi
 
 import (
 	"bufio"
@@ -214,7 +214,7 @@ func TestPprofMountGated(t *testing.T) {
 	}
 	svc.Start()
 	defer svc.Stop(context.Background())
-	tsOn := httptest.NewServer(newMux(svc, muxConfig{Pprof: true}))
+	tsOn := httptest.NewServer(NewMux(svc, Config{Pprof: true}))
 	t.Cleanup(tsOn.Close)
 	resp2, err := http.Get(tsOn.URL + "/debug/pprof/")
 	if err != nil {

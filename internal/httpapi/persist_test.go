@@ -1,4 +1,4 @@
-package main
+package httpapi
 
 import (
 	"context"
@@ -34,10 +34,10 @@ func newPersistentTestServer(t *testing.T, dir string, cfg service.Config) (*htt
 	}
 	svc.WarmFromStore()
 	svc.Start()
-	publishMetrics(svc)
+	PublishMetrics(svc)
 	mgr := campaign.NewManager(st, 2, cfg.Logger)
 	mgr.ResumeAll()
-	ts := httptest.NewServer(newMux(svc, muxConfig{Campaigns: mgr}))
+	ts := httptest.NewServer(NewMux(svc, Config{Campaigns: mgr}))
 	t.Cleanup(func() {
 		ts.Close()
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)

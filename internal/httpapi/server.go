@@ -1,4 +1,16 @@
-package main
+// Package httpapi is cogmimod's HTTP transport: the v1 JSON API over a
+// service.Service, the shard and campaign endpoints, both metric
+// surfaces and the observability middleware. It lives outside
+// cmd/cogmimod so tools (internal/tools/loadgen) and tests can run the
+// real stack in-process against httptest servers.
+//
+// Multi-tenancy: callers name themselves with the X-Tenant-Id header
+// (or a "tenant" field in the submit body); anonymous requests map to
+// the default tenant. The id rides on the job through scheduling,
+// logs and metrics. Per-tenant quota and backlog rejections answer 429
+// with a Retry-After derived from that tenant's own standing, not the
+// global queue.
+package httpapi
 
 import (
 	"encoding/json"
@@ -19,26 +31,27 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/obs"
 	"repro/internal/service"
+	"repro/internal/tenant"
 )
 
-// submitRequest is the POST /v1/experiments body: a service.Request
+// SubmitRequest is the POST /v1/experiments body: a service.Request
 // plus transport-level options.
-type submitRequest struct {
+type SubmitRequest struct {
 	service.Request
 	// Wait blocks the response until the job finishes; cancellation of
 	// the HTTP request (client disconnect, timeout) cancels the job.
 	Wait bool `json:"wait,omitempty"`
 }
 
-// jobResponse is the JSON envelope for job state; Report is attached
+// JobResponse is the JSON envelope for job state; Report is attached
 // once the job is done.
-type jobResponse struct {
+type JobResponse struct {
 	service.JobView
 	Report string `json:"report,omitempty"`
 }
 
-// muxConfig carries the transport options main resolves from flags.
-type muxConfig struct {
+// Config carries the transport options main resolves from flags.
+type Config struct {
 	// Logger receives access logs; nil means slog.Default().
 	Logger *slog.Logger
 	// Pprof mounts net/http/pprof under /debug/pprof/.
@@ -56,19 +69,35 @@ type muxConfig struct {
 	// makes them answer 503, since campaigns without durable storage
 	// could not keep their crash-safety promise.
 	Campaigns *campaign.Manager
+	// EventInterval floors the snapshot rate of /v1/jobs/{id}/events
+	// streams; 0 means 100ms. Clients may ask for a slower stream with
+	// ?interval=, never a faster one.
+	EventInterval time.Duration
 }
 
 // draining reports the drain state, tolerating a nil flag (tests).
-func (c muxConfig) draining() bool {
+func (c Config) draining() bool {
 	return c.Draining != nil && c.Draining.Load()
 }
 
-// newMux wires the service into the v1 JSON API, wrapped in the
+// requestTenant resolves the effective tenant of a submission: an
+// explicit body field wins, then the X-Tenant-Id header, and an
+// anonymous request falls through to the default tenant inside the
+// service. Validation happens in the service so all transports share
+// one rule.
+func requestTenant(r *http.Request, body string) string {
+	if body != "" {
+		return body
+	}
+	return r.Header.Get(tenant.Header)
+}
+
+// NewMux wires the service into the v1 JSON API, wrapped in the
 // observability middleware (trace ids, access logs, request spans).
-func newMux(svc *service.Service, cfg muxConfig) http.Handler {
+func NewMux(svc *service.Service, cfg Config) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/experiments", func(w http.ResponseWriter, r *http.Request) {
-		var req submitRequest
+		var req SubmitRequest
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 			httpError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
 			return
@@ -77,13 +106,20 @@ func newMux(svc *service.Service, cfg muxConfig) http.Handler {
 			httpError(w, http.StatusBadRequest, "missing experiment id")
 			return
 		}
+		req.Tenant = requestTenant(r, req.Tenant)
 		jv, err := svc.SubmitCtx(r.Context(), req.Request)
+		var qe *service.QuotaError
 		switch {
-		case errors.Is(err, service.ErrUnknownExperiment):
+		case errors.Is(err, service.ErrUnknownExperiment),
+			errors.Is(err, service.ErrBadTenant):
 			httpError(w, http.StatusBadRequest, err.Error())
 			return
+		case errors.As(err, &qe):
+			w.Header().Set("Retry-After", retrySeconds(qe.RetryAfter))
+			httpError(w, http.StatusTooManyRequests, err.Error())
+			return
 		case errors.Is(err, service.ErrQueueFull):
-			w.Header().Set("Retry-After", retryAfterHint(svc.Stats()))
+			w.Header().Set("Retry-After", retryAfterFor(svc, err, req.Tenant))
 			httpError(w, http.StatusTooManyRequests, err.Error())
 			return
 		case errors.Is(err, service.ErrStopped):
@@ -94,7 +130,7 @@ func newMux(svc *service.Service, cfg muxConfig) http.Handler {
 			return
 		}
 		if !req.Wait {
-			writeJSON(w, http.StatusAccepted, jobResponse{JobView: jv})
+			writeJSON(w, http.StatusAccepted, JobResponse{JobView: jv})
 			return
 		}
 		done, err := svc.Wait(r.Context(), jv.ID)
@@ -116,13 +152,17 @@ func newMux(svc *service.Service, cfg muxConfig) http.Handler {
 		writeJSON(w, http.StatusOK, withReport(svc, jv))
 	})
 
+	mux.HandleFunc("GET /v1/jobs/{id}/events", func(w http.ResponseWriter, r *http.Request) {
+		serveJobEvents(svc, cfg, w, r)
+	})
+
 	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
 		jv, err := svc.Cancel(r.PathValue("id"))
 		if err != nil {
 			httpError(w, http.StatusNotFound, err.Error())
 			return
 		}
-		writeJSON(w, http.StatusOK, jobResponse{JobView: jv})
+		writeJSON(w, http.StatusOK, JobResponse{JobView: jv})
 	})
 
 	mux.HandleFunc("GET /v1/results/{key}", func(w http.ResponseWriter, r *http.Request) {
@@ -143,6 +183,10 @@ func newMux(svc *service.Service, cfg muxConfig) http.Handler {
 
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, svc.Stats())
+	})
+
+	mux.HandleFunc("GET /v1/tenants", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"tenants": svc.Tenants()})
 	})
 
 	mux.HandleFunc("POST /v1/campaigns", func(w http.ResponseWriter, r *http.Request) {
@@ -199,11 +243,24 @@ func newMux(svc *service.Service, cfg muxConfig) http.Handler {
 	})
 
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		if cfg.draining() {
-			writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
-			return
+		st := svc.Stats()
+		body := map[string]any{
+			"status":         "ok",
+			"queue_depth":    st.QueueDepth,
+			"queue_capacity": st.QueueCapacity,
+			"active_tenants": st.ActiveTenants,
+			"workers": map[string]int{
+				"total": st.Workers,
+				"busy":  st.BusyWorkers,
+				"idle":  st.Workers - st.BusyWorkers,
+			},
 		}
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+		code := http.StatusOK
+		if cfg.draining() {
+			body["status"] = "draining"
+			code = http.StatusServiceUnavailable
+		}
+		writeJSON(w, code, body)
 	})
 
 	mux.HandleFunc("POST /v1/shards", func(w http.ResponseWriter, r *http.Request) {
@@ -254,6 +311,53 @@ func newMux(svc *service.Service, cfg muxConfig) http.Handler {
 	return withObs(logger, mux)
 }
 
+// retrySeconds renders a duration as a Retry-After header value,
+// rounded up and floored at 1s — a zero hint would invite an immediate
+// identical retry.
+func retrySeconds(d time.Duration) string {
+	secs := int(math.Ceil(d.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
+}
+
+// retryAfterFor picks the Retry-After hint for a queue-full rejection.
+// A per-tenant bound prices only that tenant's own backlog against its
+// fair share of workers; a global bound falls back to the whole queue.
+func retryAfterFor(svc *service.Service, err error, rawTenant string) string {
+	st := svc.Stats()
+	if !errors.Is(err, tenant.ErrTenantQueueFull) {
+		return retryAfterHint(st)
+	}
+	tid, cerr := tenant.Canonicalize(rawTenant)
+	if cerr != nil {
+		return retryAfterHint(st)
+	}
+	snap := svc.Tenant(tid)
+	mean := st.MeanJobSeconds
+	if mean <= 0 || math.IsNaN(mean) || math.IsInf(mean, 0) {
+		return "1"
+	}
+	workers := st.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	// The tenant's share of the pool, same arithmetic as the scheduler's
+	// soft concurrency caps (never below one worker).
+	share := 1.0
+	if snap.ActiveWeight > 0 {
+		share = math.Max(1, float64(workers)*float64(snap.Weight)/float64(snap.ActiveWeight))
+	}
+	secs := math.Ceil(mean * float64(snap.Queued+1) / share)
+	if secs < 1 {
+		secs = 1
+	} else if secs > 60 {
+		secs = 60
+	}
+	return strconv.Itoa(int(secs))
+}
+
 // retryAfterHint estimates when a 429'd client should come back: the
 // queued work ahead of it (plus its own job) divided across the worker
 // pool, priced at the observed mean job duration. Before any job has
@@ -293,6 +397,14 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
+// Flush forwards to the wrapped writer so SSE streaming works through
+// the middleware.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
 // withObs is the observability middleware: it assigns every request a
 // trace id (accepting a caller-supplied X-Trace-Id), echoes it in the
 // X-Trace-Id response header, attaches a request-scoped logger to the
@@ -330,8 +442,8 @@ func withObs(logger *slog.Logger, next http.Handler) http.Handler {
 }
 
 // withReport attaches the cached report to terminal done jobs.
-func withReport(svc *service.Service, jv service.JobView) jobResponse {
-	resp := jobResponse{JobView: jv}
+func withReport(svc *service.Service, jv service.JobView) JobResponse {
+	resp := JobResponse{JobView: jv}
 	if jv.State == service.StateDone {
 		if report, ok := svc.Result(jv.Key); ok {
 			resp.Report = report
@@ -369,12 +481,12 @@ func httpError(w http.ResponseWriter, code int, msg string) {
 // how often the metric is evaluated.
 var processStart = time.Now()
 
-// publishMetrics exposes service state on both metric surfaces: the
+// PublishMetrics exposes service state on both metric surfaces: the
 // legacy expvar dump at /metrics and live gauges in the obs registry at
 // /metrics/prom. It is idempotent so tests can spin up several servers
 // in one process — expvar publication happens once (expvar panics on
 // duplicates) and obs gauge callbacks rebind to the newest service.
-func publishMetrics(svc *service.Service) {
+func PublishMetrics(svc *service.Service) {
 	if expvar.Get("cogmimod_uptime_seconds") == nil {
 		expvar.Publish("cogmimod_uptime_seconds", expvar.Func(func() any {
 			return time.Since(processStart).Seconds()
@@ -396,6 +508,12 @@ func publishMetrics(svc *service.Service) {
 	obs.Default.GaugeFunc("cogmimod_workers",
 		"Worker pool size.",
 		func() float64 { return float64(svc.Stats().Workers) })
+	obs.Default.GaugeFunc("cogmimod_busy_workers",
+		"Workers currently executing a job.",
+		func() float64 { return float64(svc.Stats().BusyWorkers) })
+	obs.Default.GaugeFunc("cogmimod_active_tenants",
+		"Tenants with queued or running jobs.",
+		func() float64 { return float64(svc.Stats().ActiveTenants) })
 	obs.Default.GaugeFunc("cogmimod_cache_entries",
 		"Completed results currently cached.",
 		func() float64 { return float64(svc.Stats().CacheEntries) })

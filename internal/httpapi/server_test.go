@@ -1,4 +1,4 @@
-package main
+package httpapi
 
 import (
 	"bytes"
@@ -26,8 +26,8 @@ func newTestServer(t *testing.T, cfg service.Config) (*httptest.Server, *service
 		t.Fatal(err)
 	}
 	svc.Start()
-	publishMetrics(svc)
-	ts := httptest.NewServer(newMux(svc, muxConfig{}))
+	PublishMetrics(svc)
+	ts := httptest.NewServer(NewMux(svc, Config{}))
 	t.Cleanup(func() {
 		ts.Close()
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)

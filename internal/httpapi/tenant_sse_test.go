@@ -1,0 +1,316 @@
+package httpapi
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/service"
+	"repro/internal/tenant"
+)
+
+// TestTenantHeaderFlowsIntoJob: the X-Tenant-Id header names the job's
+// tenant; an explicit body field wins over the header; anonymous
+// requests land on the default tenant; invalid ids are 400s.
+func TestTenantHeaderFlowsIntoJob(t *testing.T) {
+	ts, _ := newTestServer(t, service.Config{Workers: 1})
+
+	do := func(hdr, body string) (int, map[string]any) {
+		t.Helper()
+		req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/experiments", strings.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		if hdr != "" {
+			req.Header.Set(tenant.Header, hdr)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var decoded map[string]any
+		json.NewDecoder(resp.Body).Decode(&decoded)
+		return resp.StatusCode, decoded
+	}
+
+	code, body := do("acme", `{"id":"fig6a","seed":31,"quick":true,"wait":true}`)
+	if code != http.StatusOK || body["tenant"] != "acme" {
+		t.Fatalf("header tenant: code=%d tenant=%v", code, body["tenant"])
+	}
+	code, body = do("acme", `{"id":"fig6a","seed":32,"quick":true,"wait":true,"tenant":"explicit"}`)
+	if code != http.StatusOK || body["tenant"] != "explicit" {
+		t.Fatalf("body tenant should win: code=%d tenant=%v", code, body["tenant"])
+	}
+	code, body = do("", `{"id":"fig6a","seed":33,"quick":true,"wait":true}`)
+	if code != http.StatusOK || body["tenant"] != tenant.DefaultID {
+		t.Fatalf("anonymous tenant: code=%d tenant=%v", code, body["tenant"])
+	}
+	code, body = do("not a valid id!", `{"id":"fig6a","seed":34,"quick":true}`)
+	if code != http.StatusBadRequest {
+		t.Fatalf("invalid tenant id: code=%d body=%v", code, body)
+	}
+}
+
+// TestQuotaReturns429WithTenantRetryAfter: an over-quota tenant gets a
+// 429 whose Retry-After reflects its own bucket, while another tenant
+// submits freely.
+func TestQuotaReturns429WithTenantRetryAfter(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	runner := func(ctx context.Context, req service.Request) (string, error) {
+		select {
+		case <-ctx.Done():
+			return "", ctx.Err()
+		case <-release:
+			return "r", nil
+		}
+	}
+	ts, _ := newTestServer(t, service.Config{
+		Workers: 1,
+		Runner:  runner,
+		// One job every 100 seconds: the second submission is over quota
+		// with a large, clearly bucket-derived Retry-After.
+		Quota: tenant.Quota{Rate: 0.01, Burst: 1},
+	})
+
+	submit := func(tid string, seed int) *http.Response {
+		t.Helper()
+		req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/experiments",
+			strings.NewReader(fmt.Sprintf(`{"id":"x","seed":%d}`, seed)))
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set(tenant.Header, tid)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp
+	}
+
+	if resp := submit("greedy", 1); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submission status = %d", resp.StatusCode)
+	}
+	resp := submit("greedy", 2)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-quota status = %d, want 429", resp.StatusCode)
+	}
+	secs, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || secs < 1 {
+		t.Fatalf("Retry-After = %q", resp.Header.Get("Retry-After"))
+	}
+	if secs < 10 { // bucket refills in ~100s; hint must reflect that, not "1"
+		t.Errorf("Retry-After = %d, want a bucket-derived wait", secs)
+	}
+	if resp := submit("modest", 3); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("bystander tenant status = %d", resp.StatusCode)
+	}
+}
+
+// TestJobEventsStreamsToCompletion is the SSE acceptance path: a
+// client receives monotonic progress events without polling and the
+// stream ends with a complete event carrying the report.
+func TestJobEventsStreamsToCompletion(t *testing.T) {
+	const steps = 4
+	gate := make(chan struct{}, steps)
+	runner := func(ctx context.Context, req service.Request) (string, error) {
+		p := obs.ProgressFrom(ctx)
+		p.AddTotal(steps)
+		for i := 0; i < steps; i++ {
+			select {
+			case <-gate:
+			case <-ctx.Done():
+				return "", ctx.Err()
+			}
+			p.Add(1)
+		}
+		return "sse-report", nil
+	}
+	ts, _ := newTestServer(t, service.Config{Workers: 1, Runner: runner})
+
+	resp, body := postJSON(t, ts.URL+"/v1/experiments", `{"id":"x","seed":1,"tenant":"streamer"}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status = %d", resp.StatusCode)
+	}
+	jobID, _ := body["job"].(string)
+
+	sresp, err := http.Get(ts.URL + "/v1/jobs/" + jobID + "/events?interval=1ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	if sresp.StatusCode != http.StatusOK {
+		t.Fatalf("events status = %d", sresp.StatusCode)
+	}
+	if ct := sresp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type = %q", ct)
+	}
+
+	go func() {
+		for i := 0; i < steps; i++ {
+			gate <- struct{}{}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+
+	var events []Event
+	var prevDone float64 = -1
+	err = ReadSSE(sresp.Body, func(ev Event) error {
+		events = append(events, ev)
+		var jv map[string]any
+		if err := json.Unmarshal(ev.Data, &jv); err != nil {
+			return fmt.Errorf("event %q payload: %w", ev.Name, err)
+		}
+		if jv["job"] != jobID || jv["tenant"] != "streamer" {
+			return fmt.Errorf("event for wrong job: %v", jv)
+		}
+		if p, ok := jv["progress"].(map[string]any); ok {
+			done := p["done_trials"].(float64)
+			if done < prevDone {
+				return fmt.Errorf("progress went backwards: %v after %v", done, prevDone)
+			}
+			prevDone = done
+		}
+		if ev.Name == "complete" {
+			if jv["state"] != "done" {
+				return fmt.Errorf("complete event state = %v", jv["state"])
+			}
+			if jv["report"] != "sse-report" {
+				return fmt.Errorf("complete event missing report: %v", jv["report"])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) < 2 {
+		t.Fatalf("stream carried %d events, want initial + completion at least", len(events))
+	}
+	last := events[len(events)-1]
+	if last.Name != "complete" {
+		t.Fatalf("final event = %q, want complete", last.Name)
+	}
+	if prevDone != steps {
+		t.Fatalf("final done_trials = %v, want %d", prevDone, steps)
+	}
+	for _, ev := range events[:len(events)-1] {
+		if ev.Name != "progress" {
+			t.Fatalf("non-terminal event named %q", ev.Name)
+		}
+	}
+
+	// Unknown jobs 404 before any stream starts.
+	missing, err := http.Get(ts.URL + "/v1/jobs/j99999999/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	missing.Body.Close()
+	if missing.StatusCode != http.StatusNotFound {
+		t.Fatalf("missing job events status = %d", missing.StatusCode)
+	}
+}
+
+// TestHealthzReportsQueueAndTenants: the probe carries live scheduler
+// detail next to the status flag.
+func TestHealthzReportsQueueAndTenants(t *testing.T) {
+	started := make(chan string, 2)
+	release := make(chan struct{})
+	defer close(release)
+	ts, _ := newTestServer(t, service.Config{
+		Workers: 1,
+		Runner: func(ctx context.Context, req service.Request) (string, error) {
+			select {
+			case started <- req.ID:
+			default:
+			}
+			select {
+			case <-ctx.Done():
+				return "", ctx.Err()
+			case <-release:
+				return "r", nil
+			}
+		},
+	})
+
+	// One running job plus one queued job across two tenants.
+	for i, tid := range []string{"a", "b"} {
+		req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/experiments",
+			strings.NewReader(fmt.Sprintf(`{"id":"x","seed":%d}`, i)))
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set(tenant.Header, tid)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit %s status = %d", tid, resp.StatusCode)
+		}
+	}
+	<-started
+
+	resp, body := getJSON(t, ts.URL+"/healthz")
+	if resp.StatusCode != http.StatusOK || body["status"] != "ok" {
+		t.Fatalf("healthz = %d %v", resp.StatusCode, body)
+	}
+	if body["queue_depth"].(float64) != 1 {
+		t.Errorf("queue_depth = %v, want 1", body["queue_depth"])
+	}
+	if body["active_tenants"].(float64) != 2 {
+		t.Errorf("active_tenants = %v, want 2", body["active_tenants"])
+	}
+	workers, ok := body["workers"].(map[string]any)
+	if !ok {
+		t.Fatalf("healthz missing workers detail: %v", body)
+	}
+	if workers["total"].(float64) != 1 || workers["busy"].(float64) != 1 || workers["idle"].(float64) != 0 {
+		t.Errorf("worker counts = %v, want total 1 busy 1 idle 0", workers)
+	}
+
+	resp, body = getJSON(t, ts.URL+"/v1/tenants")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("tenants status = %d", resp.StatusCode)
+	}
+	if list, _ := body["tenants"].([]any); len(list) != 2 {
+		t.Errorf("tenants list = %v", body["tenants"])
+	}
+}
+
+// TestReadSSEFraming pins the client-side parser against hand-written
+// streams: multi-line data, comments, missing trailing blank line.
+func TestReadSSEFraming(t *testing.T) {
+	stream := ": keep-alive\n" +
+		"id: 0\nevent: progress\ndata: {\"a\":1}\n\n" +
+		"data: line1\ndata: line2\n\n" +
+		"event: complete\ndata: {\"b\":2}\n" // no trailing blank line
+	var got []Event
+	err := ReadSSE(strings.NewReader(stream), func(ev Event) error {
+		got = append(got, ev)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("parsed %d events, want 3: %+v", len(got), got)
+	}
+	if got[0].ID != "0" || got[0].Name != "progress" || string(got[0].Data) != `{"a":1}` {
+		t.Errorf("event 0 = %+v", got[0])
+	}
+	if string(got[1].Data) != "line1\nline2" {
+		t.Errorf("multi-line data = %q", got[1].Data)
+	}
+	if got[2].Name != "complete" || string(got[2].Data) != `{"b":2}` {
+		t.Errorf("unterminated final event = %+v", got[2])
+	}
+	wantErr := fmt.Errorf("stop")
+	err = ReadSSE(strings.NewReader(stream), func(ev Event) error { return wantErr })
+	if err != wantErr {
+		t.Errorf("callback error not propagated: %v", err)
+	}
+}

@@ -1,0 +1,94 @@
+package obs
+
+import "sync"
+
+// Signal is a coalescing broadcast: Raise marks "something changed"
+// and wakes every subscriber, collapsing bursts of raises into at most
+// one pending notification per subscriber. It carries no payload —
+// subscribers re-read whatever state they watch — which is what makes
+// raising cheap enough to call from a Monte-Carlo chunk loop with
+// thousands of SSE watchers attached.
+type Signal struct {
+	mu   sync.Mutex
+	subs map[chan struct{}]struct{}
+}
+
+// NewSignal returns an empty signal.
+func NewSignal() *Signal {
+	return &Signal{subs: make(map[chan struct{}]struct{})}
+}
+
+// Raise notifies every subscriber. Safe on a nil receiver, and never
+// blocks: a subscriber that already has a pending notification is
+// skipped (it will re-read state anyway).
+func (s *Signal) Raise() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	for ch := range s.subs {
+		select {
+		case ch <- struct{}{}:
+		default:
+		}
+	}
+	s.mu.Unlock()
+}
+
+// Subscribe registers a watcher. The returned channel receives (at
+// least) one value after every Raise since the last read; cancel
+// unregisters and is idempotent.
+func (s *Signal) Subscribe() (ch <-chan struct{}, cancel func()) {
+	c := make(chan struct{}, 1)
+	s.mu.Lock()
+	s.subs[c] = struct{}{}
+	s.mu.Unlock()
+	var once sync.Once
+	return c, func() {
+		once.Do(func() {
+			s.mu.Lock()
+			delete(s.subs, c)
+			s.mu.Unlock()
+		})
+	}
+}
+
+// Subscribers reports how many watchers are registered.
+func (s *Signal) Subscribers() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.subs)
+}
+
+// notifyProgress forwards progress into p and raises sig on every
+// update, so watchers learn about new work without polling the sink.
+type notifyProgress struct {
+	p   Progress
+	sig *Signal
+}
+
+func (n notifyProgress) AddTotal(v int64) {
+	n.p.AddTotal(v)
+	n.sig.Raise()
+}
+
+func (n notifyProgress) Add(v int64) {
+	n.p.Add(v)
+	n.sig.Raise()
+}
+
+// NotifyProgress wraps a progress sink so every AddTotal/Add also
+// raises sig. A nil sink forwards into Nop; a nil signal degrades to
+// the plain sink.
+func NotifyProgress(p Progress, sig *Signal) Progress {
+	if p == nil {
+		p = Nop
+	}
+	if sig == nil {
+		return p
+	}
+	return notifyProgress{p: p, sig: sig}
+}

@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSignalRaiseWakesSubscribers(t *testing.T) {
+	s := NewSignal()
+	ch1, cancel1 := s.Subscribe()
+	ch2, cancel2 := s.Subscribe()
+	defer cancel1()
+	defer cancel2()
+	if got := s.Subscribers(); got != 2 {
+		t.Fatalf("subscribers = %d", got)
+	}
+	s.Raise()
+	for i, ch := range []<-chan struct{}{ch1, ch2} {
+		select {
+		case <-ch:
+		case <-time.After(time.Second):
+			t.Fatalf("subscriber %d never notified", i)
+		}
+	}
+}
+
+// TestSignalCoalesces: a burst of raises leaves at most one pending
+// notification, and raising never blocks on a slow subscriber.
+func TestSignalCoalesces(t *testing.T) {
+	s := NewSignal()
+	ch, cancel := s.Subscribe()
+	defer cancel()
+	for i := 0; i < 1000; i++ {
+		s.Raise()
+	}
+	<-ch
+	select {
+	case <-ch:
+		t.Fatal("burst of raises queued more than one notification")
+	default:
+	}
+}
+
+func TestSignalCancelIdempotentAndNilSafe(t *testing.T) {
+	s := NewSignal()
+	_, cancel := s.Subscribe()
+	cancel()
+	cancel()
+	if got := s.Subscribers(); got != 0 {
+		t.Fatalf("subscribers after cancel = %d", got)
+	}
+	var nilSig *Signal
+	nilSig.Raise() // must not panic
+	if nilSig.Subscribers() != 0 {
+		t.Fatal("nil signal has subscribers")
+	}
+}
+
+func TestNotifyProgressForwardsAndRaises(t *testing.T) {
+	tr := NewTracker()
+	sig := NewSignal()
+	ch, cancel := sig.Subscribe()
+	defer cancel()
+	p := NotifyProgress(tr, sig)
+	p.AddTotal(10)
+	p.Add(3)
+	snap := tr.Snapshot()
+	if snap.Total != 10 || snap.Done != 3 {
+		t.Fatalf("tracker = %+v, updates not forwarded", snap)
+	}
+	select {
+	case <-ch:
+	case <-time.After(time.Second):
+		t.Fatal("progress update did not raise the signal")
+	}
+	// Degenerate wrappers stay usable.
+	NotifyProgress(nil, sig).Add(1)
+	if got := NotifyProgress(tr, nil); got != Progress(tr) {
+		t.Fatal("nil signal should return the plain sink")
+	}
+}
+
+func TestSignalConcurrent(t *testing.T) {
+	s := NewSignal()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					s.Raise()
+				}
+			}
+		}()
+	}
+	for i := 0; i < 50; i++ {
+		ch, cancel := s.Subscribe()
+		select {
+		case <-ch:
+		case <-time.After(time.Second):
+			t.Error("subscriber starved during concurrent raises")
+		}
+		cancel()
+	}
+	close(stop)
+	wg.Wait()
+}

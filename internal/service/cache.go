@@ -6,8 +6,10 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
+	"math"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -20,7 +22,10 @@ type Key string
 // covers the experiment ID, seed, quick flag and every solver parameter
 // as sorted key=value lines, so two requests that differ only in field
 // or parameter ordering — or in how their JSON was laid out — collapse
-// onto the same Key.
+// onto the same Key. Parameter values are canonicalized first: numeric
+// spellings of the same value ("10", "10.0", "1e1", " 10 ") address
+// the same result. Workers and Tenant are excluded: both change who
+// runs the computation or how fast, never what it computes.
 func CanonicalKey(req Request) Key {
 	h := sha256.New()
 	fmt.Fprintf(h, "id=%s\n", req.ID)
@@ -32,9 +37,35 @@ func CanonicalKey(req Request) Key {
 	}
 	sort.Strings(names)
 	for _, k := range names {
-		fmt.Fprintf(h, "param.%s=%s\n", k, req.Params[k])
+		fmt.Fprintf(h, "param.%s=%s\n", k, canonicalParamValue(req.Params[k]))
 	}
 	return Key(hex.EncodeToString(h.Sum(nil)))
+}
+
+// canonicalParamValue normalizes one parameter value for hashing:
+// surrounding whitespace is trimmed, and numeric text re-renders in
+// one canonical spelling. Integers within int64/uint64 stay exact
+// through the integer paths; everything else numeric goes through
+// float64's shortest round-trip form, so integers beyond 2^53 written
+// as decimals may collapse onto nearby values — acceptable for solver
+// parameters, which live nowhere near that range. NaN and the
+// infinities are not meaningful parameter values and pass through as
+// trimmed text, as does anything non-numeric.
+func canonicalParamValue(v string) string {
+	t := strings.TrimSpace(v)
+	if t == "" {
+		return t
+	}
+	if i, err := strconv.ParseInt(t, 10, 64); err == nil {
+		return strconv.FormatInt(i, 10)
+	}
+	if u, err := strconv.ParseUint(t, 10, 64); err == nil {
+		return strconv.FormatUint(u, 10)
+	}
+	if f, err := strconv.ParseFloat(t, 64); err == nil && !math.IsNaN(f) && !math.IsInf(f, 0) {
+		return strconv.FormatFloat(f, 'g', -1, 64)
+	}
+	return t
 }
 
 // cacheStats counts cache traffic with atomics so snapshots never

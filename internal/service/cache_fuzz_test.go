@@ -2,6 +2,7 @@ package service
 
 import (
 	"encoding/json"
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -20,14 +21,16 @@ func FuzzCanonicalKey(f *testing.F) {
 		// JSON strings come from json.Marshal, so any input is legal;
 		// only the whitespace filler must actually be whitespace.
 		ws = sanitizeWS(ws)
-		if p1k == p2k {
-			// Duplicate JSON object keys are last-one-wins: reordering
-			// them legitimately changes the decoded request.
-			p2v = p1v
-		}
 		q := func(s string) string {
 			b, _ := json.Marshal(s)
 			return string(b)
+		}
+		if q(p1k) == q(p2k) {
+			// Duplicate JSON object keys are last-one-wins: reordering
+			// them legitimately changes the decoded request. Compare the
+			// marshaled forms — distinct raw strings can collide after
+			// invalid UTF-8 is sanitized to U+FFFD.
+			p2v = p1v
 		}
 		seedJSON, _ := json.Marshal(seed)
 		quickJSON, _ := json.Marshal(quick)
@@ -59,6 +62,27 @@ func FuzzCanonicalKey(f *testing.F) {
 		c.Seed = a.Seed + 1
 		if CanonicalKey(c) == ka {
 			t.Errorf("seed change did not change the key (seed %d)", a.Seed)
+		}
+
+		// Numeric canonicalization: respelling an integer-valued param as
+		// a decimal, with whitespace padding, must not change the key.
+		// Restricted to float64's exact-integer range — the ".0" spelling
+		// goes through the float path, so beyond 2^53 the two spellings
+		// legitimately diverge.
+		respelled := Request{ID: a.ID, Seed: a.Seed, Quick: a.Quick,
+			Params: make(map[string]string, len(a.Params))}
+		changed := false
+		for k, v := range a.Params {
+			if i, err := strconv.ParseInt(strings.TrimSpace(v), 10, 64); err == nil &&
+				i > -(1<<53) && i < 1<<53 {
+				respelled.Params[k] = "  " + strconv.FormatInt(i, 10) + ".0\t"
+				changed = true
+			} else {
+				respelled.Params[k] = v
+			}
+		}
+		if changed && CanonicalKey(respelled) != ka {
+			t.Errorf("numeric respelling changed the key: %v vs %v", a.Params, respelled.Params)
 		}
 	})
 }
@@ -97,5 +121,46 @@ func TestCanonicalKeyParamOrderIrrelevant(t *testing.T) {
 	c.Workers = 8
 	if CanonicalKey(c) != CanonicalKey(a) {
 		t.Fatal("Workers leaked into the cache key")
+	}
+}
+
+// TestCanonicalParamValueSpellings pins the numeric normalization:
+// every spelling of one number shares a key, different numbers and
+// non-numbers do not.
+func TestCanonicalParamValueSpellings(t *testing.T) {
+	key := func(v string) Key {
+		return CanonicalKey(Request{ID: "fig7", Seed: 1, Params: map[string]string{"snr": v}})
+	}
+	base := key("10")
+	for _, same := range []string{"10.0", " 10 ", "1e1", "+10", "10.000", "\t1.0e1\n", "0010"} {
+		if key(same) != base {
+			t.Errorf("spelling %q does not share a key with \"10\"", same)
+		}
+	}
+	for _, diff := range []string{"10.5", "-10", "11", "1e10", "ten", "", "10x"} {
+		if key(diff) == base {
+			t.Errorf("value %q collided with \"10\"", diff)
+		}
+	}
+	// Non-numeric values are trimmed but otherwise preserved.
+	if key(" v1 ") != key("v1") {
+		t.Error("whitespace around a text value changed the key")
+	}
+	if key("v1") == key("v2") {
+		t.Error("distinct text values collided")
+	}
+	// NaN and infinities fall through to the text path, distinct from
+	// each other and from real numbers.
+	if key("NaN") == key("Inf") || key("NaN") == base {
+		t.Error("NaN collapsed onto another value")
+	}
+	// Integers beyond float64 precision keep exact identity via the
+	// int64/uint64 paths.
+	big, bigger := "9007199254740993", "9007199254740994" // 2^53+1, 2^53+2
+	if key(big) == key(bigger) {
+		t.Error("adjacent big integers collided")
+	}
+	if key("18446744073709551615") == key("18446744073709551614") {
+		t.Error("adjacent uint64 values collided")
 	}
 }

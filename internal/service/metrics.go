@@ -25,6 +25,15 @@ var (
 		"Result-cache lookups that had to compute.")
 	metCacheEvictions = obs.Default.Counter("cogmimod_cache_evictions_total",
 		"Completed results evicted by the LRU bound.")
+	metTenantJobs = obs.Default.CounterVec("cogmimod_tenant_jobs_total",
+		"Jobs accepted into the queue, by submitting tenant.",
+		"tenant")
+	metTenantQueueWait = obs.Default.HistogramVec("cogmimod_tenant_queue_wait_seconds",
+		"Time jobs spent queued before a worker picked them up, by tenant.",
+		"tenant", nil)
+	metQuotaRejected = obs.Default.CounterVec("cogmimod_tenant_quota_rejected_total",
+		"Submissions denied by per-tenant admission quotas, by tenant.",
+		"tenant")
 )
 
 // init pre-seeds the jobs_total series so every status is visible (as

@@ -2,6 +2,7 @@ package service
 
 import (
 	"context"
+	"strconv"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -130,6 +131,85 @@ func TestWarmFromStore(t *testing.T) {
 	}
 	if report, ok := s.Result(keys[0]); !ok || report != "report:fig6a" {
 		t.Errorf("read-through for unwarmed key = (%q, %t)", report, ok)
+	}
+}
+
+// TestWarmedCacheEvictionOrderAndReadThrough covers boot-warming when
+// the LRU is smaller than the durable store: warming keeps the newest
+// results in LRU order, later computations evict exactly the least
+// recently used entry, and an evicted result is still answered from
+// disk as a cache hit — without re-running the experiment.
+func TestWarmedCacheEvictionOrderAndReadThrough(t *testing.T) {
+	dir := t.TempDir()
+	st := openTestStore(t, dir)
+	reqs := make([]Request, 4)
+	keys := make([]Key, 4)
+	for i := range reqs {
+		reqs[i] = Request{ID: "fig6a", Seed: int64(i)}
+		keys[i] = CanonicalKey(reqs[i])
+		payload := []byte("report:" + strconv.FormatInt(int64(i), 10))
+		if err := st.Put(string(keys[i]), payload, store.Meta{Kind: "result", Experiment: "fig6a", Seed: int64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var runs atomic.Int64
+	s := startService(t, Config{
+		Workers: 1, CacheEntries: 3, Store: st,
+		Runner: func(ctx context.Context, req Request) (string, error) {
+			runs.Add(1)
+			return "computed:" + strconv.FormatInt(req.Seed, 10), nil
+		},
+	})
+	if got := s.WarmFromStore(); got != 3 {
+		t.Fatalf("warmed %d entries, want 3", got)
+	}
+	// The three newest results (seeds 1..3) are warmed, newest most
+	// recently used; seed 0 fell outside the bound and lives on disk only.
+	if _, ok := s.cache.get(keys[0]); ok {
+		t.Fatal("oldest result warmed past the cache bound")
+	}
+	// Touch seed 1 so it is no longer the LRU tail; seed 2 becomes the
+	// next eviction candidate (warm order put seed 3 in front of it).
+	if _, ok := s.cache.get(keys[1]); !ok {
+		t.Fatal("seed 1 missing from warmed cache")
+	}
+
+	// A fresh computation must evict exactly the tail, nothing else.
+	jv, err := s.Submit(Request{ID: "fig6a", Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, s, jv.ID)
+	if _, ok := s.cache.get(keys[2]); ok {
+		t.Error("eviction ignored LRU order: the tail entry is still cached")
+	}
+	for _, i := range []int{1, 3} {
+		if _, ok := s.cache.get(keys[i]); !ok {
+			t.Errorf("seed %d wrongly evicted", i)
+		}
+	}
+	if got := s.Stats().CacheEvictions; got != 1 {
+		t.Errorf("evictions = %d, want 1", got)
+	}
+
+	// The evicted result still answers as a hit via disk read-through:
+	// the runner must not fire again for it.
+	jv2, err := s.Submit(reqs[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := waitDone(t, s, jv2.ID)
+	if !done.CacheHit {
+		t.Error("evicted result recomputed instead of reading through to disk")
+	}
+	if got := runs.Load(); got != 1 {
+		t.Errorf("runner ran %d times, want 1 (only the fresh seed)", got)
+	}
+	if got := s.Stats().CacheDiskHits; got != 1 {
+		t.Errorf("disk hits = %d, want 1", got)
+	}
+	if report, ok := s.Result(keys[2]); !ok || report != "report:2" {
+		t.Errorf("evicted key Result = (%q, %t)", report, ok)
 	}
 }
 

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/store"
+	"repro/internal/tenant"
 )
 
 // Request identifies one experiment computation. Params carries solver
@@ -27,6 +28,11 @@ type Request struct {
 	// reports are bit-identical for every worker budget, so runs that
 	// differ only in Workers are the same computation.
 	Workers int `json:"workers,omitempty"`
+	// Tenant names the submitting tenant for scheduling, quotas, logs
+	// and metrics; empty means the anonymous default tenant. Like
+	// Workers it is excluded from the cache key: the same computation
+	// answers every tenant, whoever paid for it first.
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // Runner computes the report text for a request. It must honor ctx.
@@ -62,6 +68,7 @@ type ProgressInfo struct {
 // JobView is an immutable snapshot of a job.
 type JobView struct {
 	ID       string        `json:"job"`
+	Tenant   string        `json:"tenant"`
 	Request  Request       `json:"request"`
 	Key      Key           `json:"key"`
 	State    State         `json:"state"`
@@ -78,12 +85,15 @@ type JobView struct {
 // below mu are guarded by the service mutex.
 type job struct {
 	id      string
-	req     Request
+	req     Request // req.Tenant is canonical by construction
 	key     Key
 	traceID string
 	ctx     context.Context
 	cancel  context.CancelFunc
 	done    chan struct{} // closed on terminal state
+	// signal is raised on every progress update and state transition,
+	// so watchers (SSE streams) re-snapshot instead of polling.
+	signal *obs.Signal
 
 	state     State
 	cacheHit  bool
@@ -99,12 +109,15 @@ type job struct {
 type Stats struct {
 	Submitted      int64 `json:"jobs_submitted"`
 	Rejected       int64 `json:"jobs_rejected"`
+	QuotaRejected  int64 `json:"jobs_quota_rejected"`
 	Done           int64 `json:"jobs_done"`
 	Failed         int64 `json:"jobs_failed"`
 	Canceled       int64 `json:"jobs_canceled"`
 	QueueDepth     int   `json:"queue_depth"`
 	QueueCapacity  int   `json:"queue_capacity"`
 	Workers        int   `json:"workers"`
+	BusyWorkers    int   `json:"busy_workers"`
+	ActiveTenants  int   `json:"active_tenants"`
 	CacheEntries   int   `json:"cache_entries"`
 	CacheHits      int64 `json:"cache_hits"`
 	CacheDiskHits  int64 `json:"cache_disk_hits"`
@@ -125,8 +138,9 @@ type Stats struct {
 type Config struct {
 	// Workers is the pool size; 0 means GOMAXPROCS.
 	Workers int
-	// QueueDepth bounds the number of jobs waiting for a worker;
-	// 0 means 64. Submissions beyond the bound fail with ErrQueueFull.
+	// QueueDepth bounds the number of jobs waiting for a worker across
+	// all tenants; 0 means 64. Submissions beyond the bound fail with
+	// ErrQueueFull.
 	QueueDepth int
 	// CacheEntries bounds the completed-result cache; 0 means 256.
 	CacheEntries int
@@ -139,36 +153,50 @@ type Config struct {
 	// IDs; anything else fails with ErrUnknownExperiment.
 	KnownIDs []string
 	// Logger receives job lifecycle logs; nil means slog.Default().
-	// Each job logs through a child logger carrying job_id, experiment
-	// and (when the submission had one) trace_id.
+	// Each job logs through a child logger carrying job_id, tenant,
+	// experiment and (when the submission had one) trace_id.
 	Logger *slog.Logger
 	// Store, when non-nil, backs the result cache with durable storage:
 	// misses read through to it before computing, computed results
 	// write through to it, and WarmFromStore preloads the LRU at boot —
 	// so cache hits survive process restarts.
 	Store *store.Store
+	// Tenants configures the weighted-fair scheduler: per-tenant
+	// weights and queue bounds, and soft concurrency shares. Zero
+	// values inherit the service-wide defaults (per-tenant queue bound
+	// = QueueDepth, share pool = Workers), which makes a single-tenant
+	// service behave exactly like the old global FIFO.
+	Tenants tenant.Options
+	// Quota is the default per-tenant admission budget (token bucket);
+	// the zero value disables admission control.
+	Quota tenant.Quota
+	// Quotas overrides admission budgets for specific tenants.
+	Quotas map[string]tenant.Quota
 }
 
-// Service schedules experiment jobs onto a bounded worker pool.
+// Service schedules experiment jobs onto a bounded worker pool,
+// weighted-fairly across tenants.
 type Service struct {
-	cfg    Config
-	runner Runner
-	known  map[string]bool
-	cache  *cache
-	logger *slog.Logger
+	cfg     Config
+	runner  Runner
+	known   map[string]bool
+	cache   *cache
+	logger  *slog.Logger
+	sched   *tenant.Scheduler[*job]
+	limiter *tenant.Limiter
 
 	baseCtx context.Context
 	stop    context.CancelFunc
-	queue   chan *job
 	wg      sync.WaitGroup
 
 	mu      sync.Mutex
 	jobs    map[string]*job
 	order   []string // submission order, for bounded forgetting
 	nextID  int64
+	busy    int // workers currently executing a job
 	stopped bool
 
-	submitted, rejected, nDone, nFailed, nCanceled int64
+	submitted, rejected, quotaRejected, nDone, nFailed, nCanceled int64
 
 	// ranSeconds/ranJobs accumulate the wall-clock of jobs that actually
 	// ran (cache hits and never-started jobs excluded); their ratio is
@@ -184,7 +212,25 @@ var (
 	ErrStopped           = errors.New("service: stopped")
 	ErrUnknownExperiment = errors.New("service: unknown experiment id")
 	ErrNoSuchJob         = errors.New("service: no such job")
+	ErrBadTenant         = errors.New("service: invalid tenant id")
+	// ErrQuotaExceeded matches (via errors.Is) the *QuotaError returned
+	// when a tenant's token bucket is empty.
+	ErrQuotaExceeded = errors.New("service: tenant quota exceeded")
 )
+
+// QuotaError reports an admission-control rejection, carrying the
+// per-tenant wait until the next token.
+type QuotaError struct {
+	Tenant     string
+	RetryAfter time.Duration
+}
+
+func (e *QuotaError) Error() string {
+	return fmt.Sprintf("service: tenant %q over quota, retry in %s", e.Tenant, e.RetryAfter)
+}
+
+// Is makes errors.Is(err, ErrQuotaExceeded) work on QuotaErrors.
+func (e *QuotaError) Is(target error) bool { return target == ErrQuotaExceeded }
 
 // New builds a Service; Start must be called before jobs run.
 func New(cfg Config) (*Service, error) {
@@ -203,15 +249,29 @@ func New(cfg Config) (*Service, error) {
 	if cfg.Logger == nil {
 		cfg.Logger = slog.Default()
 	}
+	topts := cfg.Tenants
+	if topts.TotalDepth <= 0 {
+		topts.TotalDepth = cfg.QueueDepth
+	}
+	if topts.QueueDepth <= 0 {
+		// A lone tenant may use the whole global queue; the bound that
+		// protects tenants from each other is the fair scheduler plus
+		// the global depth, unless the operator sets a tighter one.
+		topts.QueueDepth = cfg.QueueDepth
+	}
+	if topts.Workers <= 0 {
+		topts.Workers = cfg.Workers
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Service{
 		cfg:     cfg,
 		runner:  cfg.Runner,
 		logger:  cfg.Logger,
 		cache:   newCache(cfg.CacheEntries),
+		sched:   tenant.NewScheduler[*job](topts),
+		limiter: tenant.NewLimiter(cfg.Quota, cfg.Quotas),
 		baseCtx: ctx,
 		stop:    cancel,
-		queue:   make(chan *job, cfg.QueueDepth),
 		jobs:    make(map[string]*job),
 	}
 	if len(cfg.KnownIDs) > 0 {
@@ -273,6 +333,7 @@ func (s *Service) Stop(ctx context.Context) error {
 	s.mu.Lock()
 	s.stopped = true
 	s.mu.Unlock()
+	s.sched.Close()
 	s.stop()
 
 	workersDone := make(chan struct{})
@@ -287,14 +348,10 @@ func (s *Service) Stop(ctx context.Context) error {
 	}
 
 	// Workers are gone; anything still queued will never run.
-	for {
-		select {
-		case j := <-s.queue:
-			s.finish(j, StateCanceled, false, ErrStopped.Error())
-		default:
-			return nil
-		}
+	for _, j := range s.sched.Drain() {
+		s.finish(j, StateCanceled, false, ErrStopped.Error())
 	}
+	return nil
 }
 
 // Submit validates and enqueues a request, returning the queued job's
@@ -308,10 +365,33 @@ func (s *Service) Submit(req Request) (JobView, error) {
 // ctx's trace id (obs.TraceID) so its logs and snapshot correlate with
 // the HTTP request that created it. ctx does not bound the job's
 // lifetime — cancellation still goes through Cancel or Stop.
+//
+// The request's tenant is canonicalized (empty means the anonymous
+// default tenant), charged against its admission quota, and enqueued
+// on its own weighted-fair queue. Quota rejections return a
+// *QuotaError; backlog rejections return ErrQueueFull (global bound)
+// or an error wrapping both ErrQueueFull and tenant.ErrTenantQueueFull
+// (the tenant's own bound).
 func (s *Service) SubmitCtx(ctx context.Context, req Request) (JobView, error) {
 	if s.known != nil && !s.known[req.ID] {
 		return JobView{}, fmt.Errorf("%w: %q", ErrUnknownExperiment, req.ID)
 	}
+	tid, err := tenant.Canonicalize(req.Tenant)
+	if err != nil {
+		return JobView{}, fmt.Errorf("%w: %v", ErrBadTenant, err)
+	}
+	req.Tenant = tid
+	if retry, ok := s.limiter.Allow(tid); !ok {
+		s.mu.Lock()
+		s.quotaRejected++
+		s.mu.Unlock()
+		metQuotaRejected.With(tid).Inc()
+		s.logger.Warn("job rejected: tenant over quota",
+			"tenant", tid, "experiment", req.ID, "retry_after", retry,
+			"trace_id", obs.TraceID(ctx))
+		return JobView{}, &QuotaError{Tenant: tid, RetryAfter: retry}
+	}
+
 	s.mu.Lock()
 	if s.stopped {
 		s.mu.Unlock()
@@ -327,6 +407,7 @@ func (s *Service) SubmitCtx(ctx context.Context, req Request) (JobView, error) {
 		ctx:       jctx,
 		cancel:    cancel,
 		done:      make(chan struct{}),
+		signal:    obs.NewSignal(),
 		state:     StateQueued,
 		submitted: time.Now(),
 	}
@@ -336,13 +417,7 @@ func (s *Service) SubmitCtx(ctx context.Context, req Request) (JobView, error) {
 	s.submitted++
 	s.mu.Unlock()
 
-	select {
-	case s.queue <- j:
-		metJobs.With("submitted").Inc()
-		s.logger.Debug("job queued",
-			"job_id", j.id, "experiment", j.req.ID, "trace_id", j.traceID)
-		return s.snapshot(j), nil
-	default:
+	if err := s.sched.Enqueue(tid, j); err != nil {
 		s.mu.Lock()
 		s.rejected++
 		delete(s.jobs, j.id)
@@ -350,9 +425,25 @@ func (s *Service) SubmitCtx(ctx context.Context, req Request) (JobView, error) {
 		cancel()
 		metJobs.With("rejected").Inc()
 		s.logger.Warn("job rejected: queue full",
-			"experiment", req.ID, "trace_id", obs.TraceID(ctx))
-		return JobView{}, ErrQueueFull
+			"tenant", tid, "experiment", req.ID, "error", err,
+			"trace_id", obs.TraceID(ctx))
+		switch {
+		case errors.Is(err, tenant.ErrTenantQueueFull):
+			// Satisfies errors.Is for both the global sentinel (every
+			// 429 path) and the per-tenant one (so transports can hint
+			// from this tenant's own backlog).
+			return JobView{}, fmt.Errorf("tenant %q: %w (%w)", tid, tenant.ErrTenantQueueFull, ErrQueueFull)
+		case errors.Is(err, tenant.ErrClosed):
+			return JobView{}, ErrStopped
+		default:
+			return JobView{}, ErrQueueFull
+		}
 	}
+	metJobs.With("submitted").Inc()
+	metTenantJobs.With(tid).Inc()
+	s.logger.Debug("job queued",
+		"job_id", j.id, "tenant", tid, "experiment", j.req.ID, "trace_id", j.traceID)
+	return s.snapshot(j), nil
 }
 
 // Job returns a snapshot by ID.
@@ -385,6 +476,7 @@ func (s *Service) Cancel(id string) (JobView, error) {
 	}
 	s.mu.Unlock()
 	j.cancel()
+	j.signal.Raise()
 	return s.snapshot(j), nil
 }
 
@@ -404,6 +496,70 @@ func (s *Service) Wait(ctx context.Context, id string) (JobView, error) {
 	}
 }
 
+// Watch streams snapshots of a job until it reaches a terminal state,
+// the watcher's ctx ends, or the service stops. The returned channel
+// is closed after the final (terminal) snapshot; intermediate
+// snapshots are coalesced latest-wins, at most one per minInterval
+// (0 means every update), so thousands of watchers cost one goroutine
+// each and no polling anywhere. The first snapshot arrives
+// immediately, and progress is monotonic across snapshots because the
+// underlying tracker only counts up.
+func (s *Service) Watch(ctx context.Context, id string, minInterval time.Duration) (<-chan JobView, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return nil, ErrNoSuchJob
+	}
+	ch := make(chan JobView, 1)
+	go func() {
+		defer close(ch)
+		sub, cancelSub := j.signal.Subscribe()
+		defer cancelSub()
+		// send coalesces latest-wins into the 1-buffered channel: a
+		// slow reader sees fewer, fresher snapshots, never stale ones.
+		send := func(jv JobView) {
+			for {
+				select {
+				case ch <- jv:
+					return
+				default:
+					select {
+					case <-ch:
+					default:
+					}
+				}
+			}
+		}
+		last := s.snapshot(j)
+		send(last)
+		for !last.State.Terminal() {
+			select {
+			case <-ctx.Done():
+				return
+			case <-s.baseCtx.Done():
+				return
+			case <-j.done:
+			case <-sub:
+				if minInterval > 0 {
+					pause := time.NewTimer(minInterval)
+					select {
+					case <-ctx.Done():
+						pause.Stop()
+						return
+					case <-j.done: // flush the terminal state promptly
+						pause.Stop()
+					case <-pause.C:
+					}
+				}
+			}
+			last = s.snapshot(j)
+			send(last)
+		}
+	}()
+	return ch, nil
+}
+
 // Result returns a completed report by cache key, falling through to
 // the durable store — results computed before the last restart stay
 // addressable even when the LRU has moved on.
@@ -420,23 +576,39 @@ func (s *Service) Result(key Key) (string, bool) {
 	return "", false
 }
 
+// Tenant snapshots one tenant's scheduler standing (backlog, running
+// jobs, weight and the active-weight context), for per-tenant
+// Retry-After hints and operator introspection.
+func (s *Service) Tenant(id string) tenant.Snapshot {
+	return s.sched.Tenant(id)
+}
+
+// Tenants lists scheduler snapshots for every tenant with queued or
+// running work, sorted by id.
+func (s *Service) Tenants() []tenant.Snapshot {
+	return s.sched.Depths()
+}
+
 // Stats snapshots the service counters.
 func (s *Service) Stats() Stats {
 	s.mu.Lock()
 	st := Stats{
 		Submitted:     s.submitted,
 		Rejected:      s.rejected,
+		QuotaRejected: s.quotaRejected,
 		Done:          s.nDone,
 		Failed:        s.nFailed,
 		Canceled:      s.nCanceled,
-		QueueDepth:    len(s.queue),
-		QueueCapacity: cap(s.queue),
+		QueueCapacity: s.cfg.QueueDepth,
 		Workers:       s.cfg.Workers,
+		BusyWorkers:   s.busy,
 	}
 	if s.ranJobs > 0 {
 		st.MeanJobSeconds = s.ranSeconds / float64(s.ranJobs)
 	}
 	s.mu.Unlock()
+	st.QueueDepth = s.sched.Len()
+	st.ActiveTenants = s.sched.Active()
 	st.CacheEntries = s.cache.len()
 	st.CacheHits = s.cache.stats.hits.Load()
 	st.CacheDiskHits = s.cache.stats.diskHits.Load()
@@ -452,12 +624,18 @@ func (s *Service) Stats() Stats {
 func (s *Service) worker() {
 	defer s.wg.Done()
 	for {
-		select {
-		case <-s.baseCtx.Done():
+		j, tid, ok := s.sched.Dequeue(s.baseCtx)
+		if !ok {
 			return
-		case j := <-s.queue:
-			s.run(j)
 		}
+		s.mu.Lock()
+		s.busy++
+		s.mu.Unlock()
+		s.run(j)
+		s.mu.Lock()
+		s.busy--
+		s.mu.Unlock()
+		s.sched.Done(tid)
 	}
 }
 
@@ -473,17 +651,20 @@ func (s *Service) run(j *job) {
 	j.started = time.Now()
 	j.tracker = obs.NewTracker()
 	s.mu.Unlock()
+	j.signal.Raise()
 
-	logger := s.logger.With("job_id", j.id, "experiment", j.req.ID)
+	tid := j.req.Tenant
+	logger := s.logger.With("job_id", j.id, "tenant", tid, "experiment", j.req.ID)
 	if j.traceID != "" {
 		logger = logger.With("trace_id", j.traceID)
 	}
 	ctx := obs.WithLogger(j.ctx, logger)
 	ctx = obs.WithTraceID(ctx, j.traceID)
-	ctx = obs.WithProgress(ctx, j.tracker)
+	ctx = obs.WithProgress(ctx, obs.NotifyProgress(j.tracker, j.signal))
 
 	wait := j.started.Sub(j.submitted)
 	metQueueWait.Observe(wait.Seconds())
+	metTenantQueueWait.With(tid).Observe(wait.Seconds())
 	obs.ObserveSpan(ctx, "queue.wait", wait)
 	logger.Info("job started", "queue_wait", wait)
 
@@ -527,8 +708,8 @@ func (s *Service) run(j *job) {
 // finish moves a job to a terminal state exactly once.
 func (s *Service) finish(j *job, st State, hit bool, msg string) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if j.state.Terminal() {
+		s.mu.Unlock()
 		return
 	}
 	j.state = st
@@ -553,7 +734,9 @@ func (s *Service) finish(j *job, st State, hit bool, msg string) {
 		}
 	}
 	close(j.done)
+	s.mu.Unlock()
 	j.cancel()
+	j.signal.Raise()
 }
 
 // forgetOldLocked drops the oldest terminal jobs beyond the MaxJobs
@@ -585,6 +768,7 @@ func (s *Service) snapshot(j *job) JobView {
 	defer s.mu.Unlock()
 	jv := JobView{
 		ID:       j.id,
+		Tenant:   j.req.Tenant,
 		Request:  j.req,
 		Key:      j.key,
 		State:    j.state,

@@ -1,0 +1,31 @@
+// Package tenant turns the simulation service into a multi-tenant
+// system: many callers share one worker fleet under explicit fairness
+// and admission guarantees, the serving-tier analogue of the paper's
+// secondary users sharing spectrum with primaries under coexistence
+// constraints.
+//
+// Three pieces compose, each usable on its own:
+//
+//   - Identity: Canonicalize maps the X-Tenant-Id header (or an empty
+//     string, for anonymous callers) onto a validated tenant id that is
+//     carried through job metadata, logs and metrics.
+//
+//   - Scheduler: a weighted-fair queue of per-tenant FIFOs using stride
+//     scheduling. Each tenant advances a virtual "pass" by 1/weight per
+//     dispatched job, and the scheduler always serves the eligible
+//     tenant with the smallest pass — so over any window tenants
+//     receive service proportional to their weights, and a tenant with
+//     a huge backlog cannot starve one with a small backlog. Soft
+//     concurrency shares additionally cap how many of the pool's
+//     workers one tenant occupies while others are waiting; the cap is
+//     work-conserving and lifts when no other tenant has work.
+//
+//   - Limiter: per-tenant token-bucket admission control. Each tenant
+//     refills at Rate jobs/second up to a Burst budget; a rejected
+//     submission carries how long that tenant must wait for its next
+//     token, which the HTTP layer turns into a per-tenant Retry-After.
+//
+// Scheduling only reorders jobs across tenants — it never changes what
+// a job computes — so results stay bit-identical to the single-tenant
+// service for every interleaving.
+package tenant

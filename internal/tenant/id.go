@@ -1,0 +1,43 @@
+package tenant
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Header is the HTTP request header that names the submitting tenant.
+const Header = "X-Tenant-Id"
+
+// DefaultID is the tenant anonymous submissions are accounted to.
+const DefaultID = "default"
+
+// MaxIDLen bounds tenant ids so they stay usable as metric label
+// values and log fields.
+const MaxIDLen = 64
+
+// ErrBadID reports a tenant id that failed validation.
+var ErrBadID = errors.New("tenant: invalid tenant id")
+
+// Canonicalize validates a raw tenant id (typically the X-Tenant-Id
+// header) and returns its canonical form. The empty string is the
+// anonymous caller and maps to DefaultID. Valid ids are 1–64 bytes of
+// letters, digits, '.', '_' and '-' — safe in URLs, metric labels and
+// log lines without escaping.
+func Canonicalize(raw string) (string, error) {
+	if raw == "" {
+		return DefaultID, nil
+	}
+	if len(raw) > MaxIDLen {
+		return "", fmt.Errorf("%w: %d bytes exceeds the %d-byte bound", ErrBadID, len(raw), MaxIDLen)
+	}
+	for i := 0; i < len(raw); i++ {
+		c := raw[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			return "", fmt.Errorf("%w: byte %q at offset %d", ErrBadID, c, i)
+		}
+	}
+	return raw, nil
+}

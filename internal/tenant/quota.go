@@ -1,0 +1,130 @@
+package tenant
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// Quota is one tenant's admission budget: a token bucket refilling at
+// Rate jobs/second up to Burst tokens. The zero value disables
+// admission control (every submission is admitted).
+type Quota struct {
+	// Rate is the sustained submission rate in jobs per second;
+	// 0 or negative disables the quota.
+	Rate float64 `json:"rate"`
+	// Burst is the bucket size — how many submissions a tenant may
+	// make back-to-back after a quiet period. 0 means ceil(Rate),
+	// but at least 1.
+	Burst int `json:"burst"`
+}
+
+// Enabled reports whether this quota limits anything.
+func (q Quota) Enabled() bool { return q.Rate > 0 }
+
+// burst resolves the effective bucket size.
+func (q Quota) burst() float64 {
+	if q.Burst > 0 {
+		return float64(q.Burst)
+	}
+	return math.Max(1, math.Ceil(q.Rate))
+}
+
+// bucket is one tenant's live token state.
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// Limiter applies per-tenant token-bucket admission control. The zero
+// value is not usable; call NewLimiter.
+type Limiter struct {
+	def       Quota
+	overrides map[string]Quota
+	now       func() time.Time // injectable clock for tests
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+// maxIdleBuckets bounds the bucket table; full buckets are pruned
+// beyond it. A pruned bucket recreates as full, which is exactly the
+// state a long-idle tenant's bucket would have refilled to.
+const maxIdleBuckets = 4096
+
+// NewLimiter builds a Limiter with a default quota and optional
+// per-tenant overrides. A nil result means admission control is off
+// entirely (no default and no overrides), letting callers skip the
+// check cheaply.
+func NewLimiter(def Quota, overrides map[string]Quota) *Limiter {
+	if !def.Enabled() && len(overrides) == 0 {
+		return nil
+	}
+	return &Limiter{
+		def:       def,
+		overrides: overrides,
+		now:       time.Now,
+		buckets:   make(map[string]*bucket),
+	}
+}
+
+// quotaFor resolves the quota applying to a tenant.
+func (l *Limiter) quotaFor(id string) Quota {
+	if q, ok := l.overrides[id]; ok {
+		return q
+	}
+	return l.def
+}
+
+// Allow spends one token from tenant id's bucket. When the bucket is
+// empty it reports false plus how long the tenant must wait for its
+// next token — a per-tenant Retry-After derived from that tenant's own
+// spending, not anyone else's.
+func (l *Limiter) Allow(id string) (retryAfter time.Duration, ok bool) {
+	if l == nil {
+		return 0, true
+	}
+	q := l.quotaFor(id)
+	if !q.Enabled() {
+		return 0, true
+	}
+	now := l.now()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b, exists := l.buckets[id]
+	if !exists {
+		if len(l.buckets) >= maxIdleBuckets {
+			l.pruneLocked(now)
+		}
+		b = &bucket{tokens: q.burst(), last: now}
+		l.buckets[id] = b
+	} else {
+		dt := now.Sub(b.last).Seconds()
+		if dt > 0 {
+			b.tokens = math.Min(q.burst(), b.tokens+dt*q.Rate)
+		}
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return 0, true
+	}
+	need := (1 - b.tokens) / q.Rate
+	return time.Duration(need * float64(time.Second)), false
+}
+
+// pruneLocked drops buckets that have refilled to their full burst —
+// tenants idle long enough that forgetting them changes nothing.
+func (l *Limiter) pruneLocked(now time.Time) {
+	for id, b := range l.buckets {
+		q := l.quotaFor(id)
+		if !q.Enabled() {
+			delete(l.buckets, id)
+			continue
+		}
+		tokens := math.Min(q.burst(), b.tokens+now.Sub(b.last).Seconds()*q.Rate)
+		if tokens >= q.burst() {
+			delete(l.buckets, id)
+		}
+	}
+}

@@ -17,8 +17,8 @@ fi
 echo ">> go build ./..."
 go build ./...
 
-echo ">> go test -race ./internal/obs ./internal/service ./cmd/cogmimod"
-go test -race ./internal/obs ./internal/service ./cmd/cogmimod
+echo ">> go test -race ./internal/obs ./internal/service ./internal/httpapi"
+go test -race ./internal/obs ./internal/service ./internal/httpapi
 
 echo ">> go test -race ./..."
 go test -race ./...
@@ -31,5 +31,8 @@ go run ./internal/tools/clustersmoke
 
 echo ">> campaign smoke (SIGKILL mid-experiment, resume from checkpoints)"
 go run ./internal/tools/campaignsmoke
+
+echo ">> loadgen smoke (50 tenants, one 10x-heavier, fairness + SSE)"
+go run ./internal/tools/loadgen/cmd
 
 echo "verify: ok"
