@@ -1,7 +1,7 @@
 # Tier-1 verification plus the race detector. `make verify` is what CI
 # and pre-merge checks should run.
 
-.PHONY: verify vet fmt-check build test race bench bench-compare metrics-smoke cluster-smoke campaign-smoke loadgen-smoke
+.PHONY: verify vet fmt-check build test race bench bench-compare metrics-smoke cluster-smoke campaign-smoke loadgen-smoke trace-smoke
 
 BENCH_DATE := $(shell date +%Y-%m-%d)
 BENCH_JSON := BENCH_$(BENCH_DATE).json
@@ -52,6 +52,14 @@ metrics-smoke:
 # internal/cluster.
 cluster-smoke:
 	go run ./internal/tools/clustersmoke
+
+# Serves the full HTTP stack over a 3-worker loopback cluster with one
+# induced shard failure, fetches the merged trace from /v1/traces/{id}
+# and requires per-worker shard spans, retry evidence, a valid Chrome
+# export and a golden-identical report. End-to-end check of
+# distributed tracing.
+trace-smoke:
+	go run ./internal/tools/tracesmoke
 
 # Drives 50 tenants — one with a 10× burst submitted first — through
 # the real HTTP stack and fails if the light tenants' p99 queue wait

@@ -46,6 +46,9 @@
 //	GET    /v1/stats             service counters as JSON
 //	GET    /v1/tenants           per-tenant queue/running/weight snapshots
 //	POST   /v1/shards            execute a Monte-Carlo chunk range (worker side)
+//	GET    /v1/traces/{id}       merged distributed trace; ?format=chrome for
+//	                             a chrome://tracing / Perfetto file
+//	GET    /debug/traces         recent trace index (id, root, duration)
 //	GET    /healthz              liveness probe with queue/tenant/worker detail;
 //	                             503 {"status":"draining"} during shutdown
 //	GET    /metrics              expvar dump (legacy surface)
@@ -54,7 +57,12 @@
 //
 // Every response carries an X-Trace-Id header (generated, or echoed
 // from the request); the same id tags all log lines of the request and
-// of any job it submitted. A full queue answers 429 with a Retry-After
+// of any job it submitted. With -trace-buffer > 0 (the default) the id
+// also names a structural trace: request, queue wait, driver and — in
+// coordinator mode — per-worker shard spans merge into one timeline
+// served by GET /v1/traces/{id}. Jobs slower than -trace-slow get
+// their trace pinned against eviction and a warning naming the id.
+// A full queue answers 429 with a Retry-After
 // hint. SIGINT/SIGTERM drain the server gracefully: in-flight handlers
 // get a shutdown grace period and running jobs are cancelled between
 // sweep points.
@@ -77,6 +85,7 @@ import (
 	"repro/internal/campaign"
 	"repro/internal/cluster"
 	"repro/internal/httpapi"
+	"repro/internal/obs"
 	"repro/internal/service"
 	"repro/internal/sim"
 	"repro/internal/store"
@@ -101,6 +110,9 @@ func main() {
 		quotaRate   = flag.Float64("quota-rate", 0, "per-tenant admission rate in jobs/second (0 = no admission control)")
 		quotaBurst  = flag.Int("quota-burst", 0, "per-tenant burst budget (0 = derive from -quota-rate)")
 		tenantQueue = flag.Int("tenant-queue", 0, "per-tenant queue bound before 429s (0 = the global -queue bound)")
+
+		traceBuf  = flag.Int("trace-buffer", 256, "traces kept in the in-process recorder ring (0 disables tracing)")
+		traceSlow = flag.Duration("trace-slow", 10*time.Second, "pin the trace of any job slower than this (0 = off; needs -trace-buffer > 0)")
 
 		peers      = flag.String("peers", "", "comma-separated worker node addresses; enables coordinator mode")
 		shards     = flag.Int("shards", 0, "shards per Monte-Carlo run in coordinator mode (0 = one per ready peer)")
@@ -158,6 +170,16 @@ func main() {
 		logger.Info("coordinator mode", "peers", addrs, "shards", *shards, "hedge_after", *hedgeAfter)
 	}
 
+	// The trace recorder is shared by the service (job/driver spans,
+	// slow-job pinning) and the HTTP layer (request spans, the
+	// /v1/traces endpoints). Nil keeps every span structureless: just
+	// the histogram observation, no allocation.
+	var recorder *obs.TraceRecorder
+	if *traceBuf > 0 {
+		recorder = obs.NewTraceRecorder(*traceBuf, 0)
+		logger.Info("tracing on", "buffer", *traceBuf, "slow_threshold", *traceSlow)
+	}
+
 	svc, err := service.New(service.Config{
 		Workers:      *workers,
 		QueueDepth:   *queue,
@@ -168,6 +190,8 @@ func main() {
 		Store:        st,
 		Tenants:      tenant.Options{QueueDepth: *tenantQueue},
 		Quota:        tenant.Quota{Rate: *quotaRate, Burst: *quotaBurst},
+		Recorder:     recorder,
+		SlowTrace:    *traceSlow,
 	})
 	if err != nil {
 		fatal(err)
@@ -199,6 +223,7 @@ func main() {
 			NodeID:       *addr,
 			ShardWorkers: *workers,
 			Campaigns:    campaigns,
+			Recorder:     recorder,
 		}),
 		ReadHeaderTimeout: 5 * time.Second,
 	}

@@ -9,9 +9,16 @@
 //	cogsim -id ext-coopber -remote localhost:8346,localhost:8347
 //	cogsim -id fig7 -server localhost:8080 -tenant acme
 //	cogsim -campaign campaigns/figures.json -data-dir ./data
+//	cogsim -id ext-coopber -quick -trace-out run.json
 //
 // -remote shards kernel-based Monte-Carlo runs across cogmimod worker
 // nodes (see internal/cluster); output is bit-identical to a local run.
+//
+// -trace-out records the invocation as a structural trace (per-chunk
+// Monte-Carlo spans, and per-shard dispatch when combined with -remote)
+// and writes it as Chrome trace_event JSON — load the file in
+// chrome://tracing or https://ui.perfetto.dev to see the timeline.
+// Recording never changes results; reports stay bit-identical.
 //
 // -server submits the experiment to a running cogmimod daemon instead
 // of computing locally and follows the job's SSE event stream: the
@@ -67,6 +74,7 @@ func main() {
 		dataDir  = flag.String("data-dir", "", "durable store directory for -campaign checkpoints and results")
 		progress = flag.String("progress", "auto", "live progress line on stderr: auto, on or off")
 		logLevel = flag.String("log-level", "warn", "log level: debug, info, warn or error")
+		traceOut = flag.String("trace-out", "", "record the run as a trace and write Chrome trace_event JSON here (open in chrome://tracing or https://ui.perfetto.dev)")
 	)
 	flag.Parse()
 
@@ -93,6 +101,19 @@ func main() {
 		}
 		ctx = withRemote(ctx, peers, *workers)
 	}
+	// -trace-out records the whole invocation as one structural trace
+	// under a cogsim.run root span and exports it as a Chrome trace on
+	// success. The recorder only exists when asked for, so the default
+	// run keeps the no-tracing fast path.
+	var traceRec *obs.TraceRecorder
+	var rootSpan *obs.Span
+	if *traceOut != "" {
+		traceRec = obs.NewTraceRecorder(4, 1<<16)
+		ctx = obs.WithRecorder(ctx, traceRec)
+		ctx, rootSpan = obs.StartSpan(ctx, "cogsim.run")
+		rootSpan.SetAttr("id", *id).SetAttr("seed", fmt.Sprint(*seed))
+	}
+
 	showProgress := *progress == "on" || (*progress == "auto" && obs.IsTerminal(os.Stderr))
 	watch := func(label string) (stop func()) {
 		if !showProgress {
@@ -163,6 +184,32 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+
+	if traceRec != nil {
+		if err := writeTrace(traceRec, rootSpan, *traceOut); err != nil {
+			fatal(fmt.Errorf("writing trace: %w", err))
+		}
+		fmt.Fprintf(os.Stderr, "cogsim: trace written to %s\n", *traceOut)
+	}
+}
+
+// writeTrace ends the root span and exports the invocation's trace as
+// Chrome trace_event JSON.
+func writeTrace(rec *obs.TraceRecorder, root *obs.Span, path string) error {
+	root.End()
+	tr, ok := rec.Trace(root.TraceID())
+	if !ok {
+		return fmt.Errorf("no spans recorded")
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteChromeTrace(f, tr); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func fatal(err error) {

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"strconv"
 	"sync"
 	"time"
 
@@ -178,6 +179,10 @@ func (c *Coordinator) RunShards(ctx context.Context, run sim.KernelRun) ([]mathx
 // runShard drives one shard to completion: pick a worker, execute with
 // an optional hedge, and on failure back off and try the next worker.
 func (c *Coordinator) runShard(ctx context.Context, run sim.KernelRun, sh shard) ([]mathx.Running, error) {
+	ctx, span := obs.StartSpan(ctx, "cluster.shard")
+	defer span.End()
+	span.SetAttr("chunk_lo", strconv.Itoa(sh.lo)).SetAttr("chunk_hi", strconv.Itoa(sh.hi))
+
 	req := ShardRequest{
 		Kernel:    run.Kernel,
 		Params:    run.Params,
@@ -186,6 +191,11 @@ func (c *Coordinator) runShard(ctx context.Context, run sim.KernelRun, sh shard)
 		ChunkLo:   sh.lo,
 		ChunkHi:   sh.hi,
 		ChunkSize: sim.ChunkSize,
+	}
+	if span.Recording() {
+		req.Trace = true
+		req.TraceID = span.TraceID()
+		req.ParentSpan = span.SpanID()
 	}
 	log := obs.Logger(ctx)
 	// lastAddr is excluded from the immediately following pick so a
@@ -211,6 +221,7 @@ func (c *Coordinator) runShard(ctx context.Context, run sim.KernelRun, sh shard)
 		if !ok {
 			if c.cfg.LocalFallback {
 				metShards.With("local").Inc()
+				span.Event("local_fallback")
 				log.Warn("no ready workers, running shard locally", "chunk_lo", sh.lo, "chunk_hi", sh.hi)
 				mc := sim.MonteCarlo{Seed: run.Seed, Workers: c.cfg.LocalWorkers}
 				return mc.RunKernelChunksCtx(ctx, run.Kernel, run.Params, run.Trials, sh.lo, sh.hi)
@@ -219,11 +230,16 @@ func (c *Coordinator) runShard(ctx context.Context, run sim.KernelRun, sh shard)
 		} else {
 			if lastDead && addr != lastAddr {
 				metShards.With("reassigned").Inc()
+				span.Event("reassigned", obs.Attr{Key: "from", Value: lastAddr}, obs.Attr{Key: "to", Value: addr})
 				log.Info("shard reassigned off dead worker", "from", lastAddr, "to", addr, "chunk_lo", sh.lo)
 			}
-			res, err := c.execHedged(ctx, addr, req)
+			res, err := c.execHedged(ctx, span, addr, req)
 			if err == nil {
 				metShards.With("ok").Inc()
+				span.SetAttr("worker", res.WorkerID)
+				if rec := obs.RecorderFrom(ctx); rec != nil {
+					rec.Import(res.Spans)
+				}
 				return res.Runnings(), nil
 			}
 			if ctx.Err() != nil {
@@ -231,6 +247,7 @@ func (c *Coordinator) runShard(ctx context.Context, run sim.KernelRun, sh shard)
 			}
 			metShards.With("failed").Inc()
 			c.reg.MarkFailed(addr)
+			span.Event("worker_dead", obs.Attr{Key: "worker", Value: addr}, obs.Attr{Key: "error", Value: err.Error()})
 			lastAddr, lastDead, lastErr = addr, true, err
 			log.Warn("shard attempt failed", "worker", addr, "attempt", attempt, "err", err)
 		}
@@ -238,6 +255,7 @@ func (c *Coordinator) runShard(ctx context.Context, run sim.KernelRun, sh shard)
 			break
 		}
 		metShards.With("retried").Inc()
+		span.Event("retry", obs.Attr{Key: "attempt", Value: strconv.Itoa(attempt)})
 		t := time.NewTimer(c.backoff(attempt))
 		select {
 		case <-ctx.Done():
@@ -254,7 +272,7 @@ func (c *Coordinator) runShard(ctx context.Context, run sim.KernelRun, sh shard)
 // cancels the other call; both failing returns the last error. Chunk
 // determinism makes hedging safe: both calls compute identical
 // partials, so whichever wins, the merged result is the same.
-func (c *Coordinator) execHedged(ctx context.Context, primary string, req ShardRequest) (ShardResult, error) {
+func (c *Coordinator) execHedged(ctx context.Context, span *obs.Span, primary string, req ShardRequest) (ShardResult, error) {
 	hctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
@@ -288,6 +306,7 @@ func (c *Coordinator) execHedged(ctx context.Context, primary string, req ShardR
 			hedgeC = nil
 			if addr, ok := c.pick(map[string]bool{primary: true}); ok {
 				metShards.With("hedged").Inc()
+				span.Event("hedge_fired", obs.Attr{Key: "primary", Value: primary}, obs.Attr{Key: "hedge", Value: addr})
 				obs.Logger(ctx).Info("hedging straggler shard", "primary", primary, "hedge", addr, "chunk_lo", req.ChunkLo)
 				go exec(addr)
 				inflight++
@@ -295,6 +314,9 @@ func (c *Coordinator) execHedged(ctx context.Context, primary string, req ShardR
 		case o := <-ch:
 			if o.err == nil {
 				metShardDuration.Observe(time.Since(start).Seconds())
+				if inflight > 1 || o.addr != primary {
+					span.Event("hedge_won", obs.Attr{Key: "winner", Value: o.addr})
+				}
 				cancel() // first result wins; the loser sees ctx.Canceled
 				return o.res, nil
 			}

@@ -131,10 +131,12 @@ func (l *Loopback) ExecShard(ctx context.Context, addr string, req ShardRequest)
 		}
 	}
 	// A real worker is a separate process: the coordinator's progress
-	// sink does not reach it. Detach it here so the coordinator's own
-	// per-shard accounting is the single source of progress in both
-	// transports.
-	res, err := ExecuteShard(obs.WithProgress(ctx, obs.Nop), addr, l.Workers, req)
+	// sink and trace recorder do not reach it. Detach both here so the
+	// coordinator's per-shard accounting is the single source of
+	// progress and worker spans travel home only inside the result, in
+	// both transports.
+	wctx := obs.WithRecorder(obs.WithProgress(ctx, obs.Nop), nil)
+	res, err := ExecuteShard(wctx, addr, l.Workers, req)
 	if err != nil {
 		return ShardResult{}, err
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/mathx"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -23,6 +24,15 @@ type ShardRequest struct {
 	ChunkLo   int                `json:"chunk_lo"`
 	ChunkHi   int                `json:"chunk_hi"`
 	ChunkSize int                `json:"chunk_size"`
+
+	// Tracing propagation. When Trace is set the worker records its
+	// shard execution spans locally and ships them back in the result;
+	// TraceID/ParentSpan parent them into the coordinator's timeline.
+	// None of this can affect the statistics — spans observe, the chunk
+	// plan computes.
+	TraceID    string `json:"trace_id,omitempty"`
+	ParentSpan string `json:"parent_span,omitempty"`
+	Trace      bool   `json:"trace,omitempty"`
 }
 
 // Validate checks the request against this binary's plan geometry.
@@ -51,6 +61,10 @@ func (r ShardRequest) Validate() error {
 type ShardResult struct {
 	Partials []mathx.RunningSnapshot `json:"partials"`
 	WorkerID string                  `json:"worker_id,omitempty"`
+	// Spans are the worker's finished spans for this shard, present only
+	// when the request asked for tracing; the coordinator imports them
+	// into its recorder to build one cross-node timeline.
+	Spans []obs.SpanData `json:"spans,omitempty"`
 }
 
 // Runnings decodes the snapshots back into mergeable statistics.

@@ -2,8 +2,10 @@ package cluster
 
 import (
 	"context"
+	"strconv"
 
 	"repro/internal/mathx"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -22,6 +24,26 @@ func ExecuteShard(ctx context.Context, workerID string, workers int, req ShardRe
 		metWorkerShards.With("failed").Inc()
 		return ShardResult{}, err
 	}
+
+	// When the coordinator asked for tracing, record this shard's spans
+	// into a private single-trace recorder and ship them back in the
+	// result — the worker keeps nothing. The span parents itself to the
+	// coordinator's shard span via the request's trace/parent ids.
+	var rec *obs.TraceRecorder
+	var span *obs.Span
+	if req.Trace && req.TraceID != "" {
+		rec = obs.NewTraceRecorder(1, 2048)
+		ctx = obs.WithRecorder(ctx, rec)
+		ctx = obs.WithTraceID(ctx, req.TraceID)
+		if req.ParentSpan != "" {
+			ctx = obs.WithSpanParent(ctx, obs.SpanContext{TraceID: req.TraceID, SpanID: req.ParentSpan})
+		}
+		ctx, span = obs.StartSpan(ctx, "shard.execute")
+		span.SetAttr("node", workerID).
+			SetAttr("chunk_lo", strconv.Itoa(req.ChunkLo)).
+			SetAttr("chunk_hi", strconv.Itoa(req.ChunkHi))
+	}
+
 	mc := sim.MonteCarlo{Seed: req.Seed, Workers: workers}
 	parts, err := mc.RunKernelChunksCtx(ctx, req.Kernel, req.Params, req.Trials, req.ChunkLo, req.ChunkHi)
 	if err != nil {
@@ -33,5 +55,10 @@ func ExecuteShard(ctx context.Context, workerID string, workers int, req ShardRe
 		snaps[i] = parts[i].Snapshot()
 	}
 	metWorkerShards.With("ok").Inc()
-	return ShardResult{Partials: snaps, WorkerID: workerID}, nil
+	res := ShardResult{Partials: snaps, WorkerID: workerID}
+	if rec != nil {
+		span.End() // must end before collection or the span is lost
+		res.Spans = rec.Spans(req.TraceID)
+	}
+	return res, nil
 }

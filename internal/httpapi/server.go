@@ -22,6 +22,8 @@ import (
 	"math"
 	"net/http"
 	"net/http/pprof"
+	"runtime"
+	"runtime/debug"
 	"strconv"
 	"strings"
 	"sync/atomic"
@@ -73,6 +75,11 @@ type Config struct {
 	// streams; 0 means 100ms. Clients may ask for a slower stream with
 	// ?interval=, never a faster one.
 	EventInterval time.Duration
+	// Recorder, when non-nil, enables distributed tracing: /v1 requests
+	// run under recording http.request spans, and GET /v1/traces/{id} /
+	// GET /debug/traces serve the merged timelines. Nil keeps tracing
+	// off with near-zero per-request cost.
+	Recorder *obs.TraceRecorder
 }
 
 // draining reports the drain state, tolerating a nil flag (tests).
@@ -242,10 +249,46 @@ func NewMux(svc *service.Service, cfg Config) http.Handler {
 		writeJSON(w, http.StatusOK, st)
 	})
 
+	mux.HandleFunc("GET /v1/traces/{id}", func(w http.ResponseWriter, r *http.Request) {
+		if cfg.Recorder == nil {
+			httpError(w, http.StatusServiceUnavailable, "tracing disabled: start cogmimod with -trace-buffer > 0")
+			return
+		}
+		tr, ok := cfg.Recorder.Trace(r.PathValue("id"))
+		if !ok {
+			httpError(w, http.StatusNotFound, "no such trace (evicted or never recorded)")
+			return
+		}
+		if r.URL.Query().Get("format") == "chrome" {
+			w.Header().Set("Content-Type", "application/json")
+			w.Header().Set("Content-Disposition",
+				fmt.Sprintf("attachment; filename=%q", "trace-"+tr.TraceID+".json"))
+			if err := obs.WriteChromeTrace(w, tr); err != nil {
+				obs.Logger(r.Context()).Warn("chrome trace export failed", "error", err)
+			}
+			return
+		}
+		writeJSON(w, http.StatusOK, tr)
+	})
+
+	mux.HandleFunc("GET /debug/traces", func(w http.ResponseWriter, r *http.Request) {
+		if cfg.Recorder == nil {
+			httpError(w, http.StatusServiceUnavailable, "tracing disabled: start cogmimod with -trace-buffer > 0")
+			return
+		}
+		limit := 0
+		if n := r.URL.Query().Get("n"); n != "" {
+			limit, _ = strconv.Atoi(n)
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"traces": cfg.Recorder.Recent(limit)})
+	})
+
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		st := svc.Stats()
 		body := map[string]any{
 			"status":         "ok",
+			"version":        buildVersion(),
+			"go_version":     runtime.Version(),
 			"queue_depth":    st.QueueDepth,
 			"queue_capacity": st.QueueCapacity,
 			"active_tenants": st.ActiveTenants,
@@ -308,7 +351,32 @@ func NewMux(svc *service.Service, cfg Config) http.Handler {
 	if logger == nil {
 		logger = slog.Default()
 	}
-	return withObs(logger, mux)
+	return withObs(logger, cfg.Recorder, mux)
+}
+
+// buildVersion resolves this binary's module version from the embedded
+// build info: the tagged version when built from a module, else the VCS
+// revision, else "(devel)".
+func buildVersion() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown"
+	}
+	v := bi.Main.Version
+	if v == "" || v == "(devel)" {
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" && s.Value != "" {
+				if len(s.Value) > 12 {
+					return s.Value[:12]
+				}
+				return s.Value
+			}
+		}
+	}
+	if v == "" {
+		return "(devel)"
+	}
+	return v
 }
 
 // retrySeconds renders a duration as a Retry-After header value,
@@ -405,13 +473,27 @@ func (w *statusWriter) Flush() {
 	}
 }
 
+// traceEligible decides whether a request path gets a recording span.
+// Only the v1 API is traced; /v1/shards is excluded because a shard's
+// trace belongs to the coordinating node (the worker records locally
+// and ships spans back in the result), and /v1/traces because tracing
+// the trace reader only fills the recorder with noise.
+func traceEligible(path string) bool {
+	if !strings.HasPrefix(path, "/v1/") {
+		return false
+	}
+	return path != "/v1/shards" && !strings.HasPrefix(path, "/v1/traces")
+}
+
 // withObs is the observability middleware: it assigns every request a
 // trace id (accepting a caller-supplied X-Trace-Id), echoes it in the
 // X-Trace-Id response header, attaches a request-scoped logger to the
 // context, times the request as an "http.request" span and emits an
-// access log line. Scrape and probe endpoints log at debug so a
+// access log line. With a recorder, eligible requests get a recording
+// root span (method/path/status attributes) that downstream job and
+// shard spans parent to. Scrape and probe endpoints log at debug so a
 // monitoring loop does not drown the job history.
-func withObs(logger *slog.Logger, next http.Handler) http.Handler {
+func withObs(logger *slog.Logger, rec *obs.TraceRecorder, next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		traceID := r.Header.Get("X-Trace-Id")
 		if traceID == "" {
@@ -422,6 +504,11 @@ func withObs(logger *slog.Logger, next http.Handler) http.Handler {
 		reqLogger := logger.With("trace_id", traceID)
 		ctx := obs.WithTraceID(r.Context(), traceID)
 		ctx = obs.WithLogger(ctx, reqLogger)
+		if rec != nil && traceEligible(r.URL.Path) {
+			ctx = obs.WithRecorder(ctx, rec)
+		}
+		ctx, span := obs.StartSpan(ctx, "http.request")
+		span.SetAttr("method", r.Method).SetAttr("path", r.URL.Path)
 
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		start := time.Now()
@@ -429,7 +516,8 @@ func withObs(logger *slog.Logger, next http.Handler) http.Handler {
 		elapsed := time.Since(start)
 
 		httpDuration.With(r.Method).Observe(elapsed.Seconds())
-		obs.ObserveSpan(ctx, "http.request", elapsed)
+		span.SetAttr("status", strconv.Itoa(sw.status))
+		span.End()
 		level := slog.LevelInfo
 		if r.Method == http.MethodGet && (r.URL.Path == "/healthz" ||
 			strings.HasPrefix(r.URL.Path, "/metrics")) {
@@ -520,4 +608,8 @@ func PublishMetrics(svc *service.Service) {
 	obs.Default.GaugeFunc("cogmimod_cache_hit_ratio",
 		"Cache hits over completed lookups (hits+misses).",
 		func() float64 { return svc.Stats().CacheHitRatio })
+	obs.Default.InfoGauge("cogmimod_build_info",
+		"Build metadata; value is always 1, the information is in the labels.",
+		obs.Label{Name: "version", Value: buildVersion()},
+		obs.Label{Name: "go_version", Value: runtime.Version()}).Set(1)
 }

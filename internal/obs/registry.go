@@ -109,6 +109,9 @@ type family struct {
 	kind    string // "counter", "gauge" or "histogram"
 	label   string // label name; "" for unlabeled families
 	buckets []float64
+	// composite families key series by a pre-rendered label body
+	// (`a="x",b="y"`) instead of a single label value; used by InfoGauge.
+	composite bool
 
 	mu     sync.Mutex
 	series map[string]*series // keyed by label value; "" for unlabeled
@@ -219,6 +222,39 @@ func (r *Registry) Gauge(name, help string) *Gauge {
 	return r.getFamily(name, help, "gauge", "", nil).get("").g
 }
 
+// Label is one name/value pair for multi-label metrics (see InfoGauge).
+type Label struct {
+	Name  string
+	Value string
+}
+
+// InfoGauge returns a gauge carrying a fixed multi-label identity —
+// the Prometheus "info metric" idiom (`build_info{version="...",...} 1`).
+// Labels are sorted by name, so call order does not create duplicate
+// series. Panics on invalid label names, like every other registrar.
+func (r *Registry) InfoGauge(name, help string, labels ...Label) *Gauge {
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Name < ls[j].Name })
+	var b strings.Builder
+	for i, l := range ls {
+		if !labelRe.MatchString(l.Name) {
+			panic(fmt.Sprintf("obs: invalid label name %q", l.Name))
+		}
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	f := r.getFamily(name, help, "gauge", "", nil)
+	f.mu.Lock()
+	f.composite = true
+	f.mu.Unlock()
+	return f.get(b.String()).g
+}
+
 // GaugeFunc registers a gauge whose value is computed by fn at scrape
 // time. Re-registering rebinds the callback (last writer wins), so a
 // restarted component can re-point the gauge at its live state.
@@ -284,6 +320,7 @@ func (f *family) write(w io.Writer) {
 		isInt bool
 		hist  HistogramSnapshot
 	}
+	composite := f.composite
 	snaps := make([]snap, 0, len(values))
 	for _, v := range values {
 		s := f.series[v]
@@ -309,12 +346,16 @@ func (f *family) write(w io.Writer) {
 	}
 	fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind)
 	for _, sn := range snaps {
+		labels := labelPair(f.label, sn.value)
+		if composite && sn.value != "" {
+			labels = "{" + sn.value + "}" // pre-rendered, already escaped
+		}
 		switch f.kind {
 		case "counter", "gauge":
 			if sn.isInt {
-				fmt.Fprintf(w, "%s%s %d\n", f.name, labelPair(f.label, sn.value), int64(sn.num))
+				fmt.Fprintf(w, "%s%s %d\n", f.name, labels, int64(sn.num))
 			} else {
-				fmt.Fprintf(w, "%s%s %s\n", f.name, labelPair(f.label, sn.value), formatFloat(sn.num))
+				fmt.Fprintf(w, "%s%s %s\n", f.name, labels, formatFloat(sn.num))
 			}
 		case "histogram":
 			var cum uint64

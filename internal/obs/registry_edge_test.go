@@ -1,0 +1,153 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// exposition renders one registry to a string.
+func exposition(r *Registry) string {
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	return b.String()
+}
+
+func TestLabelValueEscaping(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("edge_total", "edge cases", "kind")
+	cases := map[string]string{
+		`quote "inside"`:   `quote \"inside\"`,
+		`back\slash`:       `back\\slash`,
+		"new\nline":        `new\nline`,
+		`mixed "\` + "\n":  `mixed \"\\\n`,
+		"plain":            "plain",
+		`trailing\`:        `trailing\\`,
+		"\n\nleading":      `\n\nleading`,
+		`""`:               `\"\"`,
+		`C:\path\to"file"`: `C:\\path\\to\"file\"`,
+	}
+	for raw := range cases {
+		v.With(raw).Inc()
+	}
+	out := exposition(r)
+	for raw, escaped := range cases {
+		want := `edge_total{kind="` + escaped + `"} 1`
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("label %q: exposition missing %q\ngot:\n%s", raw, want, out)
+		}
+	}
+	// No raw newline may survive inside a label value: every line must be
+	// a comment or a complete sample.
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !strings.HasPrefix(line, "edge_total{kind=\"") || !strings.HasSuffix(line, "\"} 1") {
+			t.Errorf("malformed exposition line %q", line)
+		}
+	}
+}
+
+func TestHistogramVecLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	hv := r.HistogramVec("edge_seconds", "", "span", []float64{1})
+	hv.With(`a"b`).Observe(0.5)
+	out := exposition(r)
+	for _, want := range []string{
+		`edge_seconds_bucket{span="a\"b",le="1"} 1`,
+		`edge_seconds_bucket{span="a\"b",le="+Inf"} 1`,
+		`edge_seconds_sum{span="a\"b"} 0.5`,
+		`edge_seconds_count{span="a\"b"} 1`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestExplicitInfBucketRendering(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("inf_seconds", "", []float64{0.1, 1})
+	h.Observe(0.05)  // first bucket
+	h.Observe(0.5)   // second bucket
+	h.Observe(100)   // overflow
+	h.Observe(1e300) // still finite, still overflow
+	h.Observe(math.Inf(1))
+	out := exposition(r)
+	for _, want := range []string{
+		`inf_seconds_bucket{le="0.1"} 1`,
+		`inf_seconds_bucket{le="1"} 2`,
+		`inf_seconds_bucket{le="+Inf"} 5`,
+		`inf_seconds_count 5`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	// +Inf must be spelled exactly that way, not Go's "+Inf"-adjacent
+	// renderings like "Inf" or "inf".
+	if strings.Contains(out, `le="Inf"`) || strings.Contains(out, `le="inf"`) {
+		t.Errorf("wrong +Inf spelling in:\n%s", out)
+	}
+	// The +Inf cumulative count must equal _count even though one
+	// observation was literally infinite.
+	if !strings.Contains(out, `inf_seconds_sum`) {
+		t.Errorf("missing _sum in:\n%s", out)
+	}
+}
+
+func TestEmptyHistogramStillRendersInfBucket(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("idle_seconds", "", []float64{1})
+	out := exposition(r)
+	for _, want := range []string{
+		`idle_seconds_bucket{le="1"} 0`,
+		`idle_seconds_bucket{le="+Inf"} 0`,
+		`idle_seconds_count 0`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestHelpEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("helpy_total", "line one\nline two with \\backslash")
+	out := exposition(r)
+	want := `# HELP helpy_total line one\nline two with \\backslash`
+	if !strings.Contains(out, want+"\n") {
+		t.Errorf("missing %q in:\n%s", want, out)
+	}
+}
+
+func TestInfoGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.InfoGauge("build_info", "Build metadata.",
+		Label{Name: "version", Value: `v1.2.3"dev"`},
+		Label{Name: "go_version", Value: "go1.22"})
+	g.Set(1)
+	out := exposition(r)
+	// Labels sorted by name regardless of call order; values escaped.
+	want := `build_info{go_version="go1.22",version="v1.2.3\"dev\""} 1`
+	if !strings.Contains(out, want+"\n") {
+		t.Errorf("missing %q in:\n%s", want, out)
+	}
+	// Same labels in a different order must return the same series.
+	g2 := r.InfoGauge("build_info", "Build metadata.",
+		Label{Name: "go_version", Value: "go1.22"},
+		Label{Name: "version", Value: `v1.2.3"dev"`})
+	if g2 != g {
+		t.Error("label order created a second series")
+	}
+}
+
+func TestInfoGaugeInvalidLabelPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on invalid label name")
+		}
+	}()
+	NewRegistry().InfoGauge("x_info", "", Label{Name: "bad-name", Value: "v"})
+}

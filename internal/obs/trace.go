@@ -3,8 +3,11 @@ package obs
 import (
 	"context"
 	"crypto/rand"
+	"encoding/binary"
 	"encoding/hex"
 	"log/slog"
+	"strconv"
+	"sync/atomic"
 )
 
 type ctxKey int
@@ -13,6 +16,9 @@ const (
 	ctxLogger ctxKey = iota
 	ctxTrace
 	ctxProgress
+	ctxSpan
+	ctxRecorder
+	ctxSpanParent
 )
 
 // NewTraceID returns a fresh 128-bit identifier as 32 hex characters.
@@ -20,6 +26,36 @@ func NewTraceID() string {
 	var b [16]byte
 	_, _ = rand.Read(b[:]) // never fails; panics on a broken entropy source
 	return hex.EncodeToString(b[:])
+}
+
+// spanIDState drives span-id generation: a splitmix64 walk from a
+// random starting point, so ids are unique within a process and do not
+// collide across processes in practice. Span ids only need to be
+// distinct within one trace, never secret.
+var spanIDState atomic.Uint64
+
+func init() {
+	var b [8]byte
+	_, _ = rand.Read(b[:])
+	spanIDState.Store(binary.LittleEndian.Uint64(b[:]))
+}
+
+// nextSpanID returns a fresh 64-bit span identifier as 16 hex chars.
+func nextSpanID() string {
+	x := spanIDState.Add(0x9e3779b97f4a7c15)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	if x == 0 {
+		x = 1
+	}
+	s := strconv.FormatUint(x, 16)
+	for len(s) < 16 {
+		s = "0" + s
+	}
+	return s
 }
 
 // WithTraceID attaches a trace identifier to the context.
@@ -46,4 +82,53 @@ func Logger(ctx context.Context) *slog.Logger {
 		return l
 	}
 	return slog.Default()
+}
+
+// WithRecorder attaches a trace recorder to the context: spans started
+// under it record structural SpanData on End. Attaching nil masks any
+// recorder further up the chain, which is how process boundaries are
+// simulated in-process (see cluster.Loopback).
+func WithRecorder(ctx context.Context, r *TraceRecorder) context.Context {
+	return context.WithValue(ctx, ctxRecorder, r)
+}
+
+// RecorderFrom returns the context's trace recorder, or nil when
+// recording is off.
+func RecorderFrom(ctx context.Context) *TraceRecorder {
+	if r, ok := ctx.Value(ctxRecorder).(*TraceRecorder); ok {
+		return r
+	}
+	return nil
+}
+
+// SpanContext is the wire-portable identity of a span: the 128-bit
+// trace it belongs to and its own 64-bit id, both hex-encoded. It is
+// what crosses process boundaries (shard requests) and asynchronous
+// gaps (HTTP submission → queued job) to keep one causal tree.
+type SpanContext struct {
+	TraceID string `json:"trace_id"`
+	SpanID  string `json:"span_id"`
+}
+
+// WithSpanParent attaches a remote or asynchronous parent: the next
+// span started under ctx (with no in-process active span) parents
+// itself to p. Used by shard workers (parent on the coordinator) and
+// by queued jobs (parent on the submitting HTTP request).
+func WithSpanParent(ctx context.Context, p SpanContext) context.Context {
+	return context.WithValue(ctx, ctxSpanParent, p)
+}
+
+// spanParentFrom returns the remote parent attached to ctx, if any.
+func spanParentFrom(ctx context.Context) (SpanContext, bool) {
+	p, ok := ctx.Value(ctxSpanParent).(SpanContext)
+	return p, ok
+}
+
+// ActiveSpan returns the span carried by ctx — the one StartSpan put
+// there — or nil. Only recording spans are carried, so a nil result
+// means either "no span" or "recording disabled"; both read the same
+// to children.
+func ActiveSpan(ctx context.Context) *Span {
+	s, _ := ctx.Value(ctxSpan).(*Span)
+	return s
 }

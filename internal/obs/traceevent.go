@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// chromeEvent is one entry of the Chrome trace_event format (the JSON
+// array flavor understood by chrome://tracing and Perfetto).
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	Ts    float64        `json:"ts"`            // microseconds
+	Dur   float64        `json:"dur,omitempty"` // microseconds, "X" only
+	Pid   int            `json:"pid"`
+	Tid   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"` // instant scope
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace renders one merged trace as Chrome trace_event JSON.
+// Open the file at chrome://tracing or https://ui.perfetto.dev to get
+// the flame timeline. Spans become complete ("X") events; span events
+// become instant ("i") markers. Each node (the "node" attribute, walked
+// up through ancestors when a span lacks its own) gets its own thread
+// lane so per-worker shard execution reads as parallel tracks;
+// coordinator-side spans share lane 0.
+func WriteChromeTrace(w io.Writer, tr Trace) error {
+	byID := make(map[string]*SpanData, len(tr.Spans))
+	for i := range tr.Spans {
+		byID[tr.Spans[i].SpanID] = &tr.Spans[i]
+	}
+
+	// nodeOf resolves the lane label for a span: its own node attr, or
+	// the nearest ancestor's, else the coordinator lane.
+	nodeOf := func(sd *SpanData) string {
+		for hops := 0; sd != nil && hops < 64; hops++ {
+			if n := sd.Attr("node"); n != "" {
+				return n
+			}
+			sd = byID[sd.ParentID]
+		}
+		return "coordinator"
+	}
+
+	// Deterministic lane numbering: coordinator first, then nodes sorted.
+	laneSet := map[string]bool{}
+	for i := range tr.Spans {
+		laneSet[nodeOf(&tr.Spans[i])] = true
+	}
+	lanes := make([]string, 0, len(laneSet))
+	for n := range laneSet {
+		if n != "coordinator" {
+			lanes = append(lanes, n)
+		}
+	}
+	sort.Strings(lanes)
+	lanes = append([]string{"coordinator"}, lanes...)
+	laneID := make(map[string]int, len(lanes))
+	for i, n := range lanes {
+		laneID[n] = i
+	}
+
+	var t0 time.Time
+	for i := range tr.Spans {
+		if t0.IsZero() || tr.Spans[i].Start.Before(t0) {
+			t0 = tr.Spans[i].Start
+		}
+	}
+	us := func(t time.Time) float64 { return float64(t.Sub(t0).Nanoseconds()) / 1e3 }
+
+	events := make([]chromeEvent, 0, 2*len(tr.Spans)+len(lanes))
+	for i, n := range lanes {
+		events = append(events, chromeEvent{
+			Name: "thread_name", Phase: "M", Pid: 1, Tid: i,
+			Args: map[string]any{"name": n},
+		})
+	}
+	for i := range tr.Spans {
+		sd := &tr.Spans[i]
+		tid := laneID[nodeOf(sd)]
+		args := map[string]any{
+			"trace_id": sd.TraceID,
+			"span_id":  sd.SpanID,
+		}
+		if sd.ParentID != "" {
+			args["parent_id"] = sd.ParentID
+		}
+		for _, a := range sd.Attrs {
+			args[a.Key] = a.Value
+		}
+		dur := us(sd.End) - us(sd.Start)
+		if dur < 0.001 {
+			dur = 0.001 // keep zero-length spans visible
+		}
+		events = append(events, chromeEvent{
+			Name: sd.Name, Phase: "X", Ts: us(sd.Start), Dur: dur,
+			Pid: 1, Tid: tid, Args: args,
+		})
+		for _, ev := range sd.Events {
+			eargs := map[string]any{"span": sd.Name}
+			for _, a := range ev.Attrs {
+				eargs[a.Key] = a.Value
+			}
+			events = append(events, chromeEvent{
+				Name: ev.Name, Phase: "i", Ts: us(ev.Time),
+				Pid: 1, Tid: tid, Scope: "t", Args: eargs,
+			})
+		}
+	}
+
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(chromeTrace{TraceEvents: events, DisplayTimeUnit: "ms"}); err != nil {
+		return fmt.Errorf("encode chrome trace: %w", err)
+	}
+	return nil
+}

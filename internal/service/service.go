@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"log/slog"
 	"runtime"
+	"strconv"
 	"sync"
 	"time"
 
@@ -88,9 +89,14 @@ type job struct {
 	req     Request // req.Tenant is canonical by construction
 	key     Key
 	traceID string
-	ctx     context.Context
-	cancel  context.CancelFunc
-	done    chan struct{} // closed on terminal state
+	// parent is the submitting request's span identity, captured at
+	// SubmitCtx so the queued job's span tree hangs off the HTTP span
+	// across the asynchronous gap. Zero when the submitter had no
+	// recording span.
+	parent obs.SpanContext
+	ctx    context.Context
+	cancel context.CancelFunc
+	done   chan struct{} // closed on terminal state
 	// signal is raised on every progress update and state transition,
 	// so watchers (SSE streams) re-snapshot instead of polling.
 	signal *obs.Signal
@@ -172,6 +178,14 @@ type Config struct {
 	Quota tenant.Quota
 	// Quotas overrides admission budgets for specific tenants.
 	Quotas map[string]tenant.Quota
+	// Recorder, when non-nil, turns on distributed tracing: every job
+	// runs under a job.run span (parented to the submitting request's
+	// span when there was one) and its spans land in this recorder.
+	Recorder *obs.TraceRecorder
+	// SlowTrace, when positive and Recorder is set, auto-captures slow
+	// jobs: a job that ran (not a cache hit) for at least this long has
+	// its trace pinned against eviction and its trace id logged.
+	SlowTrace time.Duration
 }
 
 // Service schedules experiment jobs onto a bounded worker pool,
@@ -404,6 +418,7 @@ func (s *Service) SubmitCtx(ctx context.Context, req Request) (JobView, error) {
 		req:       req,
 		key:       CanonicalKey(req),
 		traceID:   obs.TraceID(ctx),
+		parent:    obs.ActiveSpan(ctx).SpanContext(),
 		ctx:       jctx,
 		cancel:    cancel,
 		done:      make(chan struct{}),
@@ -624,14 +639,14 @@ func (s *Service) Stats() Stats {
 func (s *Service) worker() {
 	defer s.wg.Done()
 	for {
-		j, tid, ok := s.sched.Dequeue(s.baseCtx)
+		j, tid, schedWait, ok := s.sched.DequeueTimed(s.baseCtx)
 		if !ok {
 			return
 		}
 		s.mu.Lock()
 		s.busy++
 		s.mu.Unlock()
-		s.run(j)
+		s.run(j, schedWait)
 		s.mu.Lock()
 		s.busy--
 		s.mu.Unlock()
@@ -640,8 +655,10 @@ func (s *Service) worker() {
 }
 
 // run executes one job through the single-flight cache, under a
-// job-scoped logger and progress tracker.
-func (s *Service) run(j *job) {
+// job-scoped logger, progress tracker and (when tracing) a job.run
+// span backdated to submission. schedWait is the fair-queue portion of
+// the job's queue wait, reported by the scheduler.
+func (s *Service) run(j *job, schedWait time.Duration) {
 	s.mu.Lock()
 	if j.state != StateQueued { // cancelled while waiting
 		s.mu.Unlock()
@@ -660,13 +677,33 @@ func (s *Service) run(j *job) {
 	}
 	ctx := obs.WithLogger(j.ctx, logger)
 	ctx = obs.WithTraceID(ctx, j.traceID)
+	if s.cfg.Recorder != nil {
+		ctx = obs.WithRecorder(ctx, s.cfg.Recorder)
+		if j.parent.TraceID != "" {
+			ctx = obs.WithSpanParent(ctx, j.parent)
+		}
+	}
 	ctx = obs.WithProgress(ctx, obs.NotifyProgress(j.tracker, j.signal))
+
+	ctx, jobSpan := obs.StartSpan(ctx, "job.run")
+	jobSpan.SetStart(j.submitted) // the job's story starts at submission
+	jobSpan.SetAttr("job_id", j.id).SetAttr("tenant", tid).SetAttr("experiment", j.req.ID)
+	if j.traceID == "" && jobSpan.Recording() {
+		// Direct SubmitCtx callers may not carry a trace id; adopt the
+		// span's so the job view and logs can name the recorded trace.
+		s.mu.Lock()
+		j.traceID = jobSpan.TraceID()
+		s.mu.Unlock()
+		logger = logger.With("trace_id", j.traceID)
+	}
 
 	wait := j.started.Sub(j.submitted)
 	metQueueWait.Observe(wait.Seconds())
 	metTenantQueueWait.With(tid).Observe(wait.Seconds())
-	obs.ObserveSpan(ctx, "queue.wait", wait)
-	logger.Info("job started", "queue_wait", wait)
+	obs.RecordSpan(ctx, "queue.wait", j.submitted, j.started,
+		obs.Attr{Key: "tenant", Value: tid},
+		obs.Attr{Key: "sched_wait", Value: schedWait.String()})
+	logger.Info("job started", "queue_wait", wait, "sched_wait", schedWait)
 
 	val, hit, err := s.cache.do(ctx, j.key, func() (string, error) {
 		dctx, span := obs.StartSpan(ctx, "driver.run")
@@ -683,18 +720,33 @@ func (s *Service) run(j *job) {
 			logger.Warn("result not persisted", "error", perr)
 		}
 	}
+	var st State
+	var msg string
 	switch {
 	case err == nil:
-		s.finish(j, StateDone, hit, "")
+		st = StateDone
 	case j.ctx.Err() != nil:
-		s.finish(j, StateCanceled, false, context.Cause(j.ctx).Error())
+		st, msg = StateCanceled, context.Cause(j.ctx).Error()
 	default:
-		s.finish(j, StateFailed, false, err.Error())
+		st, msg = StateFailed, err.Error()
 	}
+	// End the job span before finish closes the done channel, so a
+	// watcher that fetches the trace on completion sees it whole.
+	jobSpan.SetAttr("state", string(st)).SetAttr("cache_hit", strconv.FormatBool(hit && st == StateDone))
+	jobSpan.End()
+	s.finish(j, st, hit && st == StateDone, msg)
 
 	s.mu.Lock()
 	state, errMsg, elapsed := j.state, j.errMsg, j.finished.Sub(j.started)
+	traceID := j.traceID
 	s.mu.Unlock()
+	if s.cfg.Recorder != nil && s.cfg.SlowTrace > 0 && !hit &&
+		elapsed >= s.cfg.SlowTrace && traceID != "" {
+		if s.cfg.Recorder.Pin(traceID) {
+			logger.Warn("slow job: trace pinned",
+				"duration", elapsed, "threshold", s.cfg.SlowTrace)
+		}
+	}
 	switch state {
 	case StateDone:
 		logger.Info("job done", "duration", elapsed, "cache_hit", hit)

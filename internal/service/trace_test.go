@@ -1,0 +1,198 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// findSpan returns the first span with the given name, or nil.
+func findSpan(tr obs.Trace, name string) *obs.SpanData {
+	for i := range tr.Spans {
+		if tr.Spans[i].Name == name {
+			return &tr.Spans[i]
+		}
+	}
+	return nil
+}
+
+// TestJobRunSpanTree checks a traced job records job.run (backdated to
+// submission) with queue.wait and driver.run as children, parented
+// under the submitting request's span.
+func TestJobRunSpanTree(t *testing.T) {
+	rec := obs.NewTraceRecorder(8, 256)
+	s, err := New(Config{
+		Workers:  1,
+		Recorder: rec,
+		Runner: func(ctx context.Context, req Request) (string, error) {
+			return "r", nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	defer s.Stop(context.Background())
+
+	// Simulate the HTTP middleware: a recording root span on the
+	// submitting context.
+	sctx := obs.WithRecorder(context.Background(), rec)
+	sctx, httpSpan := obs.StartSpan(sctx, "http.request")
+	sctx = obs.WithTraceID(sctx, httpSpan.TraceID())
+
+	jv, err := s.SubmitCtx(sctx, Request{ID: "x", Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jv = waitTerminal(t, s, jv.ID)
+	httpSpan.End()
+
+	if jv.TraceID != httpSpan.TraceID() {
+		t.Fatalf("job trace id %q != submit trace id %q", jv.TraceID, httpSpan.TraceID())
+	}
+	tr, ok := rec.Trace(httpSpan.TraceID())
+	if !ok {
+		t.Fatal("trace not recorded")
+	}
+
+	jobSpan := findSpan(tr, "job.run")
+	if jobSpan == nil {
+		t.Fatal("no job.run span")
+	}
+	if jobSpan.ParentID != httpSpan.SpanID() {
+		t.Fatalf("job.run parent = %q, want http span %q", jobSpan.ParentID, httpSpan.SpanID())
+	}
+	if jobSpan.Attr("job_id") != jv.ID || jobSpan.Attr("state") != string(StateDone) {
+		t.Fatalf("job.run attrs = %+v", jobSpan.Attrs)
+	}
+	if jobSpan.Start.After(jv.Started) {
+		t.Fatal("job.run not backdated to submission")
+	}
+
+	qw := findSpan(tr, "queue.wait")
+	if qw == nil {
+		t.Fatal("no queue.wait span")
+	}
+	if qw.ParentID != jobSpan.SpanID {
+		t.Fatalf("queue.wait parent = %q, want job.run %q", qw.ParentID, jobSpan.SpanID)
+	}
+	if qw.Attr("sched_wait") == "" {
+		t.Fatal("queue.wait missing sched_wait attr")
+	}
+
+	dr := findSpan(tr, "driver.run")
+	if dr == nil {
+		t.Fatal("no driver.run span")
+	}
+	if dr.ParentID != jobSpan.SpanID {
+		t.Fatalf("driver.run parent = %q, want job.run %q", dr.ParentID, jobSpan.SpanID)
+	}
+}
+
+// TestJobAdoptsFreshTraceWithoutSubmitSpan checks a direct SubmitCtx
+// (no trace id, no span) still yields a complete recorded trace and
+// backfills the job view's trace id.
+func TestJobAdoptsFreshTraceWithoutSubmitSpan(t *testing.T) {
+	rec := obs.NewTraceRecorder(8, 256)
+	s, err := New(Config{
+		Workers:  1,
+		Recorder: rec,
+		Runner:   func(ctx context.Context, req Request) (string, error) { return "r", nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	defer s.Stop(context.Background())
+
+	jv, err := s.Submit(Request{ID: "x", Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jv = waitTerminal(t, s, jv.ID)
+	if jv.TraceID == "" {
+		t.Fatal("job view has no backfilled trace id")
+	}
+	tr, ok := rec.Trace(jv.TraceID)
+	if !ok {
+		t.Fatalf("trace %q not recorded", jv.TraceID)
+	}
+	if findSpan(tr, "job.run") == nil || findSpan(tr, "driver.run") == nil {
+		t.Fatalf("incomplete trace: %d spans", len(tr.Spans))
+	}
+}
+
+// TestSlowJobPinsTrace checks the auto-capture: a job over the
+// threshold gets its trace pinned so it survives recorder churn.
+func TestSlowJobPinsTrace(t *testing.T) {
+	rec := obs.NewTraceRecorder(2, 256)
+	s, err := New(Config{
+		Workers:   1,
+		Recorder:  rec,
+		SlowTrace: 10 * time.Millisecond,
+		Runner: func(ctx context.Context, req Request) (string, error) {
+			if req.ID == "slow" {
+				time.Sleep(30 * time.Millisecond)
+			}
+			return "r", nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	defer s.Stop(context.Background())
+
+	jv, err := s.Submit(Request{ID: "slow", Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jv = waitTerminal(t, s, jv.ID)
+	tr, ok := rec.Trace(jv.TraceID)
+	if !ok {
+		t.Fatal("slow trace missing")
+	}
+	if !tr.Pinned {
+		t.Fatal("slow job's trace not pinned")
+	}
+
+	// A fast job stays unpinned.
+	jv2, err := s.Submit(Request{ID: "fast", Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jv2 = waitTerminal(t, s, jv2.ID)
+	if tr2, ok := rec.Trace(jv2.TraceID); ok && tr2.Pinned {
+		t.Fatal("fast job's trace pinned")
+	}
+}
+
+// TestTracingOffJobViewsUnchanged pins the default: no recorder, no
+// trace ids invented, failures still reported cleanly.
+func TestTracingOffJobViewsUnchanged(t *testing.T) {
+	boom := errors.New("boom")
+	s, err := New(Config{
+		Workers: 1,
+		Runner:  func(ctx context.Context, req Request) (string, error) { return "", boom },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	defer s.Stop(context.Background())
+
+	jv, err := s.Submit(Request{ID: "x", Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jv = waitTerminal(t, s, jv.ID)
+	if jv.TraceID != "" {
+		t.Fatalf("trace id %q invented without a recorder", jv.TraceID)
+	}
+	if jv.State != StateFailed {
+		t.Fatalf("state = %v, want failed", jv.State)
+	}
+}

@@ -3,8 +3,11 @@ package sim
 import (
 	"context"
 	"fmt"
+	"strconv"
+	"time"
 
 	"repro/internal/mathx"
+	"repro/internal/obs"
 )
 
 // KernelRun names one complete Monte-Carlo computation in transportable
@@ -55,6 +58,11 @@ func ExecutorFrom(ctx context.Context) Executor {
 func (mc MonteCarlo) RunKernelCtx(ctx context.Context, kernel string, params map[string]float64, trials int) (mathx.Running, error) {
 	if ex := ExecutorFrom(ctx); ex != nil {
 		run := KernelRun{Kernel: kernel, Params: params, Seed: mc.Seed, Trials: trials}
+		ctx, span := obs.StartSpan(ctx, "cluster.run")
+		span.SetAttr("kernel", kernel).
+			SetAttr("trials", strconv.Itoa(trials)).
+			SetAttr("chunks", strconv.Itoa(run.Plan().Chunks()))
+		defer span.End()
 		parts, err := ex.RunShards(ctx, run)
 		if err != nil {
 			return mathx.Running{}, err
@@ -62,10 +70,13 @@ func (mc MonteCarlo) RunKernelCtx(ctx context.Context, kernel string, params map
 		if want := run.Plan().Chunks(); len(parts) != want {
 			return mathx.Running{}, fmt.Errorf("sim: executor returned %d chunk partials, want %d", len(parts), want)
 		}
+		foldStart := time.Now()
 		var total mathx.Running
 		for _, p := range parts {
 			total.Merge(p)
 		}
+		obs.RecordSpan(ctx, "mc.fold", foldStart, time.Now(),
+			obs.Attr{Key: "chunks", Value: strconv.Itoa(len(parts))})
 		return total, nil
 	}
 	batch, err := NewKernelBatch(kernel, params)

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
@@ -189,6 +190,9 @@ func runChunksScratch[S, T any](mc MonteCarlo, ctx context.Context, trials int, 
 				n := plan.ChunkTrials(c)
 				rng.Reseed(seeds[c])
 				_, span := obs.StartSpan(ctx, "mc.chunk")
+				if span.Recording() {
+					span.SetAttr("chunk", strconv.Itoa(c))
+				}
 				parts[c] = batch(scratch, rng.Rand, n)
 				span.End()
 				done[c] = true
@@ -245,6 +249,9 @@ func (mc MonteCarlo) RunChunkRangeCtx(ctx context.Context, trials, lo, hi int, b
 				n := plan.ChunkTrials(c)
 				rng.Reseed(seeds[c])
 				_, span := obs.StartSpan(ctx, "mc.chunk")
+				if span.Recording() {
+					span.SetAttr("chunk", strconv.Itoa(c))
+				}
 				parts[i] = batch(rng.Rand, n)
 				span.End()
 				done[i] = true

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"sort"
 	"sync"
+	"time"
 )
 
 // Errors surfaced by Scheduler.Enqueue. Both mean "back off and retry",
@@ -47,11 +48,19 @@ type Options struct {
 // scheduling order among active tenants.
 const maxIdleTenants = 4096
 
+// entry wraps a queued item with its enqueue time, so dispatch can
+// report how long the item sat in the fair queue (the scheduling
+// component of queue wait, as opposed to waiting for a worker).
+type entry[T any] struct {
+	v  T
+	at time.Time
+}
+
 // tq is one tenant's FIFO plus its stride-scheduling state.
 type tq[T any] struct {
 	weight  int
 	pass    float64 // virtual time already consumed
-	items   []T
+	items   []entry[T]
 	running int
 }
 
@@ -138,7 +147,7 @@ func (s *Scheduler[T]) Enqueue(id string, v T) error {
 	if len(q.items) == 0 && q.pass < s.vtime {
 		q.pass = s.vtime
 	}
-	q.items = append(q.items, v)
+	q.items = append(q.items, entry[T]{v: v, at: time.Now()})
 	s.queued++
 	s.wakeAllLocked()
 	return nil
@@ -147,7 +156,7 @@ func (s *Scheduler[T]) Enqueue(id string, v T) error {
 // pickLocked dispatches the next item in stride order, or reports
 // false when nothing is eligible. Pass 0 honors concurrency shares;
 // pass 1 ignores them so capacity is never left idle while work waits.
-func (s *Scheduler[T]) pickLocked() (v T, id string, ok bool) {
+func (s *Scheduler[T]) pickLocked() (v T, id string, wait time.Duration, ok bool) {
 	activeWeight, activeTenants := 0, 0
 	for _, q := range s.tenants {
 		if len(q.items) > 0 {
@@ -156,7 +165,7 @@ func (s *Scheduler[T]) pickLocked() (v T, id string, ok bool) {
 		}
 	}
 	if activeTenants == 0 {
-		return v, "", false
+		return v, "", 0, false
 	}
 	overShare := func(q *tq[T]) bool {
 		if s.opts.Workers <= 0 || activeTenants <= 1 {
@@ -182,14 +191,15 @@ func (s *Scheduler[T]) pickLocked() (v T, id string, ok bool) {
 		if best == nil {
 			continue
 		}
-		v, best.items = best.items[0], best.items[1:]
+		var e entry[T]
+		e, best.items = best.items[0], best.items[1:]
 		s.queued--
 		s.vtime = best.pass
 		best.pass += 1 / float64(best.weight)
 		best.running++
-		return v, bestID, true
+		return e.v, bestID, time.Since(e.at), true
 	}
-	return v, "", false
+	return v, "", 0, false
 }
 
 // Dequeue blocks until an item is dispatchable, the scheduler closes,
@@ -197,21 +207,31 @@ func (s *Scheduler[T]) pickLocked() (v T, id string, ok bool) {
 // Done(id) when finished with it so the tenant's concurrency share is
 // released.
 func (s *Scheduler[T]) Dequeue(ctx context.Context) (v T, id string, ok bool) {
+	v, id, _, ok = s.DequeueTimed(ctx)
+	return v, id, ok
+}
+
+// DequeueTimed is Dequeue plus the item's scheduling wait: how long it
+// sat in the fair queue between Enqueue and this dispatch. The wait
+// isolates the scheduler's contribution to end-to-end queue latency —
+// a heavy tenant over its share accrues scheduling wait even while
+// workers sit idle for others.
+func (s *Scheduler[T]) DequeueTimed(ctx context.Context) (v T, id string, wait time.Duration, ok bool) {
 	for {
 		s.mu.Lock()
-		if v, id, ok = s.pickLocked(); ok {
+		if v, id, wait, ok = s.pickLocked(); ok {
 			s.mu.Unlock()
-			return v, id, true
+			return v, id, wait, true
 		}
 		if s.closed {
 			s.mu.Unlock()
-			return v, "", false
+			return v, "", 0, false
 		}
 		wake := s.wake
 		s.mu.Unlock()
 		select {
 		case <-ctx.Done():
-			return v, "", false
+			return v, "", 0, false
 		case <-wake:
 		}
 	}
@@ -257,11 +277,11 @@ func (s *Scheduler[T]) Drain() []T {
 		if best == nil {
 			return out
 		}
-		var v T
-		v, best.items = best.items[0], best.items[1:]
+		var e entry[T]
+		e, best.items = best.items[0], best.items[1:]
 		s.queued--
 		best.pass += 1 / float64(best.weight)
-		out = append(out, v)
+		out = append(out, e.v)
 	}
 }
 

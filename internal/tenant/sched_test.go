@@ -334,3 +334,49 @@ func TestSchedulerConcurrentUse(t *testing.T) {
 		}
 	}
 }
+
+// TestDequeueTimedReportsSchedulingWait checks the wait is measured
+// from Enqueue to dispatch and carried per item, not per tenant.
+func TestDequeueTimedReportsSchedulingWait(t *testing.T) {
+	s := NewScheduler[int](Options{})
+	if err := s.Enqueue("a", 1); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond)
+	if err := s.Enqueue("a", 2); err != nil {
+		t.Fatal(err)
+	}
+
+	v, id, wait, ok := s.DequeueTimed(context.Background())
+	if !ok || v != 1 || id != "a" {
+		t.Fatalf("first dequeue = (%d, %s, %v)", v, id, ok)
+	}
+	if wait < 20*time.Millisecond {
+		t.Fatalf("first item waited %v, want >= 20ms", wait)
+	}
+	s.Done(id)
+
+	v, _, wait2, ok := s.DequeueTimed(context.Background())
+	if !ok || v != 2 {
+		t.Fatalf("second dequeue = (%d, %v)", v, ok)
+	}
+	if wait2 >= wait {
+		t.Fatalf("younger item reported longer wait (%v >= %v)", wait2, wait)
+	}
+	s.Done("a")
+}
+
+// TestDequeueTimedZeroOnFailure pins the failure signature: cancelled
+// or closed dequeues report zero wait and ok=false.
+func TestDequeueTimedZeroOnFailure(t *testing.T) {
+	s := NewScheduler[int](Options{})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if _, _, wait, ok := s.DequeueTimed(ctx); ok || wait != 0 {
+		t.Fatalf("cancelled dequeue = (wait %v, ok %v)", wait, ok)
+	}
+	s.Close()
+	if _, _, _, ok := s.DequeueTimed(context.Background()); ok {
+		t.Fatal("closed scheduler dequeued")
+	}
+}

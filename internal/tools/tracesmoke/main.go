@@ -1,0 +1,188 @@
+// Command tracesmoke is the end-to-end check of distributed tracing:
+// it serves the full HTTP stack over a 3-worker loopback cluster with
+// one induced shard failure, submits a traced experiment, fetches the
+// merged timeline from GET /v1/traces/{id}, and asserts the trace
+// covers every layer — request, job, queue wait, per-worker shard
+// execution — with the retry evidence, while the report stays
+// byte-identical to the serial golden snapshot. Run from the repo root:
+//
+//	go run ./internal/tools/tracesmoke
+//	make trace-smoke
+//
+// Exit status 0 means one coherent cross-node trace existed and
+// recording did not perturb the simulation; anything else is a tracing
+// or determinism bug.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/httpapi"
+	"repro/internal/obs"
+	"repro/internal/service"
+	"repro/internal/sim"
+)
+
+func main() {
+	golden := flag.String("golden",
+		filepath.Join("internal", "experiments", "testdata", "golden", "ext-coopber_quick_seed1.txt"),
+		"serial golden report to compare against")
+	flag.Parse()
+
+	want, err := os.ReadFile(*golden)
+	if err != nil {
+		fatal(fmt.Errorf("reading golden (run from the repo root): %w", err))
+	}
+
+	lb := cluster.NewLoopback("w1", "w2", "w3")
+	lb.Node("w1").FailNext(1) // one transient failure → retry + worker_dead
+	reg := cluster.NewRegistry(lb, "w1", "w2", "w3")
+	co := cluster.NewCoordinator(lb, reg, cluster.Config{
+		Shards:    3,
+		RetryBase: time.Millisecond,
+		RetryMax:  10 * time.Millisecond,
+	})
+
+	rec := obs.NewTraceRecorder(16, 1<<15)
+	svc, err := service.New(service.Config{
+		Workers:  2,
+		Recorder: rec,
+		Runner: func(jctx context.Context, req service.Request) (string, error) {
+			return service.ExperimentRunner(sim.WithExecutor(jctx, co), req)
+		},
+		KnownIDs: service.KnownExperimentIDs(),
+	})
+	if err != nil {
+		fatal(err)
+	}
+	svc.Start()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		svc.Stop(ctx)
+	}()
+	ts := httptest.NewServer(httpapi.NewMux(svc, httpapi.Config{Recorder: rec}))
+	defer ts.Close()
+
+	start := time.Now()
+	body := `{"id":"ext-coopber","seed":1,"quick":true,"wait":true}`
+	resp, err := http.Post(ts.URL+"/v1/experiments", "application/json",
+		bytes.NewReader([]byte(body)))
+	if err != nil {
+		fatal(err)
+	}
+	var jr httpapi.JobResponse
+	if err := json.NewDecoder(resp.Body).Decode(&jr); err != nil {
+		fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		fatal(fmt.Errorf("submit status %d", resp.StatusCode))
+	}
+	tid := resp.Header.Get("X-Trace-Id")
+	if tid == "" {
+		fatal(fmt.Errorf("no X-Trace-Id on response"))
+	}
+	if jr.Report != string(want) {
+		fmt.Fprintf(os.Stderr, "tracesmoke: FAIL — traced distributed report differs from serial golden\n--- got ---\n%s--- want ---\n%s", jr.Report, want)
+		os.Exit(1)
+	}
+
+	tr, err := fetchTrace(ts.URL, tid)
+	if err != nil {
+		fatal(err)
+	}
+
+	spans := map[string]int{}
+	nodes := map[string]bool{}
+	events := map[string]int{}
+	for _, sd := range tr.Spans {
+		spans[sd.Name]++
+		if sd.Name == "shard.execute" {
+			if n := sd.Attr("node"); n != "" {
+				nodes[n] = true
+			}
+		}
+		for _, ev := range sd.Events {
+			events[ev.Name]++
+		}
+	}
+	for _, name := range []string{"http.request", "job.run", "queue.wait",
+		"driver.run", "cluster.run", "cluster.shard", "shard.execute", "mc.fold"} {
+		if spans[name] == 0 {
+			fatal(fmt.Errorf("merged trace missing %q spans; have %v", name, spans))
+		}
+	}
+	if len(nodes) < 2 {
+		fatal(fmt.Errorf("shard.execute spans name %d distinct workers, want >= 2", len(nodes)))
+	}
+	if events["retry"] == 0 || events["worker_dead"] == 0 {
+		fatal(fmt.Errorf("induced failure left no retry/worker_dead events; have %v", events))
+	}
+
+	// The Chrome export must be valid trace_event JSON.
+	cresp, err := http.Get(ts.URL + "/v1/traces/" + tid + "?format=chrome")
+	if err != nil {
+		fatal(err)
+	}
+	var chrome struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	err = json.NewDecoder(cresp.Body).Decode(&chrome)
+	cresp.Body.Close()
+	if err != nil {
+		fatal(fmt.Errorf("chrome export: %w", err))
+	}
+	if len(chrome.TraceEvents) < len(tr.Spans) {
+		fatal(fmt.Errorf("chrome export has %d events for %d spans", len(chrome.TraceEvents), len(tr.Spans)))
+	}
+
+	fmt.Printf("tracesmoke: ok — %d spans across %d workers, retry evidenced, report matches golden, chrome export valid (%v)\n",
+		len(tr.Spans), len(nodes), time.Since(start).Round(time.Millisecond))
+}
+
+// fetchTrace polls the trace endpoint until the request root span has
+// landed (the middleware records it only after the response is written).
+func fetchTrace(base, id string) (obs.Trace, error) {
+	var tr obs.Trace
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(base + "/v1/traces/" + id)
+		if err != nil {
+			return tr, err
+		}
+		if resp.StatusCode == http.StatusOK {
+			err = json.NewDecoder(resp.Body).Decode(&tr)
+			resp.Body.Close()
+			if err != nil {
+				return tr, err
+			}
+			for _, sd := range tr.Spans {
+				if sd.Name == "http.request" {
+					return tr, nil
+				}
+			}
+		} else {
+			resp.Body.Close()
+		}
+		if time.Now().After(deadline) {
+			return tr, fmt.Errorf("trace %s incomplete after 5s: %d spans", id, len(tr.Spans))
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracesmoke:", err)
+	os.Exit(1)
+}

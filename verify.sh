@@ -29,6 +29,9 @@ go test -run=NONE -bench=. -benchtime=1x . >/dev/null
 echo ">> cluster smoke (loopback coordinator, 3 workers, 1 induced death)"
 go run ./internal/tools/clustersmoke
 
+echo ">> trace smoke (distributed trace merge, retry evidence, chrome export)"
+go run ./internal/tools/tracesmoke
+
 echo ">> campaign smoke (SIGKILL mid-experiment, resume from checkpoints)"
 go run ./internal/tools/campaignsmoke
 
