@@ -1,7 +1,7 @@
 # Tier-1 verification plus the race detector. `make verify` is what CI
 # and pre-merge checks should run.
 
-.PHONY: verify vet fmt-check build test race bench bench-compare metrics-smoke cluster-smoke campaign-smoke loadgen-smoke trace-smoke
+.PHONY: verify vet fmt-check build test race bench bench-compare bench-batch metrics-smoke cluster-smoke campaign-smoke loadgen-smoke trace-smoke
 
 BENCH_DATE := $(shell date +%Y-%m-%d)
 BENCH_JSON := BENCH_$(BENCH_DATE).json
@@ -27,19 +27,31 @@ race:
 
 # Runs the repo-root benchmark suite and records ns/op, B/op and
 # allocs/op into BENCH_<date>.json via internal/tools/benchjson.
+# Three repetitions per benchmark; benchjson keeps each benchmark's
+# fastest repetition, which denoises the short benchmarks enough for
+# bench-compare to gate on.
 bench:
-	go test -run=NONE -bench=. -benchmem -benchtime=100x . | go run ./internal/tools/benchjson -o $(BENCH_JSON)
+	go test -run=NONE -bench=. -benchmem -benchtime=100x -count=3 . | go run ./internal/tools/benchjson -o $(BENCH_JSON)
 
-# Re-measures and fails when any benchmark's ns/op regressed by more
-# than 20% against the newest committed BENCH_*.json. Benchmarks absent
-# from the baseline are reported as "new", never as failures; with no
-# baseline at all, today's artifact simply becomes the first one.
+# Re-measures and fails when any benchmark regressed against the newest
+# committed BENCH_*.json: ns/op grew by more than 20%, a 0-alloc
+# benchmark allocated at all, or allocs/op grew by more than 20%.
+# Benchmarks absent from the baseline are reported as "new", never as
+# failures; with no baseline at all, today's artifact simply becomes
+# the first one.
 bench-compare: bench
 	@if [ -z "$(BENCH_BASE)" ]; then \
 		echo "bench-compare: no baseline BENCH_*.json; $(BENCH_JSON) is the first artifact"; \
 	else \
 		go run ./internal/tools/benchjson -compare $(BENCH_BASE) $(BENCH_JSON); \
 	fi
+
+# Scalar-vs-batched comparison of the cooperative trial engine: runs
+# the interleaved min-of-rounds A/B harness over the 1x1/2x2/4x4
+# shapes, printing ns/op for both tiers, and fails when the worst
+# shape's speedup drops below 2x or the batched tier allocates.
+bench-batch:
+	go run ./internal/tools/benchbatch
 
 # Boots a cogmimod daemon, scrapes /metrics/prom and checks the core
 # metric names are exposed. A cheap end-to-end observability check.

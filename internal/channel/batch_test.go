@@ -1,0 +1,80 @@
+package channel
+
+import (
+	"testing"
+
+	"repro/internal/mathx"
+)
+
+// TestRayleighBatchMatchesScalar pins the batched draw against N
+// sequential RayleighInto calls on the same seed: identical stream
+// consumption, identical matrices, just scattered into lanes.
+func TestRayleighBatchMatchesScalar(t *testing.T) {
+	const mt, mr, n = 3, 2, 21
+	var batch mathx.BatchCF64
+	RayleighBatchInto(mathx.NewRand(5), mt, mr, n, &batch)
+
+	rng := mathx.NewRand(5)
+	var h mathx.CMat
+	for i := 0; i < n; i++ {
+		RayleighInto(rng, mt, mr, &h)
+		for r := 0; r < h.Rows; r++ {
+			for c := 0; c < h.Cols; c++ {
+				if got := batch.At(r*h.Cols+c, i); got != h.At(r, c) {
+					t.Fatalf("draw %d tap (%d,%d): batch %v, scalar %v", i, r, c, got, h.At(r, c))
+				}
+			}
+		}
+	}
+}
+
+// TestNextBatchMatchesNext drives one BlockFading per path over the
+// same seed and compares every block: the redraw-every-block fast path
+// (the coop default) and the coherent slow path must both consume the
+// rng stream exactly as Next and land the same taps.
+func TestNextBatchMatchesNext(t *testing.T) {
+	const mt, mr, n = 2, 3, 24
+	for _, blockLen := range []int{0, 1, 5} {
+		var batch mathx.BatchCF64
+		batch.Resize(mr*mt, n)
+		bf := NewBlockFading(mathx.NewRand(9), mt, mr, blockLen, 0)
+		for i := 0; i < n; i++ {
+			bf.NextBatch(&batch, i)
+		}
+
+		ref := NewBlockFading(mathx.NewRand(9), mt, mr, blockLen, 0)
+		for i := 0; i < n; i++ {
+			h := ref.Next()
+			for l, v := range h.Data {
+				if got := batch.At(l, i); got != v {
+					t.Fatalf("blockLen=%d block %d lane %d: batch %v, scalar %v", blockLen, i, l, got, v)
+				}
+			}
+		}
+	}
+}
+
+// TestNextBatchInterleavesWithNext checks the documented mixing
+// contract: alternating Next and NextBatch on one fader advances the
+// same per-block state as Next alone.
+func TestNextBatchInterleavesWithNext(t *testing.T) {
+	const mt, mr, n = 2, 2, 10
+	var batch mathx.BatchCF64
+	batch.Resize(mr*mt, n)
+	mixed := NewBlockFading(mathx.NewRand(31), mt, mr, 0, 0)
+	ref := NewBlockFading(mathx.NewRand(31), mt, mr, 0, 0)
+	for i := 0; i < n; i++ {
+		if i%2 == 0 {
+			mixed.NextBatch(&batch, i)
+		} else {
+			h := mixed.Next()
+			batch.ScatterMat(i, h)
+		}
+		want := ref.Next()
+		for l, v := range want.Data {
+			if got := batch.At(l, i); got != v {
+				t.Fatalf("block %d lane %d: mixed %v, reference %v", i, l, got, v)
+			}
+		}
+	}
+}

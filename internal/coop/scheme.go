@@ -123,6 +123,10 @@ type Workspace struct {
 	x       *mathx.CMat
 	hT      *mathx.CMat
 	y       *mathx.CMat
+
+	// batch holds the SoA tile buffers of the batched engine (batch.go),
+	// the default transport path.
+	batch batchScratch
 }
 
 // NewWorkspace returns an empty workspace; buffers grow on first use.
@@ -223,7 +227,40 @@ func TransportInto(ws *Workspace, cfg Config, src, dst []byte) (Result, error) {
 	return transport(ws, cfg, src, dst)
 }
 
-func transport(ws *Workspace, cfg Config, src, dst []byte) (Result, error) {
+// RunScalarWith is RunWith on the per-block scalar engine — the oracle
+// the batched default path is tested against. It consumes the same rng
+// stream and performs the same floating-point operations per block, so
+// its results are bit-identical to RunWith's.
+func RunScalarWith(ws *Workspace, cfg Config) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	code, err := stbc.ForTransmitters(cfg.Mt)
+	if err != nil {
+		return Result{}, err
+	}
+	bitsPerBlock := code.BlockSymbols() * cfg.B
+	blocks := cfg.Bits / bitsPerBlock
+	if blocks == 0 {
+		blocks = 1
+	}
+	ws.rng.Reseed(cfg.Seed)
+	rng := ws.rng.Rand
+	ws.src = growBytes(ws.src, blocks*bitsPerBlock)
+	for i := range ws.src {
+		ws.src[i] = byte(rng.Intn(2))
+	}
+	ws.out = growBytes(ws.out, len(ws.src))
+	return transportScalar(ws, cfg, ws.src, ws.out)
+}
+
+// TransportScalarInto is TransportInto on the per-block scalar engine,
+// kept as the bit-identity oracle for the batched default path.
+func TransportScalarInto(ws *Workspace, cfg Config, src, dst []byte) (Result, error) {
+	return transportScalar(ws, cfg, src, dst)
+}
+
+func transportScalar(ws *Workspace, cfg Config, src, dst []byte) (Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
 	}

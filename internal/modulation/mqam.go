@@ -18,6 +18,7 @@ type Scheme struct {
 
 	bi, bq int // bits on the I and Q rails
 	scale  float64
+	lut    *lut // per-rail batch tables, built eagerly by New
 }
 
 // New returns the constellation carrying b bits per symbol. b = 1 is
@@ -38,6 +39,7 @@ func New(b int) (*Scheme, error) {
 		e += float64(lq*lq-1) / 3
 	}
 	s.scale = 1 / math.Sqrt(e)
+	s.lut = s.buildLUT()
 	return s, nil
 }
 

@@ -2,6 +2,7 @@ package network
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 
 	"repro/internal/sim"
@@ -58,6 +59,12 @@ type CSMAMedium struct {
 	Stats    CSMAStats
 	rng      *rand.Rand
 	stations []*csmaStation
+	backing  []csmaStation // one block behind stations: a single allocation
+	ready    []*csmaStation
+	slotFn   func() // m.slot, bound once — slots schedule no new closures
+	txDoneFn func() // frame-completion handler, bound once
+	txS      *csmaStation
+	txEnd    float64
 	busy     bool
 }
 
@@ -67,8 +74,22 @@ func NewCSMAMedium(cfg CSMAConfig, eng *sim.Engine, rng *rand.Rand, ids []NodeID
 		return nil, fmt.Errorf("network: invalid CSMA config %+v", cfg)
 	}
 	m := &CSMAMedium{Config: cfg, Engine: eng, rng: rng}
-	for _, id := range ids {
-		m.stations = append(m.stations, &csmaStation{id: id, cw: cfg.CWMin})
+	m.backing = make([]csmaStation, len(ids))
+	m.stations = make([]*csmaStation, len(ids))
+	m.ready = make([]*csmaStation, 0, len(ids))
+	for i, id := range ids {
+		m.backing[i] = csmaStation{id: id, cw: cfg.CWMin}
+		m.stations[i] = &m.backing[i]
+	}
+	m.slotFn = m.slot
+	m.txDoneFn = func() {
+		s := m.txS
+		m.busy = false
+		s.pending--
+		s.retries = 0
+		s.cw = m.Config.CWMin
+		s.deferred = s.pending > 0
+		m.Stats.Delivered++
 	}
 	return m, nil
 }
@@ -94,18 +115,56 @@ func (m *CSMAMedium) Run(horizon float64) CSMAStats {
 	return m.Stats
 }
 
+// scheduleSlot arms the next slot that can change station state. Slots
+// that provably do nothing — polls while a frame occupies the medium,
+// and pure backoff decrements while every contender counts down — are
+// skipped by scheduling directly onto the future grid slot where the
+// next draw, transmission or collision happens. No rng is consumed and
+// no stat is touched in the skipped region, so the contention unfolds
+// exactly as the slot-by-slot walk would, at a fraction of the events.
 func (m *CSMAMedium) scheduleSlot() {
 	anyPending := false
+	fresh := false
+	minBackoff := -1
 	for _, s := range m.stations {
-		if s.pending > 0 {
-			anyPending = true
-			break
+		if s.pending == 0 {
+			continue
+		}
+		anyPending = true
+		if !s.deferred || s.backoff == 0 {
+			fresh = true
+		} else if minBackoff < 0 || s.backoff < minBackoff {
+			minBackoff = s.backoff
 		}
 	}
 	if !anyPending {
 		return
 	}
-	m.Engine.ScheduleAfter(m.Config.SlotTime, m.slot)
+	if m.busy {
+		// Jump to the first grid slot at or past the frame end; the
+		// completion event carries an earlier sequence number, so on an
+		// exact tie the medium frees before the slot fires — the same
+		// slot the per-slot poll would have found productive.
+		k := math.Ceil((m.txEnd - m.Engine.Now()) / m.Config.SlotTime)
+		if k < 1 {
+			k = 1
+		}
+		m.Engine.ScheduleAfter(k*m.Config.SlotTime, m.slotFn)
+		return
+	}
+	if !fresh && minBackoff > 0 {
+		// Every contender is mid-countdown: the next minBackoff slots
+		// only decrement. Apply them in bulk and fire the slot where
+		// the fastest counter reaches zero and transmits.
+		for _, s := range m.stations {
+			if s.pending > 0 {
+				s.backoff -= minBackoff
+			}
+		}
+		m.Engine.ScheduleAfter(float64(minBackoff+1)*m.Config.SlotTime, m.slotFn)
+		return
+	}
+	m.Engine.ScheduleAfter(m.Config.SlotTime, m.slotFn)
 }
 
 // slot advances one backoff slot for every contender and resolves
@@ -115,7 +174,7 @@ func (m *CSMAMedium) slot() {
 		m.scheduleSlot()
 		return
 	}
-	var ready []*csmaStation
+	ready := m.ready[:0]
 	for _, s := range m.stations {
 		if s.pending == 0 {
 			continue
@@ -132,6 +191,7 @@ func (m *CSMAMedium) slot() {
 		}
 		ready = append(ready, s)
 	}
+	m.ready = ready[:0]
 	switch len(ready) {
 	case 0:
 		// Nothing fired this slot.
@@ -166,12 +226,10 @@ func (m *CSMAMedium) transmit(s *csmaStation) {
 	m.busy = true
 	dur := m.Config.DIFS + s.duration
 	m.Stats.BusyTime += s.duration
-	m.Engine.ScheduleAfter(dur, func() {
-		m.busy = false
-		s.pending--
-		s.retries = 0
-		s.cw = m.Config.CWMin
-		s.deferred = s.pending > 0
-		m.Stats.Delivered++
-	})
+	// One frame occupies the medium at a time, so the completion
+	// handler is a single prebound closure reading txS — no per-frame
+	// allocation.
+	m.txS = s
+	m.txEnd = m.Engine.Now() + dur
+	m.Engine.ScheduleAfter(dur, m.txDoneFn)
 }

@@ -24,6 +24,8 @@ import (
 
 func init() {
 	sim.RegisterKernel("coop.ber", coopBER)
+	sim.RegisterKernel("coop.ber.batch", coopBERBatch)
+	sim.RegisterKernel("coop.ber.scalar", coopBERScalar)
 	sim.RegisterKernel("multihop.ber", multihopBER)
 }
 
@@ -53,27 +55,64 @@ func intParam(params map[string]float64, name string, def int) (int, error) {
 // Each trial reseeds the hop from the chunk stream, so trial t of chunk
 // c is the same experiment no matter which worker runs the chunk.
 func coopBER(params map[string]float64) (sim.BatchFunc, error) {
-	mt, err := intParam(params, "mt", 2)
+	return coopBERWith(params, coop.RunWith)
+}
+
+// coopBERBatch is the explicitly-batched registration: the chunk runs
+// through coop.RunBatchWith, the SoA chunk kernel, in one call. It is
+// bit-identical to coop.ber — each trial still reseeds from the chunk
+// stream in the same order — so campaigns and cluster shards can name
+// either and merge results freely.
+func coopBERBatch(params map[string]float64) (sim.BatchFunc, error) {
+	cfg, err := coopConfig(params)
 	if err != nil {
 		return nil, err
+	}
+	return func(rng *rand.Rand, n int) mathx.Running {
+		ws := coop.GetWorkspace()
+		defer coop.PutWorkspace(ws)
+		acc, err := coop.RunBatchWith(ws, cfg, rng, n)
+		if err != nil {
+			// Validated at build time; unreachable for a registered run.
+			panic(err)
+		}
+		return acc
+	}, nil
+}
+
+// coopBERScalar pins the per-trial scalar oracle under its own name so
+// golden runs can cross-check the batched kernels through the same
+// registry plumbing (serial, parallel and cluster alike).
+func coopBERScalar(params map[string]float64) (sim.BatchFunc, error) {
+	return coopBERWith(params, coop.RunScalarWith)
+}
+
+// coopConfig builds and validates the coop.Config a kernel's flat
+// parameters describe; the seed is a placeholder — trials reseed from
+// the chunk stream.
+func coopConfig(params map[string]float64) (coop.Config, error) {
+	var cfg coop.Config
+	mt, err := intParam(params, "mt", 2)
+	if err != nil {
+		return cfg, err
 	}
 	mr, err := intParam(params, "mr", 2)
 	if err != nil {
-		return nil, err
+		return cfg, err
 	}
 	b, err := intParam(params, "b", 1)
 	if err != nil {
-		return nil, err
+		return cfg, err
 	}
 	bits, err := intParam(params, "bits", 64)
 	if err != nil {
-		return nil, err
+		return cfg, err
 	}
 	snrDB, ok := params["snr_db"]
 	if !ok {
 		snrDB = 10
 	}
-	cfg := coop.Config{
+	cfg = coop.Config{
 		Mt: mt, Mr: mr, B: b,
 		SNRPerBit: math.Pow(10, snrDB/10),
 		Bits:      bits,
@@ -83,6 +122,14 @@ func coopBER(params map[string]float64) (sim.BatchFunc, error) {
 	}
 	cfg.Seed = 1 // placeholder for validation; trials reseed per draw
 	if err := cfg.Validate(); err != nil {
+		return cfg, err
+	}
+	return cfg, nil
+}
+
+func coopBERWith(params map[string]float64, run func(*coop.Workspace, coop.Config) (coop.Result, error)) (sim.BatchFunc, error) {
+	cfg, err := coopConfig(params)
+	if err != nil {
 		return nil, err
 	}
 	return func(rng *rand.Rand, n int) mathx.Running {
@@ -92,7 +139,7 @@ func coopBER(params map[string]float64) (sim.BatchFunc, error) {
 		c := cfg
 		for i := 0; i < n; i++ {
 			c.Seed = rng.Int63()
-			r, err := coop.RunWith(ws, c)
+			r, err := run(ws, c)
 			if err != nil {
 				// Validated above; unreachable for a registered run.
 				panic(err)

@@ -1,0 +1,477 @@
+package stbc
+
+import (
+	"fmt"
+
+	"repro/internal/mathx"
+)
+
+// Batched structure-of-arrays codecs. The scalar EncodeInto/DecodeInto
+// process one T-by-Nt block at a time: every block pays the generator
+// walk, the matrix index arithmetic and the call overhead on loops only
+// a handful of iterations long. The batch variants lay N blocks out in
+// SoA form — one contiguous lane per generator cell (encode), receive
+// sample (t*mr+j), channel tap (j*nt+a) and symbol estimate (decode) —
+// and walk the precompiled entry tables once per lane, so the inner
+// loops run N long with no branches and hoisted bounds checks.
+//
+// Every arithmetic operation matches the scalar path exactly (same
+// products, same accumulation order), so batched outputs are bitwise
+// identical to per-block EncodeInto/DecodeInto: the golden tests in
+// batch_test.go pin this for every registered code, including the
+// half-rate designs.
+
+// BatchWorkspace holds the decoder's per-element accumulator lanes so
+// steady-state batched decoding allocates nothing. A workspace is not
+// safe for concurrent use; keep one per worker.
+type BatchWorkspace struct {
+	acc     mathx.BatchCF64 // multi-term run accumulator
+	dot, n2 mathx.BatchF64  // matched-filter sums, lane 0 = real part, 1 = imag
+}
+
+// EncodeBatchInto encodes N blocks at once: syms holds K lanes of N
+// symbols, x receives T*Nt lanes with lane t*Nt+a carrying generator
+// cell (t, a) of every block. Cell values equal EncodeInto's bit for
+// bit; structural zeros stay zero.
+func (c *Code) EncodeBatchInto(syms, x *mathx.BatchCF64) *mathx.BatchCF64 {
+	if syms.Lanes < c.k {
+		panic(fmt.Sprintf("stbc: %s encodes %d symbol lanes, got %d", c.name, c.k, syms.Lanes))
+	}
+	n := syms.N
+	x.Resize(len(c.gen)*c.nt, n)
+	for t, row := range c.gen {
+		for a, e := range row {
+			if e.Sym < 0 {
+				zeroLane(x.Lane(t*c.nt + a)[:n])
+				continue
+			}
+			encodeCell(x.Lane(t*c.nt+a), syms.Lane(e.Sym)[:n], e)
+		}
+	}
+	return x
+}
+
+// EncodeBatchPerAntennaInto is EncodeBatchInto when each transmit
+// antenna encodes its own (possibly divergent) symbol copy: symsPerAnt
+// must hold Nt batches of K lanes each, and cell (t, a) encodes from
+// symsPerAnt[a] — the cooperative-cluster situation where intra-cluster
+// bit errors desynchronise the antennas' views of the block. With
+// identical batches it reduces exactly to EncodeBatchInto.
+func (c *Code) EncodeBatchPerAntennaInto(symsPerAnt []*mathx.BatchCF64, x *mathx.BatchCF64) *mathx.BatchCF64 {
+	if len(symsPerAnt) != c.nt {
+		panic(fmt.Sprintf("stbc: %s needs %d per-antenna batches, got %d", c.name, c.nt, len(symsPerAnt)))
+	}
+	n := symsPerAnt[0].N
+	x.Resize(len(c.gen)*c.nt, n)
+	for t, row := range c.gen {
+		for a, e := range row {
+			if e.Sym < 0 {
+				zeroLane(x.Lane(t*c.nt + a)[:n])
+				continue
+			}
+			encodeCell(x.Lane(t*c.nt+a), symsPerAnt[a].Lane(e.Sym)[:n], e)
+		}
+	}
+	return x
+}
+
+// zeroLane clears one structurally-zero generator lane; live lanes are
+// fully overwritten by encodeCell and need no clearing.
+func zeroLane(dst []complex128) {
+	for i := range dst {
+		dst[i] = 0
+	}
+}
+
+// encodeCell fills one generator-cell lane: the same conjugate-then-
+// multiply the scalar encoder applies per block, over a whole lane.
+func encodeCell(dst, src []complex128, e entry) {
+	dst = dst[:len(src)]
+	coef := e.Coef
+	if e.Conj {
+		for i, s := range src {
+			dst[i] = coef * complex(real(s), -imag(s))
+		}
+		return
+	}
+	for i, s := range src {
+		dst[i] = coef * s
+	}
+}
+
+// TransmitBatchInto passes an encoded batch through per-block channels:
+// x holds T*Nt lanes (EncodeBatchInto layout), h holds mr*Nt lanes with
+// lane j*Nt+a carrying tap (receive j, transmit a) of every block, and
+// y receives T*mr lanes with lane t*mr+j. The accumulation runs over
+// a ascending with the scalar MulInto's zero-skip, so y matches
+// x.MulInto(h.TransposeInto(...)) per block bit for bit.
+//
+// noise, when non-nil, must mirror y's T*mr-lane shape; each entry is
+// added after that element's last antenna term — the same place the
+// scalar path's channel.AWGN call lands — saving a separate
+// read-modify-write pass over every y lane.
+func (c *Code) TransmitBatchInto(x, h, noise, y *mathx.BatchCF64, mr int) *mathx.BatchCF64 {
+	n := x.N
+	bl := len(c.gen)
+	if h.Lanes != mr*c.nt || h.N != n {
+		panic(fmt.Sprintf("stbc: channel batch is %dx%d, need %dx%d", h.Lanes, h.N, mr*c.nt, n))
+	}
+	if noise != nil && (noise.Lanes != bl*mr || noise.N != n) {
+		panic(fmt.Sprintf("stbc: noise batch is %dx%d, need %dx%d", noise.Lanes, noise.N, bl*mr, n))
+	}
+	y.Resize(bl*mr, n).Zero()
+	var colBuf [8]int
+	for t := 0; t < bl; t++ {
+		// Structurally zero cells transmit whole-lane zeros the scalar
+		// multiply would skip element by element; drop those lanes up
+		// front and pair the live ones so each pass over a y lane folds
+		// in two antennas — half the load/store traffic.
+		cols := colBuf[:0]
+		for a := 0; a < c.nt; a++ {
+			if c.gen[t][a].Sym >= 0 {
+				cols = append(cols, a)
+			}
+		}
+		m := len(cols)
+		for j := 0; j < mr; j++ {
+			yL := y.Lane(t*mr + j)[:n]
+			var nzL []complex128
+			if noise != nil {
+				nzL = noise.Lane(t*mr + j)[:n]
+			}
+			if m == 3 {
+				// Three live antennas (both rate-3/4 designs): fold the
+				// whole row — and the noise — into one pass over the lane.
+				mulAdd3(yL,
+					x.Lane(t*c.nt + cols[0])[:n], h.Lane(j*c.nt + cols[0])[:n],
+					x.Lane(t*c.nt + cols[1])[:n], h.Lane(j*c.nt + cols[1])[:n],
+					x.Lane(t*c.nt + cols[2])[:n], h.Lane(j*c.nt + cols[2])[:n],
+					nzL)
+				continue
+			}
+			ai := 0
+			for ; ai+2 < m; ai += 2 {
+				mulAdd2(yL,
+					x.Lane(t*c.nt + cols[ai])[:n], h.Lane(j*c.nt + cols[ai])[:n],
+					x.Lane(t*c.nt + cols[ai+1])[:n], h.Lane(j*c.nt + cols[ai+1])[:n],
+					nil)
+			}
+			switch m - ai {
+			case 2:
+				mulAdd2(yL,
+					x.Lane(t*c.nt + cols[ai])[:n], h.Lane(j*c.nt + cols[ai])[:n],
+					x.Lane(t*c.nt + cols[ai+1])[:n], h.Lane(j*c.nt + cols[ai+1])[:n],
+					nzL)
+			case 1:
+				mulAdd1(yL, x.Lane(t*c.nt + cols[ai])[:n], h.Lane(j*c.nt + cols[ai])[:n], nzL)
+			default:
+				if nzL != nil {
+					for i := range yL {
+						yL[i] += nzL[i]
+					}
+				}
+			}
+		}
+	}
+	return y
+}
+
+// The mulAdd kernels drop the scalar multiply's per-element zero-skip:
+// live lanes only branch on it for exactly-zero symbols, and with the
+// channel taps finite (Gaussian draws) a zero symbol's product is a
+// signed zero, which leaves an accumulator that starts at +0 bit-for-
+// bit unchanged — the same result skipping produces. The lanes here
+// are always live (structural zeros are excluded by column selection),
+// so the unconditional add is bit-identical and branch-free.
+
+// mulAdd1 folds one antenna column into a receive lane, with the
+// optional noise tape added after the term — where the scalar AWGN
+// pass lands.
+func mulAdd1(yL, xL, hL, nzL []complex128) {
+	if nzL == nil {
+		for i, xv := range xL {
+			yL[i] += xv * hL[i]
+		}
+		return
+	}
+	for i, xv := range xL {
+		v := yL[i]
+		v += xv * hL[i]
+		yL[i] = v + nzL[i]
+	}
+}
+
+// mulAdd2 folds two antenna columns (ascending order) into a receive
+// lane in one pass, with the optional noise tape added last.
+func mulAdd2(yL, xL0, hL0, xL1, hL1, nzL []complex128) {
+	if nzL == nil {
+		for i := range yL {
+			v := yL[i]
+			v += xL0[i] * hL0[i]
+			v += xL1[i] * hL1[i]
+			yL[i] = v
+		}
+		return
+	}
+	for i := range yL {
+		v := yL[i]
+		v += xL0[i] * hL0[i]
+		v += xL1[i] * hL1[i]
+		yL[i] = v + nzL[i]
+	}
+}
+
+// mulAdd3 folds three antenna columns (ascending order) into a receive
+// lane in one pass, with the optional noise tape added last.
+func mulAdd3(yL, xL0, hL0, xL1, hL1, xL2, hL2, nzL []complex128) {
+	if nzL == nil {
+		for i := range yL {
+			v := yL[i]
+			v += xL0[i] * hL0[i]
+			v += xL1[i] * hL1[i]
+			v += xL2[i] * hL2[i]
+			yL[i] = v
+		}
+		return
+	}
+	for i := range yL {
+		v := yL[i]
+		v += xL0[i] * hL0[i]
+		v += xL1[i] * hL1[i]
+		v += xL2[i] * hL2[i]
+		yL[i] = v + nzL[i]
+	}
+}
+
+// DecodeBatchInto matched-filters N received blocks at once: y holds
+// T*mr lanes (TransmitBatchInto layout), h the mr*Nt channel lanes, and
+// out receives K symbol-estimate lanes. Estimates are bit-identical to
+// DecodeInto on each block: the precompiled per-part run tables visit
+// exactly the terms the scalar decoder accumulates, in the same order.
+func (c *Code) DecodeBatchInto(ws *BatchWorkspace, y, h *mathx.BatchCF64, mr int, out *mathx.BatchCF64) *mathx.BatchCF64 {
+	n := y.N
+	if y.Lanes != len(c.gen)*mr {
+		panic(fmt.Sprintf("stbc: receive batch has %d lanes, code uses %d", y.Lanes, len(c.gen)*mr))
+	}
+	if h.Lanes != mr*c.nt || h.N != n {
+		panic(fmt.Sprintf("stbc: channel batch is %dx%d, need %dx%d", h.Lanes, h.N, mr*c.nt, n))
+	}
+	out.Resize(c.k, n)
+	ws.dot.Resize(2, n)
+	ws.n2.Resize(2, n)
+	for k := 0; k < c.k; k++ {
+		// The real- and imaginary-part basis vectors share the exact run
+		// structure (same generator entries, different basis products),
+		// so one pass over each h/y lane feeds both parts. Each part's
+		// accumulator still sees its terms in the scalar order, keeping
+		// the sums bit-identical to two independent part passes.
+		reDot, reN2 := ws.dot.Lane(0)[:n], ws.n2.Lane(0)[:n]
+		imDot, imN2 := ws.dot.Lane(1)[:n], ws.n2.Lane(1)[:n]
+		for i := range reDot {
+			reDot[i] = 0
+			reN2[i] = 0
+			imDot[i] = 0
+			imN2[i] = 0
+		}
+		runs0, runs1 := c.perSymPart[k][0], c.perSymPart[k][1]
+		for r := range runs0 {
+			run0, run1 := runs0[r], &runs1[r]
+			yBase := run0.t * mr
+			if len(run0.terms) == 1 {
+				// Single-term run (every registered code): fuse the channel
+				// product straight into the filter sums, two receive
+				// antennas per pass. Each accumulator still sees its adds
+				// in ascending-j order, so the sums stay bit-identical to
+				// one pass per antenna.
+				a := run0.terms[0].a
+				ce0, ce1 := run0.terms[0].ce, run1.terms[0].ce
+				if imag(ce0) == 0 && real(ce1) == 0 {
+					// Every registered code lands here: generator coefs are
+					// ±1, so the real-part basis product is purely real and
+					// the imaginary-part one purely imaginary. The full
+					// complex product ce*h then collapses to two scalar
+					// multiplies per part — fl(r*hre - 0*him) is r*hre
+					// whenever it is nonzero, and the signed-zero cases
+					// vanish into accumulators that hold +0, so the sums
+					// stay bit-identical to the general product.
+					r, q := real(ce0), imag(ce1)
+					decodeRunPure(y, h, yBase, a, c.nt, mr, n, r, q, reDot, reN2, imDot, imN2)
+					continue
+				}
+				j := 0
+				for ; j+1 < mr; j += 2 {
+					yLa := y.Lane(yBase + j)[:n]
+					yLb := y.Lane(yBase + j + 1)[:n]
+					hLa := h.Lane(j*c.nt + a)[:n]
+					hLb := h.Lane((j+1)*c.nt + a)[:n]
+					for i := range yLa {
+						ya, yb := yLa[i], yLb[i]
+						acc0a := ce0 * hLa[i]
+						acc0b := ce0 * hLb[i]
+						re0a, im0a := real(acc0a), imag(acc0a)
+						re0b, im0b := real(acc0b), imag(acc0b)
+						rd := reDot[i]
+						rd += re0a * real(ya)
+						rd += im0a * imag(ya)
+						rd += re0b * real(yb)
+						rd += im0b * imag(yb)
+						reDot[i] = rd
+						rn := reN2[i]
+						rn += re0a * re0a
+						rn += im0a * im0a
+						rn += re0b * re0b
+						rn += im0b * im0b
+						reN2[i] = rn
+						acc1a := ce1 * hLa[i]
+						acc1b := ce1 * hLb[i]
+						re1a, im1a := real(acc1a), imag(acc1a)
+						re1b, im1b := real(acc1b), imag(acc1b)
+						id := imDot[i]
+						id += re1a * real(ya)
+						id += im1a * imag(ya)
+						id += re1b * real(yb)
+						id += im1b * imag(yb)
+						imDot[i] = id
+						in := imN2[i]
+						in += re1a * re1a
+						in += im1a * im1a
+						in += re1b * re1b
+						in += im1b * im1b
+						imN2[i] = in
+					}
+				}
+				for ; j < mr; j++ {
+					yL := y.Lane(yBase + j)[:n]
+					hL := h.Lane(j*c.nt + a)[:n]
+					for i, hv := range hL {
+						yv := yL[i]
+						yre, yim := real(yv), imag(yv)
+						acc0 := ce0 * hv
+						re0, im0 := real(acc0), imag(acc0)
+						reDot[i] += re0 * yre
+						reDot[i] += im0 * yim
+						reN2[i] += re0 * re0
+						reN2[i] += im0 * im0
+						acc1 := ce1 * hv
+						re1, im1 := real(acc1), imag(acc1)
+						imDot[i] += re1 * yre
+						imDot[i] += im1 * yim
+						imN2[i] += re1 * re1
+						imN2[i] += im1 * im1
+					}
+				}
+				continue
+			}
+			for j := 0; j < mr; j++ {
+				yL := y.Lane(yBase + j)[:n]
+				ws.acc.Resize(2, n)
+				acc0L := ws.acc.Lane(0)[:n]
+				acc1L := ws.acc.Lane(1)[:n]
+				for i := range acc0L {
+					acc0L[i] = 0
+					acc1L[i] = 0
+				}
+				for ti := range run0.terms {
+					hL := h.Lane(j*c.nt + run0.terms[ti].a)[:n]
+					ce0, ce1 := run0.terms[ti].ce, run1.terms[ti].ce
+					for i, hv := range hL {
+						acc0L[i] += ce0 * hv
+						acc1L[i] += ce1 * hv
+					}
+				}
+				for i, yv := range yL {
+					yre, yim := real(yv), imag(yv)
+					acc0 := acc0L[i]
+					re0, im0 := real(acc0), imag(acc0)
+					reDot[i] += re0 * yre
+					reDot[i] += im0 * yim
+					reN2[i] += re0 * re0
+					reN2[i] += im0 * im0
+					acc1 := acc1L[i]
+					re1, im1 := real(acc1), imag(acc1)
+					imDot[i] += re1 * yre
+					imDot[i] += im1 * yim
+					imN2[i] += re1 * re1
+					imN2[i] += im1 * im1
+				}
+			}
+		}
+		outL := out.Lane(k)[:n]
+		for i := range outL {
+			re, im := 0.0, 0.0
+			if reN2[i] > 0 {
+				re = reDot[i] / reN2[i]
+			}
+			if imN2[i] > 0 {
+				im = imDot[i] / imN2[i]
+			}
+			outL[i] = complex(re, im)
+		}
+	}
+	return out
+}
+
+// decodeRunPure is the single-term matched-filter pass for the pure
+// basis-product case (ce0 real, ce1 imaginary): filter terms become
+// r*hre / r*him and -(q*him) / q*hre, halving the multiply count of
+// the general complex product while accumulating in exactly the
+// scalar decoder's order. Two receive antennas fold per pass.
+func decodeRunPure(y, h *mathx.BatchCF64, yBase, a, nt, mr, n int, r, q float64, reDot, reN2, imDot, imN2 []float64) {
+	j := 0
+	for ; j+1 < mr; j += 2 {
+		yLa := y.Lane(yBase + j)[:n]
+		yLb := y.Lane(yBase + j + 1)[:n]
+		hLa := h.Lane(j*nt + a)[:n]
+		hLb := h.Lane((j+1)*nt + a)[:n]
+		for i := range yLa {
+			ya, yb := yLa[i], yLb[i]
+			ha, hb := hLa[i], hLb[i]
+			re0a, im0a := r*real(ha), r*imag(ha)
+			re0b, im0b := r*real(hb), r*imag(hb)
+			rd := reDot[i]
+			rd += re0a * real(ya)
+			rd += im0a * imag(ya)
+			rd += re0b * real(yb)
+			rd += im0b * imag(yb)
+			reDot[i] = rd
+			rn := reN2[i]
+			rn += re0a * re0a
+			rn += im0a * im0a
+			rn += re0b * re0b
+			rn += im0b * im0b
+			reN2[i] = rn
+			re1a, im1a := -(q * imag(ha)), q*real(ha)
+			re1b, im1b := -(q * imag(hb)), q*real(hb)
+			id := imDot[i]
+			id += re1a * real(ya)
+			id += im1a * imag(ya)
+			id += re1b * real(yb)
+			id += im1b * imag(yb)
+			imDot[i] = id
+			in := imN2[i]
+			in += re1a * re1a
+			in += im1a * im1a
+			in += re1b * re1b
+			in += im1b * im1b
+			imN2[i] = in
+		}
+	}
+	for ; j < mr; j++ {
+		yL := y.Lane(yBase + j)[:n]
+		hL := h.Lane(j*nt + a)[:n]
+		for i, hv := range hL {
+			yv := yL[i]
+			yre, yim := real(yv), imag(yv)
+			re0, im0 := r*real(hv), r*imag(hv)
+			reDot[i] += re0 * yre
+			reDot[i] += im0 * yim
+			reN2[i] += re0 * re0
+			reN2[i] += im0 * im0
+			re1, im1 := -(q * imag(hv)), q*real(hv)
+			imDot[i] += re1 * yre
+			imDot[i] += im1 * yim
+			imN2[i] += re1 * re1
+			imN2[i] += im1 * im1
+		}
+	}
+}

@@ -37,6 +37,26 @@ type symEntry struct {
 	coef complex128
 }
 
+// batchTerm is one matched-filter term of the batched decoder: antenna
+// column a and the precomputed basis product ce = Coef * sv, where sv
+// is the (possibly conjugated) ±1/±i basis value of the part. The
+// scalar decoder computes e.coef * sv * h left-to-right, so folding
+// the exact product e.coef*sv into ce leaves every remaining operation
+// — one complex multiply by h — identical.
+type batchTerm struct {
+	a  int
+	ce complex128
+}
+
+// batchRun groups the terms of one symbol sharing generator row t,
+// exactly the row runs DecodeInto discovers by scanning; precomputing
+// them lets the batched decoder skip the scan and the per-entry
+// conjugation branch.
+type batchRun struct {
+	t     int
+	terms []batchTerm
+}
+
 // Code is an orthogonal space-time block code.
 type Code struct {
 	name string
@@ -47,10 +67,15 @@ type Code struct {
 	// perSym[k] lists the generator cells transmitting symbol k in
 	// row-major order, precomputed at construction.
 	perSym [][]symEntry
+
+	// perSymPart[k][part] is the batched-decoder index: the row runs
+	// of symbol k with the part's basis value folded into each term.
+	perSymPart [][2][]batchRun
 }
 
 // newCode finalises a code: it indexes the generator by symbol so the
-// decode hot path never rescans it.
+// decode hot path never rescans it, and precompiles the per-part run
+// tables the batched decoder streams over.
 func newCode(c *Code) *Code {
 	c.perSym = make([][]symEntry, c.k)
 	for t, row := range c.gen {
@@ -60,6 +85,34 @@ func newCode(c *Code) *Code {
 			}
 			c.perSym[e.Sym] = append(c.perSym[e.Sym],
 				symEntry{t: t, a: a, conj: e.Conj, coef: e.Coef})
+		}
+	}
+	c.perSymPart = make([][2][]batchRun, c.k)
+	for k, entries := range c.perSym {
+		for part := 0; part < 2; part++ {
+			s := complex(1, 0)
+			if part == 1 {
+				s = complex(0, 1)
+			}
+			var runs []batchRun
+			for start := 0; start < len(entries); {
+				row := entries[start].t
+				end := start + 1
+				for end < len(entries) && entries[end].t == row {
+					end++
+				}
+				run := batchRun{t: row}
+				for _, e := range entries[start:end] {
+					sv := s
+					if e.conj {
+						sv = cmplx.Conj(sv)
+					}
+					run.terms = append(run.terms, batchTerm{a: e.a, ce: e.coef * sv})
+				}
+				runs = append(runs, run)
+				start = end
+			}
+			c.perSymPart[k][part] = runs
 		}
 	}
 	return c

@@ -45,8 +45,10 @@ func (x UnderlayExperiment) RunARQ(amplitude float64, maxRetries int) (ARQResult
 	transmissions := 0
 	payloadBits := 0
 	wireBits := 0
+	var ws frameScratch
 	for _, f := range x.Image.Frames {
-		wire := f.Marshal()
+		ws.wire = f.MarshalInto(ws.wire)
+		wire := ws.wire
 		payloadBits += len(f.Payload) * 8
 		ok := false
 		for attempt := 0; attempt <= maxRetries; attempt++ {
@@ -60,7 +62,7 @@ func (x UnderlayExperiment) RunARQ(amplitude float64, maxRetries int) (ARQResult
 			sum := h1 + h2*complex(math.Cos(phi), math.Sin(phi))
 			gc := real(sum)*real(sum) + imag(sum)*imag(sum)
 			p := modulation.GMSKBERAWGN(gc * gamma0)
-			if !corruptFrame(rng, append([]byte(nil), wire...), p) {
+			if !corruptFrame(rng, wire, p, &ws) {
 				ok = true
 				break
 			}

@@ -20,7 +20,18 @@ const frameOverhead = 6
 
 // Marshal serialises the frame with its CRC-32 (IEEE) trailer.
 func (f Frame) Marshal() []byte {
-	buf := make([]byte, 2+len(f.Payload)+4)
+	return f.MarshalInto(nil)
+}
+
+// MarshalInto serialises the frame into dst's backing array when it has
+// the capacity, allocating only on growth. The experiment loops marshal
+// hundreds of identically-sized frames, so one buffer serves them all.
+func (f Frame) MarshalInto(dst []byte) []byte {
+	n := 2 + len(f.Payload) + 4
+	if cap(dst) < n {
+		dst = make([]byte, n)
+	}
+	buf := dst[:n]
 	binary.BigEndian.PutUint16(buf[:2], f.Seq)
 	copy(buf[2:], f.Payload)
 	crc := crc32.ChecksumIEEE(buf[:2+len(f.Payload)])
@@ -28,26 +39,54 @@ func (f Frame) Marshal() []byte {
 	return buf
 }
 
+// FrameIntact reports whether a received buffer passes the length and
+// CRC checks. It allocates nothing — not even an error — so the PER
+// loops can call it per frame.
+func FrameIntact(buf []byte) bool {
+	if len(buf) < frameOverhead {
+		return false
+	}
+	body := buf[:len(buf)-4]
+	return crc32.ChecksumIEEE(body) == binary.BigEndian.Uint32(buf[len(buf)-4:])
+}
+
+// CheckFrame verifies a received buffer's length and CRC trailer,
+// describing the failure when there is one.
+func CheckFrame(buf []byte) error {
+	if len(buf) < frameOverhead {
+		return fmt.Errorf("testbed: frame too short (%d bytes)", len(buf))
+	}
+	if !FrameIntact(buf) {
+		return fmt.Errorf("testbed: CRC mismatch on frame %d", binary.BigEndian.Uint16(buf[:2]))
+	}
+	return nil
+}
+
 // UnmarshalFrame parses a received buffer, verifying the CRC. A CRC
 // mismatch is the packet-error event the PER metric counts.
 func UnmarshalFrame(buf []byte) (Frame, error) {
-	if len(buf) < frameOverhead {
-		return Frame{}, fmt.Errorf("testbed: frame too short (%d bytes)", len(buf))
-	}
-	body := buf[:len(buf)-4]
-	want := binary.BigEndian.Uint32(buf[len(buf)-4:])
-	if crc32.ChecksumIEEE(body) != want {
-		return Frame{}, fmt.Errorf("testbed: CRC mismatch on frame %d", binary.BigEndian.Uint16(buf[:2]))
+	if err := CheckFrame(buf); err != nil {
+		return Frame{}, err
 	}
 	return Frame{
 		Seq:     binary.BigEndian.Uint16(buf[:2]),
-		Payload: append([]byte(nil), body[2:]...),
+		Payload: append([]byte(nil), buf[2:len(buf)-4]...),
 	}, nil
 }
 
 // Bits expands bytes to one bit per entry, MSB first.
 func Bits(data []byte) []byte {
-	out := make([]byte, len(data)*8)
+	return BitsInto(nil, data)
+}
+
+// BitsInto expands bytes into dst's backing array when it has the
+// capacity, allocating only on growth.
+func BitsInto(dst, data []byte) []byte {
+	n := len(data) * 8
+	if cap(dst) < n {
+		dst = make([]byte, n)
+	}
+	out := dst[:n]
 	for i, b := range data {
 		for j := 0; j < 8; j++ {
 			out[i*8+j] = (b >> (7 - j)) & 1
@@ -58,10 +97,20 @@ func Bits(data []byte) []byte {
 
 // Bytes packs bits (len must be a multiple of 8) back into bytes.
 func Bytes(bits []byte) ([]byte, error) {
+	return BytesInto(nil, bits)
+}
+
+// BytesInto packs bits into dst's backing array when it has the
+// capacity, allocating only on growth.
+func BytesInto(dst, bits []byte) ([]byte, error) {
 	if len(bits)%8 != 0 {
 		return nil, fmt.Errorf("testbed: %d bits not a multiple of 8", len(bits))
 	}
-	out := make([]byte, len(bits)/8)
+	n := len(bits) / 8
+	if cap(dst) < n {
+		dst = make([]byte, n)
+	}
+	out := dst[:n]
 	for i := range out {
 		var b byte
 		for j := 0; j < 8; j++ {
@@ -90,8 +139,12 @@ func NewImage(frames, payloadBytes int, seed int64) (*Image, error) {
 	}
 	rng := rand.New(rand.NewSource(seed))
 	img := &Image{Frames: make([]Frame, frames)}
+	// One backing block for every payload: rand.Read carries its byte
+	// stream across calls, so slicing a shared array draws exactly the
+	// bytes per-frame allocations would.
+	backing := make([]byte, frames*payloadBytes)
 	for i := range img.Frames {
-		payload := make([]byte, payloadBytes)
+		payload := backing[i*payloadBytes : (i+1)*payloadBytes : (i+1)*payloadBytes]
 		rng.Read(payload)
 		img.Frames[i] = Frame{Seq: uint16(i), Payload: payload}
 	}

@@ -293,20 +293,40 @@ func TestFigure8Validation(t *testing.T) {
 func TestCorruptFrame(t *testing.T) {
 	rng := mathx.NewRand(15)
 	wire := Frame{Seq: 1, Payload: []byte("payload")}.Marshal()
-	// p=0: never corrupted.
+	var ws frameScratch
+	// p=0: never corrupted, and the wire itself must stay untouched.
 	for i := 0; i < 10; i++ {
-		if corruptFrame(rng, append([]byte(nil), wire...), 0) {
+		if corruptFrame(rng, wire, 0, &ws) {
 			t.Fatal("p=0 corrupted a frame")
 		}
 	}
 	// p=0.5: essentially always corrupted.
 	hits := 0
 	for i := 0; i < 50; i++ {
-		if corruptFrame(rng, append([]byte(nil), wire...), 0.5) {
+		if corruptFrame(rng, wire, 0.5, &ws) {
 			hits++
 		}
 	}
+	if err := CheckFrame(wire); err != nil {
+		t.Fatalf("corruptFrame mutated the caller's wire: %v", err)
+	}
 	if hits < 49 {
 		t.Errorf("p=0.5 corrupted only %d of 50", hits)
+	}
+}
+
+// TestCorruptFrameNoAllocs pins the steady state of the Table 4 hot
+// path: once the scratch buffers are warm, passing a full-size frame
+// through the bit-flip channel must not allocate at all.
+func TestCorruptFrameNoAllocs(t *testing.T) {
+	rng := mathx.NewRand(2)
+	wire := Frame{Seq: 3, Payload: make([]byte, 1500)}.Marshal()
+	var ws frameScratch
+	corruptFrame(rng, wire, 0.01, &ws) // warm the scratch
+	avg := testing.AllocsPerRun(50, func() {
+		corruptFrame(rng, wire, 0.01, &ws)
+	})
+	if avg != 0 {
+		t.Fatalf("corruptFrame allocates %.1f per call with warm scratch", avg)
 	}
 }

@@ -62,6 +62,17 @@ type PERResult struct {
 	DirectPER float64
 }
 
+// frameScratch holds the per-run buffers the frame loop reuses: every
+// frame in an image marshals to the same wire size, so one wire buffer,
+// one bit expansion and one repacked-byte buffer serve the whole
+// transfer. Corruption happens in the bit buffer; the wire stays
+// read-only across both arms.
+type frameScratch struct {
+	wire []byte // marshalled frame
+	bits []byte // bit-expanded wire, flipped in place
+	data []byte // bits repacked for the CRC check
+}
+
 // Run measures both arms at the given amplitude. Every frame is
 // marshalled, corrupted bit-by-bit at the fading-dependent GMSK BER,
 // and checked through the CRC — a packet error is a CRC failure, as at
@@ -79,8 +90,10 @@ func (x UnderlayExperiment) Run(amplitude float64) (PERResult, error) {
 	coopErrs, directErrs := 0, 0
 	los := complex(math.Sqrt(x.RicianK/(x.RicianK+1)), 0)
 	scatterVar := 1 / (x.RicianK + 1)
+	var ws frameScratch
 	for _, f := range x.Image.Frames {
-		wire := f.Marshal()
+		ws.wire = f.MarshalInto(ws.wire)
+		wire := ws.wire
 
 		// Fading is block-constant per frame on each transmit branch.
 		h1 := los + mathx.ComplexCN(rng, scatterVar)
@@ -89,7 +102,7 @@ func (x UnderlayExperiment) Run(amplitude float64) (PERResult, error) {
 		// Non-cooperative: single branch.
 		g1 := real(h1)*real(h1) + imag(h1)*imag(h1)
 		pDirect := modulation.GMSKBERAWGN(g1 * gamma0)
-		if x.frameLost(rng, wire, pDirect) {
+		if x.frameLost(rng, wire, pDirect, &ws) {
 			directErrs++
 		}
 
@@ -100,7 +113,7 @@ func (x UnderlayExperiment) Run(amplitude float64) (PERResult, error) {
 		sum := h1 + h2*complex(math.Cos(phi), math.Sin(phi))
 		gc := real(sum)*real(sum) + imag(sum)*imag(sum)
 		pCoop := modulation.GMSKBERAWGN(gc * gamma0)
-		if x.frameLost(rng, wire, pCoop) {
+		if x.frameLost(rng, wire, pCoop, &ws) {
 			coopErrs++
 		}
 	}
@@ -129,13 +142,15 @@ func (x UnderlayExperiment) RunTable(amplitudes []float64) ([]PERResult, error) 
 }
 
 // frameLost passes one frame through the bit-flip channel, optionally
-// under Hamming(7,4), and reports whether the CRC rejects it.
-func (x UnderlayExperiment) frameLost(rng *rand.Rand, wire []byte, p float64) bool {
+// under Hamming(7,4), and reports whether the CRC rejects it. wire is
+// read-only; the corruption happens in ws's bit buffer.
+func (x UnderlayExperiment) frameLost(rng *rand.Rand, wire []byte, p float64, ws *frameScratch) bool {
 	if !x.UseFEC {
-		return corruptFrame(rng, append([]byte(nil), wire...), p)
+		return corruptFrame(rng, wire, p, ws)
 	}
 	h := fec.Hamming74{}
-	coded, err := h.Encode(Bits(wire))
+	ws.bits = BitsInto(ws.bits, wire)
+	coded, err := h.Encode(ws.bits)
 	if err != nil {
 		return true
 	}
@@ -148,18 +163,19 @@ func (x UnderlayExperiment) frameLost(rng *rand.Rand, wire []byte, p float64) bo
 	if err != nil {
 		return true
 	}
-	data, err := Bytes(bits)
+	ws.data, err = BytesInto(ws.data, bits)
 	if err != nil {
 		return true
 	}
-	_, err = UnmarshalFrame(data)
-	return err != nil
+	return !FrameIntact(ws.data)
 }
 
 // corruptFrame flips each wire bit independently with probability p and
-// reports whether the CRC rejects the received frame.
-func corruptFrame(rng *rand.Rand, wire []byte, p float64) bool {
-	bits := Bits(wire)
+// reports whether the CRC rejects the received frame. wire itself is
+// never written; the flips land in ws.bits.
+func corruptFrame(rng *rand.Rand, wire []byte, p float64, ws *frameScratch) bool {
+	ws.bits = BitsInto(ws.bits, wire)
+	bits := ws.bits
 	flipped := false
 	for i := range bits {
 		if rng.Float64() < p {
@@ -170,10 +186,10 @@ func corruptFrame(rng *rand.Rand, wire []byte, p float64) bool {
 	if !flipped {
 		return false
 	}
-	data, err := Bytes(bits)
+	data, err := BytesInto(ws.data, bits)
 	if err != nil {
 		return true
 	}
-	_, err = UnmarshalFrame(data)
-	return err != nil
+	ws.data = data
+	return !FrameIntact(data)
 }

@@ -1,0 +1,95 @@
+// Command benchbatch measures the batched SoA coop engine against the
+// per-block scalar oracle in one process, so the speedup ratio is
+// immune to machine-load drift between runs. It drives the exact
+// BenchmarkCoopScheme configurations and prints a table plus a PASS /
+// FAIL line against the target ratio.
+//
+//	go run ./internal/tools/benchbatch [-target 2.0]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"testing"
+
+	"repro/internal/coop"
+)
+
+func main() {
+	testing.Init()
+	target := flag.Float64("target", 2.0, "minimum batch-over-scalar speedup to pass")
+	rounds := flag.Int("rounds", 5, "alternating measurement rounds; per-engine ns/op is the min across rounds")
+	benchtime := flag.String("benchtime", "300ms", "per-round measuring time")
+	flag.Parse()
+	if err := flag.Set("test.benchtime", *benchtime); err != nil {
+		fmt.Fprintln(os.Stderr, "benchbatch:", err)
+		os.Exit(1)
+	}
+
+	shapes := []struct {
+		name   string
+		mt, mr int
+	}{
+		{"1x1", 1, 1},
+		{"2x2", 2, 2},
+		{"4x4", 4, 4},
+	}
+
+	fmt.Printf("%-6s %14s %14s %9s %9s\n", "shape", "scalar ns/op", "batch ns/op", "speedup", "allocs")
+	worst := 0.0
+	for i, sh := range shapes {
+		cfg := coop.Config{Mt: sh.mt, Mr: sh.mr, B: 1, SNRPerBit: 10, Bits: 6000, Seed: 1}
+
+		// Alternate the engines and keep each one's best round: load
+		// spikes hit both engines alike, and the min discards them.
+		scalarNs, batchNs := int64(0), int64(0)
+		var batchAllocs int64
+		for round := 0; round < *rounds; round++ {
+			s := run(cfg, coop.RunScalarWith)
+			b := run(cfg, coop.RunWith)
+			if round == 0 || s.NsPerOp() < scalarNs {
+				scalarNs = s.NsPerOp()
+			}
+			if round == 0 || b.NsPerOp() < batchNs {
+				batchNs = b.NsPerOp()
+			}
+			batchAllocs = b.AllocsPerOp()
+		}
+
+		ratio := float64(scalarNs) / float64(batchNs)
+		if i == 0 || ratio < worst {
+			worst = ratio
+		}
+		fmt.Printf("%-6s %14d %14d %8.2fx %9d\n",
+			sh.name, scalarNs, batchNs, ratio, batchAllocs)
+		if batchAllocs != 0 {
+			fmt.Printf("FAIL: batch path allocates (%d allocs/op) on %s\n", batchAllocs, sh.name)
+			os.Exit(1)
+		}
+	}
+	if worst < *target {
+		fmt.Printf("FAIL: worst speedup %.2fx below target %.2fx\n", worst, *target)
+		os.Exit(1)
+	}
+	fmt.Printf("PASS: worst speedup %.2fx >= target %.2fx\n", worst, *target)
+}
+
+type engine func(*coop.Workspace, coop.Config) (coop.Result, error)
+
+func run(cfg coop.Config, fn engine) testing.BenchmarkResult {
+	ws := coop.NewWorkspace()
+	// Warm the workspace so steady-state allocation is measured.
+	if _, err := fn(ws, cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "benchbatch:", err)
+		os.Exit(1)
+	}
+	return testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := fn(ws, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

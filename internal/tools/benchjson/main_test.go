@@ -77,13 +77,13 @@ func TestCompareFiles(t *testing.T) {
 		}
 	}
 	write(oldP, `{"date":"2026-01-01","benchmarks":[
-		{"name":"BenchmarkA","iters":100,"metrics":{"ns/op":1000}},
-		{"name":"BenchmarkB","iters":100,"metrics":{"ns/op":1000}}]}`)
+		{"name":"BenchmarkA","iters":100000,"metrics":{"ns/op":1000}},
+		{"name":"BenchmarkB","iters":100000,"metrics":{"ns/op":1000}}]}`)
 
 	// Within threshold: 10% growth on A, B unchanged.
 	write(newP, `{"date":"2026-01-02","benchmarks":[
-		{"name":"BenchmarkA","iters":100,"metrics":{"ns/op":1100}},
-		{"name":"BenchmarkB","iters":100,"metrics":{"ns/op":1000}},
+		{"name":"BenchmarkA","iters":100000,"metrics":{"ns/op":1100}},
+		{"name":"BenchmarkB","iters":100000,"metrics":{"ns/op":1000}},
 		{"name":"BenchmarkNew","iters":100,"metrics":{"ns/op":5}}]}`)
 	var sb strings.Builder
 	worse, err := compareFiles(oldP, newP, 0.20, &sb)
@@ -100,7 +100,7 @@ func TestCompareFiles(t *testing.T) {
 
 	// Over threshold: 50% growth on B; A vanished from the new run.
 	write(newP, `{"date":"2026-01-02","benchmarks":[
-		{"name":"BenchmarkB","iters":100,"metrics":{"ns/op":1500}}]}`)
+		{"name":"BenchmarkB","iters":100000,"metrics":{"ns/op":1500}}]}`)
 	sb.Reset()
 	worse, err = compareFiles(oldP, newP, 0.20, &sb)
 	if err != nil {
@@ -144,5 +144,169 @@ func TestCompareOnlyNewAndMissingSucceeds(t *testing.T) {
 		if !strings.Contains(sb.String(), want) {
 			t.Errorf("output missing %q:\n%s", want, sb.String())
 		}
+	}
+}
+
+// TestCompareAllocGate pins the allocation rules: a 0-alloc baseline
+// fails on any new allocation, a nonzero baseline tolerates growth up
+// to the threshold and fails past it, and shrinking allocs never fails.
+func TestCompareAllocGate(t *testing.T) {
+	dir := t.TempDir()
+	oldP := filepath.Join(dir, "old.json")
+	newP := filepath.Join(dir, "new.json")
+	write := func(path, body string) {
+		t.Helper()
+		if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write(oldP, `{"date":"2026-01-01","benchmarks":[
+		{"name":"BenchmarkZero","iters":100,"metrics":{"ns/op":1000,"allocs/op":0}},
+		{"name":"BenchmarkSome","iters":100,"metrics":{"ns/op":1000,"allocs/op":100}}]}`)
+
+	// One alloc appears on the 0-alloc benchmark: fail even though ns/op
+	// is flat and the proportional rule could never trip.
+	write(newP, `{"date":"2026-01-02","benchmarks":[
+		{"name":"BenchmarkZero","iters":100,"metrics":{"ns/op":1000,"allocs/op":1}},
+		{"name":"BenchmarkSome","iters":100,"metrics":{"ns/op":1000,"allocs/op":100}}]}`)
+	var sb strings.Builder
+	worse, err := compareFiles(oldP, newP, 0.20, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !worse {
+		t.Errorf("new alloc on 0-alloc benchmark not flagged:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), "ALLOCS") {
+		t.Errorf("missing ALLOCS tag:\n%s", sb.String())
+	}
+
+	// 15% alloc growth on the nonzero benchmark: within threshold.
+	write(newP, `{"date":"2026-01-02","benchmarks":[
+		{"name":"BenchmarkZero","iters":100,"metrics":{"ns/op":1000,"allocs/op":0}},
+		{"name":"BenchmarkSome","iters":100,"metrics":{"ns/op":1000,"allocs/op":115}}]}`)
+	sb.Reset()
+	worse, err = compareFiles(oldP, newP, 0.20, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if worse {
+		t.Errorf("15%% alloc growth flagged:\n%s", sb.String())
+	}
+
+	// 50% alloc growth: over threshold.
+	write(newP, `{"date":"2026-01-02","benchmarks":[
+		{"name":"BenchmarkZero","iters":100,"metrics":{"ns/op":1000,"allocs/op":0}},
+		{"name":"BenchmarkSome","iters":100,"metrics":{"ns/op":1000,"allocs/op":150}}]}`)
+	sb.Reset()
+	worse, err = compareFiles(oldP, newP, 0.20, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !worse {
+		t.Errorf("50%% alloc growth not flagged:\n%s", sb.String())
+	}
+
+	// Allocations collapsing (the point of an optimisation PR) passes.
+	write(newP, `{"date":"2026-01-02","benchmarks":[
+		{"name":"BenchmarkZero","iters":100,"metrics":{"ns/op":1000,"allocs/op":0}},
+		{"name":"BenchmarkSome","iters":100,"metrics":{"ns/op":1000,"allocs/op":3}}]}`)
+	sb.Reset()
+	worse, err = compareFiles(oldP, newP, 0.20, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if worse {
+		t.Errorf("alloc collapse flagged as regression:\n%s", sb.String())
+	}
+}
+
+// TestParseBenchMinMerge pins the -count=N handling: repeated names
+// collapse to the fastest repetition, carrying that run's full metric
+// set.
+func TestParseBenchMinMerge(t *testing.T) {
+	in := `goos: linux
+BenchmarkHot-8   100   1500 ns/op   64 B/op   2 allocs/op
+BenchmarkCold-8  100   9000 ns/op
+BenchmarkHot-8   100   1200 ns/op   64 B/op   2 allocs/op
+BenchmarkHot-8   100   1900 ns/op   64 B/op   2 allocs/op
+PASS
+`
+	f, err := parseBench(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Benchmarks) != 2 {
+		t.Fatalf("got %d benchmarks, want 2: %+v", len(f.Benchmarks), f.Benchmarks)
+	}
+	byName := map[string]Result{}
+	for _, b := range f.Benchmarks {
+		byName[b.Name] = b
+	}
+	if got := byName["BenchmarkHot"].Metrics["ns/op"]; got != 1200 {
+		t.Errorf("BenchmarkHot ns/op = %v, want the 1200 minimum", got)
+	}
+	if got := byName["BenchmarkHot"].Metrics["allocs/op"]; got != 2 {
+		t.Errorf("BenchmarkHot allocs/op = %v, want 2", got)
+	}
+	if got := byName["BenchmarkCold"].Metrics["ns/op"]; got != 9000 {
+		t.Errorf("BenchmarkCold ns/op = %v, want 9000", got)
+	}
+}
+
+// TestCompareShortBenchmarkFloor pins the noise floor: a sub-quantum
+// benchmark's ns/op swing is tagged "short" and never fails the gate,
+// but its exact allocation contract still does.
+func TestCompareShortBenchmarkFloor(t *testing.T) {
+	dir := t.TempDir()
+	oldP := filepath.Join(dir, "old.json")
+	newP := filepath.Join(dir, "new.json")
+	write := func(path, body string) {
+		t.Helper()
+		if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 100 iters x 50 ns = 5 us measured: far below the 5 ms floor.
+	write(oldP, `{"date":"2026-01-01","benchmarks":[
+		{"name":"BenchmarkTiny","iters":100,"metrics":{"ns/op":50,"allocs/op":0}}]}`)
+	write(newP, `{"date":"2026-01-02","benchmarks":[
+		{"name":"BenchmarkTiny","iters":100,"metrics":{"ns/op":100,"allocs/op":0}}]}`)
+	var sb strings.Builder
+	worse, err := compareFiles(oldP, newP, 0.20, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if worse {
+		t.Errorf("sub-quantum ns/op swing failed the gate:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), "short") {
+		t.Errorf("noisy micro-benchmark not tagged short:\n%s", sb.String())
+	}
+
+	// The same tiny benchmark gaining an allocation still fails.
+	write(newP, `{"date":"2026-01-02","benchmarks":[
+		{"name":"BenchmarkTiny","iters":100,"metrics":{"ns/op":50,"allocs/op":1}}]}`)
+	sb.Reset()
+	worse, err = compareFiles(oldP, newP, 0.20, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !worse {
+		t.Errorf("alloc gain on a short benchmark not flagged:\n%s", sb.String())
+	}
+
+	// Above the floor (1e7 iters x 50 ns = 0.5 s) the same swing fails.
+	write(oldP, `{"date":"2026-01-01","benchmarks":[
+		{"name":"BenchmarkTiny","iters":10000000,"metrics":{"ns/op":50,"allocs/op":0}}]}`)
+	write(newP, `{"date":"2026-01-02","benchmarks":[
+		{"name":"BenchmarkTiny","iters":10000000,"metrics":{"ns/op":100,"allocs/op":0}}]}`)
+	sb.Reset()
+	worse, err = compareFiles(oldP, newP, 0.20, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !worse {
+		t.Errorf("measured 2x regression not flagged:\n%s", sb.String())
 	}
 }

@@ -26,6 +26,9 @@ go test -race ./...
 echo ">> bench smoke (1 iteration)"
 go test -run=NONE -bench=. -benchtime=1x . >/dev/null
 
+echo ">> bench compare (ns/op + allocs/op gate vs committed baseline)"
+make bench-compare
+
 echo ">> cluster smoke (loopback coordinator, 3 workers, 1 induced death)"
 go run ./internal/tools/clustersmoke
 
