@@ -1,7 +1,7 @@
 # Tier-1 verification plus the race detector. `make verify` is what CI
 # and pre-merge checks should run.
 
-.PHONY: verify vet fmt-check build test race bench bench-compare bench-batch metrics-smoke cluster-smoke campaign-smoke loadgen-smoke trace-smoke
+.PHONY: verify vet fmt-check build test race bench bench-compare bench-batch metrics-smoke cluster-smoke campaign-smoke loadgen-smoke trace-smoke cellfree-smoke
 
 BENCH_DATE := $(shell date +%Y-%m-%d)
 BENCH_JSON := BENCH_$(BENCH_DATE).json
@@ -80,6 +80,14 @@ trace-smoke:
 # check of internal/tenant scheduling.
 loadgen-smoke:
 	go run ./internal/tools/loadgen/cmd
+
+# Runs ext-cellfree serially — asserting MMSE combining beats MR at
+# every SE quantile, an exact seed-sharing invariant — then through a
+# 3-worker loopback cluster with one induced death, requiring the
+# merged report to match the serial golden byte-for-byte. End-to-end
+# check of the cell-free scenario kernels (internal/cellfree).
+cellfree-smoke:
+	go run ./internal/tools/cellfreesmoke
 
 # Runs a checkpointing campaign in a child process, SIGKILLs it
 # mid-experiment, resumes from the durable checkpoints and requires the

@@ -349,3 +349,32 @@ func BenchmarkEnergyDetector(b *testing.B) {
 		det.Sense(rng, i%2 == 0, 0.1)
 	}
 }
+
+// BenchmarkMathxLarge exercises mathx at the cell-free dimensions
+// (100x400 products, 100-dim Hermitian solves with 40 right-hand
+// sides) so the bench-regression gate covers the large regime the
+// internal/cellfree combiners run in, not just the 4x4 hop matrices.
+func BenchmarkMathxLarge(b *testing.B) {
+	b.ReportAllocs()
+	rng := mathx.NewRand(1)
+	h := mathx.NewCMat(100, 400).RandCN(rng)
+	hH := h.ConjTransposeInto(nil)
+	gram := mathx.NewCMat(100, 100)
+	var ch mathx.Cholesky
+	rhs := mathx.NewBatchCF64(100, 40)
+	seed := mathx.NewCMat(100, 40).RandCN(rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.MulInto(hH, gram)
+		for d := 0; d < gram.Rows; d++ {
+			gram.Set(d, d, gram.At(d, d)+100)
+		}
+		if err := ch.Factor(gram); err != nil {
+			b.Fatal(err)
+		}
+		// seed is row-major dim-by-rhs, which is exactly the lane-major
+		// staging layout of the batch solver.
+		copy(rhs.Data, seed.Data)
+		ch.SolveBatchInto(rhs)
+	}
+}

@@ -87,7 +87,7 @@ func (s Spec) Validate() error {
 		knownIDs[id] = true
 	}
 	knownKernels := make(map[string]bool)
-	for _, k := range sim.KernelIDs() {
+	for _, k := range sim.Kernels() {
 		knownKernels[k] = true
 	}
 	for i, e := range s.Experiments {
@@ -107,7 +107,7 @@ func (s Spec) Validate() error {
 		default:
 			if !knownKernels[e.Kernel] {
 				return fmt.Errorf("campaign: experiment %d: unknown kernel %q (have %s)",
-					i, e.Kernel, strings.Join(sim.KernelIDs(), ", "))
+					i, e.Kernel, strings.Join(sim.Kernels(), ", "))
 			}
 			if e.Trials <= 0 {
 				return fmt.Errorf("campaign: experiment %d: kernel entry needs a positive trials budget", i)

@@ -65,3 +65,43 @@ func (l LongHaulPathLoss) DistanceForGain(g float64) float64 {
 	}
 	return math.Sqrt(g*l.GtGr*l.Lambda*l.Lambda/(l.Ml*l.Nf)) / (4 * math.Pi)
 }
+
+// ThreeSlopePathLoss is the piecewise model of the cell-free massive
+// MIMO literature (Ngo et al., "Cell-Free Massive MIMO Versus Small
+// Cells"): free-space-like decay (exponent 2) between the breakpoints
+// D0 and D1, exponent 3.5 beyond D1, and a constant floor below D0 so
+// a user standing next to an access point cannot see unbounded gain.
+// The segments join continuously at both breakpoints.
+type ThreeSlopePathLoss struct {
+	// LRefDB is the reference loss at 1 km on the outer slope, in dB
+	// (Ngo's constants for 1.9 GHz and 15 m/1.65 m antenna heights give
+	// 140.7).
+	LRefDB float64
+	// D0, D1 are the inner and outer breakpoint distances in metres
+	// (typically 10 and 50).
+	D0, D1 float64
+}
+
+// GainDB returns the channel gain (negative of the path loss) in dB at
+// distance d metres.
+func (p ThreeSlopePathLoss) GainDB(d float64) float64 {
+	if d < 0 {
+		panic(fmt.Sprintf("channel: negative distance %g", d))
+	}
+	if d < p.D0 {
+		d = p.D0
+	}
+	km := d / 1000
+	if d > p.D1 {
+		return -p.LRefDB - 35*math.Log10(km)
+	}
+	// Inside D1 the exponent drops to 2; the -15 log10(D1) term makes
+	// the two segments meet: at d = D1 both branches read
+	// -LRef - 35 log10(D1/1000).
+	return -p.LRefDB - 15*math.Log10(p.D1/1000) - 20*math.Log10(km)
+}
+
+// Gain returns the linear channel gain at distance d metres.
+func (p ThreeSlopePathLoss) Gain(d float64) float64 {
+	return math.Pow(10, p.GainDB(d)/10)
+}

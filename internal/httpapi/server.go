@@ -33,6 +33,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/obs"
 	"repro/internal/service"
+	"repro/internal/sim"
 	"repro/internal/tenant"
 )
 
@@ -186,6 +187,10 @@ func NewMux(svc *service.Service, cfg Config) http.Handler {
 
 	mux.HandleFunc("GET /v1/experiments", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{"experiments": service.KnownExperimentIDs()})
+	})
+
+	mux.HandleFunc("GET /v1/kernels", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"kernels": sim.Kernels()})
 	})
 
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {

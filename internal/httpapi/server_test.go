@@ -269,8 +269,24 @@ func TestValidationAndHealth(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("list: status=%d", resp.StatusCode)
 	}
-	if ids, _ := body["experiments"].([]any); len(ids) != 15 {
+	if ids, _ := body["experiments"].([]any); len(ids) != 16 {
 		t.Errorf("experiment list = %v", body["experiments"])
+	}
+
+	resp, body = getJSON(t, ts.URL+"/v1/kernels")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("kernels: status=%d", resp.StatusCode)
+	}
+	kernels, _ := body["kernels"].([]any)
+	found := map[string]bool{}
+	for _, k := range kernels {
+		name, _ := k.(string)
+		found[name] = true
+	}
+	for _, want := range []string{"coop.ber", "multihop.ber", "cellfree.se", "cellfree.se.mmse"} {
+		if !found[want] {
+			t.Errorf("GET /v1/kernels = %v missing %q", body["kernels"], want)
+		}
 	}
 
 	httpResp, err := http.Get(ts.URL + "/metrics")

@@ -1,0 +1,146 @@
+package mathx
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// Cholesky is the lower-triangular factorization A = L L^H of a
+// Hermitian positive-definite matrix. It is the linear-algebra
+// workhorse of the cell-free MMSE combiners (internal/cellfree), where
+// A is a per-cluster Gram matrix of up to a few hundred dimensions —
+// two orders of magnitude beyond the 4x4 matrices the cooperative-hop
+// kernels solve — so the factor and solves reuse their buffers the same
+// way the small-matrix hot paths do.
+type Cholesky struct {
+	// L holds the lower-triangular factor; entries above the diagonal
+	// are left untouched scratch and must not be read.
+	L *CMat
+}
+
+// Factor computes the Cholesky factorization of a, which must be
+// Hermitian positive definite; only a's lower triangle (diagonal
+// included) is read, so callers may leave the strict upper triangle
+// unfilled. The factor is written into c.L (reshaped via EnsureShape,
+// allocated when nil), and a is not modified unless c.L aliases it —
+// in-place factorization via c.L == a is allowed. A non-positive pivot
+// reports an error naming the failing dimension.
+func (c *Cholesky) Factor(a *CMat) error {
+	if a.Rows != a.Cols {
+		return fmt.Errorf("mathx: Cholesky of non-square %dx%d matrix", a.Rows, a.Cols)
+	}
+	n := a.Rows
+	if c.L != a {
+		c.L = EnsureShape(c.L, n, n)
+	}
+	l := c.L
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			// s = a_ij - sum_{k<j} l_ik * conj(l_jk), rows of the factor
+			// built left to right so the in-place case reads only
+			// finished entries.
+			s := a.Data[i*a.Cols+j]
+			li := l.Data[i*n:]
+			lj := l.Data[j*n:]
+			for k := 0; k < j; k++ {
+				s -= li[k] * cmplx.Conj(lj[k])
+			}
+			if i == j {
+				re := real(s)
+				if !(re > 0) || math.Abs(imag(s)) > 1e-9*math.Max(1, re) {
+					return fmt.Errorf("mathx: Cholesky pivot %d not positive definite (got %v)", i, s)
+				}
+				l.Data[i*n+j] = complex(math.Sqrt(re), 0)
+			} else {
+				l.Data[i*n+j] = s / lj[j]
+			}
+		}
+	}
+	return nil
+}
+
+// SolveVecInto solves A x = b for one right-hand side using the
+// computed factor, writing x into dst (which may alias b) and returning
+// it. dst is grown as needed.
+func (c *Cholesky) SolveVecInto(dst, b []complex128) []complex128 {
+	n := c.L.Rows
+	if len(b) != n {
+		panic(fmt.Sprintf("mathx: Cholesky solve dim mismatch %d vs %d", len(b), n))
+	}
+	if cap(dst) < n {
+		dst = make([]complex128, n)
+	}
+	dst = dst[:n]
+	if &dst[0] != &b[0] {
+		copy(dst, b)
+	}
+	l := c.L
+	// Forward substitution L y = b.
+	for i := 0; i < n; i++ {
+		s := dst[i]
+		li := l.Data[i*n:]
+		for k := 0; k < i; k++ {
+			s -= li[k] * dst[k]
+		}
+		dst[i] = s / li[i]
+	}
+	// Back substitution L^H x = y.
+	for i := n - 1; i >= 0; i-- {
+		s := dst[i]
+		for k := i + 1; k < n; k++ {
+			s -= cmplx.Conj(l.Data[k*n+i]) * dst[k]
+		}
+		dst[i] = s / l.Data[i*n+i]
+	}
+	return dst
+}
+
+// SolveBatchInto solves A X = B for many right-hand sides at once,
+// in place: rhs holds the vectors lane-major (lane r is component r of
+// every right-hand side, rhs.N vectors wide), exactly the BatchCF64
+// staging layout of the batched trial kernels. On return the same
+// buffer holds the solutions. The per-column operation order matches
+// SolveVecInto, so batch solutions are bit-identical to one-at-a-time
+// solves — the property the cell-free golden tests lean on when UEs
+// sharing a cooperation cluster share one factorization.
+func (c *Cholesky) SolveBatchInto(rhs *BatchCF64) {
+	n := c.L.Rows
+	if rhs.Lanes != n {
+		panic(fmt.Sprintf("mathx: Cholesky batch solve dim mismatch %d vs %d", rhs.Lanes, n))
+	}
+	l := c.L
+	w := rhs.N
+	// Forward substitution, all columns per row: the inner loops walk
+	// contiguous lanes, which keeps them long and branch-free.
+	for i := 0; i < n; i++ {
+		xi := rhs.Data[i*w : (i+1)*w]
+		li := l.Data[i*n:]
+		for k := 0; k < i; k++ {
+			a := li[k]
+			xk := rhs.Data[k*w : (k+1)*w]
+			for j := range xi {
+				xi[j] -= a * xk[j]
+			}
+		}
+		d := li[i]
+		for j := range xi {
+			xi[j] /= d
+		}
+	}
+	// Back substitution.
+	for i := n - 1; i >= 0; i-- {
+		xi := rhs.Data[i*w : (i+1)*w]
+		for k := i + 1; k < n; k++ {
+			a := cmplx.Conj(l.Data[k*n+i])
+			xk := rhs.Data[k*w : (k+1)*w]
+			for j := range xi {
+				xi[j] -= a * xk[j]
+			}
+		}
+		d := l.Data[i*n+i]
+		for j := range xi {
+			xi[j] /= d
+		}
+	}
+}

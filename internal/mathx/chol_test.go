@@ -1,0 +1,180 @@
+package mathx
+
+import (
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+// naiveMul is the reference product: the textbook triple loop with no
+// skip-zero shortcuts, accumulating in source order. The large-dimension
+// property tests pin the optimized kernels against it because the
+// cell-free workloads are the first to exercise 100x400 shapes.
+func naiveMul(a, b *CMat) *CMat {
+	c := NewCMat(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		for k := 0; k < a.Cols; k++ {
+			for j := 0; j < b.Cols; j++ {
+				c.Data[i*c.Cols+j] += a.At(i, k) * b.At(k, j)
+			}
+		}
+	}
+	return c
+}
+
+func TestMulIntoLargeMatchesNaive(t *testing.T) {
+	rng := NewRand(7)
+	a := NewCMat(100, 400).RandCN(rng)
+	b := NewCMat(400, 100).RandCN(rng)
+	// Sprinkle exact zeros so MulInto's skip-zero branch is on the path.
+	for i := 0; i < 400; i++ {
+		a.Data[rng.Intn(len(a.Data))] = 0
+	}
+	got := a.Mul(b)
+	want := naiveMul(a, b)
+	// The skip-zero shortcut elides exact-zero terms, which cannot
+	// change a finite sum, so equality is exact.
+	if !got.Equal(want, 0) {
+		t.Fatal("MulInto at 100x400 diverged from the naive reference")
+	}
+}
+
+func TestTransposeIntoLarge(t *testing.T) {
+	rng := NewRand(8)
+	a := NewCMat(100, 400).RandCN(rng)
+	tr := a.TransposeInto(nil)
+	ct := a.ConjTransposeInto(nil)
+	if tr.Rows != 400 || tr.Cols != 100 || ct.Rows != 400 || ct.Cols != 100 {
+		t.Fatalf("transpose dims: %dx%d / %dx%d", tr.Rows, tr.Cols, ct.Rows, ct.Cols)
+	}
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < a.Cols; j++ {
+			if tr.At(j, i) != a.At(i, j) {
+				t.Fatalf("TransposeInto(%d,%d) drifted", i, j)
+			}
+			if ct.At(j, i) != cmplx.Conj(a.At(i, j)) {
+				t.Fatalf("ConjTransposeInto(%d,%d) drifted", i, j)
+			}
+		}
+	}
+	// Round trip: (A^T)^T = A, exactly.
+	if !tr.TransposeInto(nil).Equal(a, 0) {
+		t.Fatal("double transpose is not the identity")
+	}
+}
+
+// randomHPD builds a well-conditioned Hermitian positive-definite
+// matrix A = B B^H + n I (full matrix, so tests can also multiply
+// with it even though Factor only reads the lower triangle).
+func randomHPD(rng *rand.Rand, n int) *CMat {
+	b := NewCMat(n, n).RandCN(rng)
+	a := b.Mul(b.ConjTranspose())
+	for i := 0; i < n; i++ {
+		a.Set(i, i, a.At(i, i)+complex(float64(n), 0))
+	}
+	return a
+}
+
+func TestCholeskySolveLarge(t *testing.T) {
+	const n = 120
+	rng := NewRand(9)
+	a := randomHPD(rng, n)
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	b := a.MulVec(x)
+
+	var ch Cholesky
+	if err := ch.Factor(a); err != nil {
+		t.Fatal(err)
+	}
+	// L L^H must reproduce A.
+	l := NewCMat(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			l.Set(i, j, ch.L.At(i, j))
+		}
+	}
+	if !l.Mul(l.ConjTranspose()).Equal(a, 1e-8*float64(n)) {
+		t.Fatal("L L^H does not reproduce A")
+	}
+
+	got := ch.SolveVecInto(nil, b)
+	for i := range x {
+		if cmplx.Abs(got[i]-x[i]) > 1e-8 {
+			t.Fatalf("solve[%d] = %v, want %v", i, got[i], x[i])
+		}
+	}
+}
+
+// TestCholeskySolveBatchBitIdentical pins the property the cell-free
+// combiner relies on: solving k right-hand sides through the lane-major
+// batch path yields bit-for-bit the vectors the scalar solver produces.
+func TestCholeskySolveBatchBitIdentical(t *testing.T) {
+	const n, k = 100, 40
+	rng := NewRand(10)
+	a := randomHPD(rng, n)
+	var ch Cholesky
+	if err := ch.Factor(a); err != nil {
+		t.Fatal(err)
+	}
+
+	rhs := NewBatchCF64(n, k)
+	cols := make([][]complex128, k)
+	for j := 0; j < k; j++ {
+		cols[j] = make([]complex128, n)
+		for i := 0; i < n; i++ {
+			v := complex(rng.NormFloat64(), rng.NormFloat64())
+			cols[j][i] = v
+			rhs.Set(i, j, v)
+		}
+	}
+	ch.SolveBatchInto(rhs)
+	for j := 0; j < k; j++ {
+		want := ch.SolveVecInto(nil, cols[j])
+		for i := 0; i < n; i++ {
+			if rhs.At(i, j) != want[i] {
+				t.Fatalf("batch solve col %d row %d: %v != %v", j, i, rhs.At(i, j), want[i])
+			}
+		}
+	}
+}
+
+func TestCholeskyFactorInPlace(t *testing.T) {
+	const n = 60
+	rng := NewRand(11)
+	a := randomHPD(rng, n)
+	ref := a.Clone()
+
+	var out Cholesky
+	if err := out.Factor(a); err != nil {
+		t.Fatal(err)
+	}
+	inplace := Cholesky{L: ref}
+	if err := inplace.Factor(ref); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			if out.L.At(i, j) != inplace.L.At(i, j) {
+				t.Fatalf("in-place factor (%d,%d) differs", i, j)
+			}
+		}
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	a := NewCMat(2, 2)
+	a.Set(0, 0, 1)
+	a.Set(1, 0, 0)
+	a.Set(1, 1, -1) // negative pivot
+	var ch Cholesky
+	if err := ch.Factor(a); err == nil {
+		t.Fatal("factored an indefinite matrix")
+	}
+	r := NewCMat(2, 3)
+	if err := ch.Factor(r); err == nil {
+		t.Fatal("factored a non-square matrix")
+	}
+}

@@ -95,13 +95,19 @@ func (m *CMat) TransposeInto(dst *CMat) *CMat {
 
 // ConjTranspose returns M^H.
 func (m *CMat) ConjTranspose() *CMat {
-	t := NewCMat(m.Cols, m.Rows)
+	return m.ConjTransposeInto(nil)
+}
+
+// ConjTransposeInto writes M^H into dst (reshaped as needed; allocated
+// when nil) and returns it. dst must not alias m.
+func (m *CMat) ConjTransposeInto(dst *CMat) *CMat {
+	dst = EnsureShape(dst, m.Cols, m.Rows)
 	for i := 0; i < m.Rows; i++ {
 		for j := 0; j < m.Cols; j++ {
-			t.Set(j, i, cmplx.Conj(m.At(i, j)))
+			dst.Set(j, i, cmplx.Conj(m.At(i, j)))
 		}
 	}
-	return t
+	return dst
 }
 
 // Mul returns the matrix product m*o.

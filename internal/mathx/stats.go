@@ -118,6 +118,30 @@ func Median(xs []float64) float64 {
 	return (c[n/2-1] + c[n/2]) / 2
 }
 
+// Quantile returns the q-th quantile (q in [0, 1]) of an ascending
+// sorted slice, linearly interpolating between order statistics —
+// Quantile(sorted, 0.5) equals Median. The caller sorts so hot loops
+// can reuse one scratch slice across calls.
+func Quantile(sorted []float64, q float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[n-1]
+	}
+	pos := q * float64(n-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if frac == 0 || lo+1 >= n {
+		return sorted[lo]
+	}
+	return sorted[lo] + frac*(sorted[lo+1]-sorted[lo])
+}
+
 // MinMax returns the extrema of xs; it panics on an empty slice because
 // callers always operate on freshly generated sweeps.
 func MinMax(xs []float64) (lo, hi float64) {

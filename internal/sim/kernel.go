@@ -48,8 +48,10 @@ func RegisterKernel(name string, k KernelFunc) {
 	kernels.m[name] = k
 }
 
-// KernelIDs lists the registered kernel names in stable order.
-func KernelIDs() []string {
+// Kernels lists the registered kernel names in sorted order. It is the
+// discovery surface both for operators (GET /v1/kernels on the daemon)
+// and for error messages, so its order must be stable across processes.
+func Kernels() []string {
 	kernels.RLock()
 	defer kernels.RUnlock()
 	ids := make([]string, 0, len(kernels.m))
@@ -66,7 +68,7 @@ func NewKernelBatch(name string, params map[string]float64) (BatchFunc, error) {
 	k, ok := kernels.m[name]
 	kernels.RUnlock()
 	if !ok {
-		return nil, fmt.Errorf("sim: unknown kernel %q (have %s)", name, strings.Join(KernelIDs(), ", "))
+		return nil, fmt.Errorf("sim: unknown kernel %q (have %s)", name, strings.Join(Kernels(), ", "))
 	}
 	return k(params)
 }

@@ -8,7 +8,7 @@ import (
 )
 
 func TestKernelsRegistered(t *testing.T) {
-	for _, name := range []string{"coop.ber", "multihop.ber"} {
+	for _, name := range []string{"coop.ber", "multihop.ber", "cellfree.se", "cellfree.se.mmse"} {
 		if _, err := sim.NewKernelBatch(name, nil); err != nil {
 			t.Errorf("kernel %q not buildable with defaults: %v", name, err)
 		}
@@ -25,6 +25,11 @@ func TestKernelRejectsBadParams(t *testing.T) {
 		{"coop.ber", map[string]float64{"bits": -1}},
 		{"multihop.ber", map[string]float64{"hops": 0}},
 		{"multihop.ber", map[string]float64{"b": 99}},
+		{"cellfree.se", map[string]float64{"l": 0}},
+		{"cellfree.se", map[string]float64{"l": 2.5}},
+		{"cellfree.se", map[string]float64{"tau_c": 4, "tau_p": 4}},
+		{"cellfree.se.mmse", map[string]float64{"q": 1.5}},
+		{"cellfree.se.mmse", map[string]float64{"n": 128}},
 	}
 	for _, tc := range cases {
 		if _, err := sim.NewKernelBatch(tc.kernel, tc.params); err == nil {
@@ -54,5 +59,36 @@ func TestKernelDeterministic(t *testing.T) {
 	}
 	if a.Mean() <= 0 || a.Mean() >= 0.5 {
 		t.Fatalf("BER mean %v outside (0, 0.5)", a.Mean())
+	}
+}
+
+// TestCellfreeKernelOrdering checks the cellfree kernels end to end
+// through the registry: both are deterministic, both consume identical
+// rng streams, and on those shared snapshots the MMSE median SE
+// dominates MR's — the ordering the ext-cellfree report asserts.
+func TestCellfreeKernelOrdering(t *testing.T) {
+	params := map[string]float64{"l": 10, "k": 6, "tau_p": 3}
+	run := func(kernel string) mathx.Running {
+		batch, err := sim.NewKernelBatch(kernel, params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return batch(mathx.NewRand(7), 20)
+	}
+	mr, mm := run("cellfree.se"), run("cellfree.se.mmse")
+	if mr != run("cellfree.se") {
+		t.Fatal("cellfree.se not deterministic")
+	}
+	if mm != run("cellfree.se.mmse") {
+		t.Fatal("cellfree.se.mmse not deterministic")
+	}
+	if mr.N() != 20 || mm.N() != 20 {
+		t.Fatalf("N = %d/%d, want 20", mr.N(), mm.N())
+	}
+	if !(mr.Mean() > 0) {
+		t.Fatalf("MR median SE %v not positive", mr.Mean())
+	}
+	if mm.Mean() < mr.Mean() {
+		t.Fatalf("MMSE median SE %v below MR %v on shared snapshots", mm.Mean(), mr.Mean())
 	}
 }

@@ -35,6 +35,9 @@ go run ./internal/tools/clustersmoke
 echo ">> trace smoke (distributed trace merge, retry evidence, chrome export)"
 go run ./internal/tools/tracesmoke
 
+echo ">> cellfree smoke (MMSE >= MR per quantile, distributed golden identity)"
+go run ./internal/tools/cellfreesmoke
+
 echo ">> campaign smoke (SIGKILL mid-experiment, resume from checkpoints)"
 go run ./internal/tools/campaignsmoke
 
