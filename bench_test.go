@@ -7,11 +7,13 @@ package cogmimo
 // clustering, STBC decoding, CSMA contention).
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
 	"testing"
 
+	"repro/internal/adaptive"
 	"repro/internal/beamform"
 	"repro/internal/channel"
 	"repro/internal/coop"
@@ -335,6 +337,30 @@ func BenchmarkMultihopRoute(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkAdaptiveBudget runs one Wilson-stopped deep-BER point and
+// reports the realized spend as trials-to-target. The bench artifact
+// pins how many trials the stopping rule needs at a ±10% target; a
+// stopping-rule regression shows up as a trials-to-target jump and,
+// proportionally, as an ns/op regression bench-compare gates on.
+func BenchmarkAdaptiveBudget(b *testing.B) {
+	b.ReportAllocs()
+	params := map[string]float64{"mt": 2, "mr": 2, "snr_db": 5, "bits": 32}
+	budget := adaptive.Budget{TargetRelCI: 0.10, MaxTrials: 32 * sim.ChunkSize}
+	mc := sim.MonteCarlo{Seed: 1}
+	var trials int
+	for i := 0; i < b.N; i++ {
+		res, err := adaptive.Run(context.Background(), mc, "coop.ber.adaptive", params, budget)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Trace.Stopped {
+			b.Fatal("budget exhausted before the CI target was met")
+		}
+		trials = res.Trace.Trials
+	}
+	b.ReportMetric(float64(trials), "trials-to-target")
 }
 
 // BenchmarkEnergyDetector measures one sensing decision.

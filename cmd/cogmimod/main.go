@@ -82,6 +82,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/adaptive"
 	"repro/internal/campaign"
 	"repro/internal/cluster"
 	"repro/internal/httpapi"
@@ -113,6 +114,9 @@ func main() {
 
 		traceBuf  = flag.Int("trace-buffer", 256, "traces kept in the in-process recorder ring (0 disables tracing)")
 		traceSlow = flag.Duration("trace-slow", 10*time.Second, "pin the trace of any job slower than this (0 = off; needs -trace-buffer > 0)")
+
+		targetCI  = flag.Float64("target-ci", 0, "default adaptive stop for requests without budget params: target relative 95% CI half-width (0 = fixed budgets)")
+		maxTrials = flag.Int("max-trials", 0, "default adaptive per-cell trial cap (required with -target-ci)")
 
 		peers      = flag.String("peers", "", "comma-separated worker node addresses; enables coordinator mode")
 		shards     = flag.Int("shards", 0, "shards per Monte-Carlo run in coordinator mode (0 = one per ready peer)")
@@ -168,6 +172,22 @@ func main() {
 			return service.ExperimentRunner(sim.WithExecutor(jctx, co), req)
 		}
 		logger.Info("coordinator mode", "peers", addrs, "shards", *shards, "hedge_after", *hedgeAfter)
+	}
+	// -target-ci/-max-trials set a node-wide default adaptive budget:
+	// requests that carry no budget params run under it, while explicit
+	// per-request params always win. The wrapper composes with
+	// coordinator mode — the defaulted budget's chunk rounds still shard
+	// across peers.
+	if *targetCI > 0 {
+		def := adaptive.Budget{TargetRelCI: *targetCI, MaxTrials: *maxTrials}
+		if *maxTrials <= 0 {
+			fatal(fmt.Errorf("-target-ci needs -max-trials to bound the spend"))
+		}
+		if err := def.Validate(); err != nil {
+			fatal(err)
+		}
+		runner = service.WithDefaultBudget(runner, def)
+		logger.Info("default adaptive budget", "target_ci", *targetCI, "max_trials", *maxTrials)
 	}
 
 	// The trace recorder is shared by the service (job/driver spans,

@@ -51,6 +51,7 @@ import (
 
 	"time"
 
+	"repro/internal/adaptive"
 	"repro/internal/experiments"
 	"repro/internal/obs"
 	"repro/internal/service"
@@ -58,25 +59,40 @@ import (
 
 func main() {
 	var (
-		id       = flag.String("id", "", "experiment to run (see -list)")
-		all      = flag.Bool("all", false, "run every experiment")
-		list     = flag.Bool("list", false, "list experiment IDs and exit")
-		seed     = flag.Int64("seed", 1, "master random seed")
-		quick    = flag.Bool("quick", false, "shrink workloads for a fast smoke run")
-		format   = flag.String("format", "text", "output format: text, csv or json")
-		plot     = flag.Bool("plot", false, "render numeric reports as an ASCII chart")
-		logY     = flag.Bool("logy", false, "log-scale the plot's y axis (use with fig7)")
-		workers  = flag.Int("workers", 0, "sweep-row concurrency; 0 means GOMAXPROCS (results are identical for any value)")
-		remote   = flag.String("remote", "", "comma-separated cogmimod worker addresses; shard Monte-Carlo kernels across them (results are identical)")
-		server   = flag.String("server", "", "cogmimod base URL; submit there and follow the job over SSE instead of computing locally (use with -id)")
-		tenantID = flag.String("tenant", "", "tenant id for -server submissions (X-Tenant-Id); empty means the default tenant")
-		campSpec = flag.String("campaign", "", "campaign spec file; runs it with durable checkpoints (needs -data-dir)")
-		dataDir  = flag.String("data-dir", "", "durable store directory for -campaign checkpoints and results")
-		progress = flag.String("progress", "auto", "live progress line on stderr: auto, on or off")
-		logLevel = flag.String("log-level", "warn", "log level: debug, info, warn or error")
-		traceOut = flag.String("trace-out", "", "record the run as a trace and write Chrome trace_event JSON here (open in chrome://tracing or https://ui.perfetto.dev)")
+		id        = flag.String("id", "", "experiment to run (see -list)")
+		all       = flag.Bool("all", false, "run every experiment")
+		list      = flag.Bool("list", false, "list experiment IDs and exit")
+		seed      = flag.Int64("seed", 1, "master random seed")
+		quick     = flag.Bool("quick", false, "shrink workloads for a fast smoke run")
+		format    = flag.String("format", "text", "output format: text, csv or json")
+		plot      = flag.Bool("plot", false, "render numeric reports as an ASCII chart")
+		logY      = flag.Bool("logy", false, "log-scale the plot's y axis (use with fig7)")
+		workers   = flag.Int("workers", 0, "sweep-row concurrency; 0 means GOMAXPROCS (results are identical for any value)")
+		remote    = flag.String("remote", "", "comma-separated cogmimod worker addresses; shard Monte-Carlo kernels across them (results are identical)")
+		server    = flag.String("server", "", "cogmimod base URL; submit there and follow the job over SSE instead of computing locally (use with -id)")
+		tenantID  = flag.String("tenant", "", "tenant id for -server submissions (X-Tenant-Id); empty means the default tenant")
+		campSpec  = flag.String("campaign", "", "campaign spec file; runs it with durable checkpoints (needs -data-dir)")
+		dataDir   = flag.String("data-dir", "", "durable store directory for -campaign checkpoints and results")
+		targetCI  = flag.Float64("target-ci", 0, "adaptive stop: target relative 95% CI half-width, e.g. 0.05 for ±5% (0 = fixed budgets)")
+		maxTrials = flag.Int("max-trials", 0, "adaptive stop: per-cell trial budget cap (required with -target-ci)")
+		minTrials = flag.Int("min-trials", 0, "adaptive stop: floor on trials before stopping may trigger")
+		progress  = flag.String("progress", "auto", "live progress line on stderr: auto, on or off")
+		logLevel  = flag.String("log-level", "warn", "log level: debug, info, warn or error")
+		traceOut  = flag.String("trace-out", "", "record the run as a trace and write Chrome trace_event JSON here (open in chrome://tracing or https://ui.perfetto.dev)")
 	)
 	flag.Parse()
+
+	// -target-ci/-max-trials compile to an adaptive budget threaded into
+	// every execution path: local runs take it via experiments.Options,
+	// server submissions encode it as request params so the budget
+	// participates in the result cache key.
+	budget := adaptive.Budget{TargetRelCI: *targetCI, MaxTrials: *maxTrials, MinTrials: *minTrials}
+	if err := budget.Validate(); err != nil {
+		fatal(err)
+	}
+	if *targetCI > 0 && *maxTrials <= 0 {
+		fatal(fmt.Errorf("-target-ci needs -max-trials to bound the spend"))
+	}
 
 	var lv slog.Level
 	if err := lv.UnmarshalText([]byte(*logLevel)); err != nil {
@@ -140,7 +156,7 @@ func main() {
 		fmt.Print(report)
 	case *all:
 		stop := watch("all")
-		reps, err := experiments.RunAllCtx(ctx, experiments.Options{Seed: *seed, Quick: *quick, Workers: *workers})
+		reps, err := experiments.RunAllCtx(ctx, experiments.Options{Seed: *seed, Quick: *quick, Workers: *workers, Budget: budget})
 		stop()
 		if err != nil {
 			fatal(err)
@@ -161,7 +177,7 @@ func main() {
 		}
 		stop := watch(*id)
 		report, err := runViaServer(ctx, *server, *tenantID,
-			service.Request{ID: *id, Seed: *seed, Quick: *quick}, tracker)
+			service.Request{ID: *id, Seed: *seed, Quick: *quick, Params: budgetParams(budget)}, tracker)
 		stop()
 		if err != nil {
 			fatal(err)
@@ -169,7 +185,7 @@ func main() {
 		fmt.Print(report)
 	case *id != "":
 		stop := watch(*id)
-		rep, err := experiments.RunCtx(ctx, *id, experiments.Options{Seed: *seed, Quick: *quick, Workers: *workers})
+		rep, err := experiments.RunCtx(ctx, *id, experiments.Options{Seed: *seed, Quick: *quick, Workers: *workers, Budget: budget})
 		stop()
 		if err != nil {
 			fatal(err)
@@ -191,6 +207,24 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "cogsim: trace written to %s\n", *traceOut)
 	}
+}
+
+// budgetParams encodes an adaptive budget as request params for -server
+// submissions; the server decodes them with service.BudgetFromParams. A
+// disabled budget returns nil so the request matches pre-adaptive cache
+// keys exactly.
+func budgetParams(b adaptive.Budget) map[string]string {
+	if !b.Enabled() {
+		return nil
+	}
+	p := map[string]string{
+		"target_ci":  fmt.Sprintf("%g", b.TargetRelCI),
+		"max_trials": fmt.Sprintf("%d", b.MaxTrials),
+	}
+	if b.MinTrials > 0 {
+		p["min_trials"] = fmt.Sprintf("%d", b.MinTrials)
+	}
+	return p
 }
 
 // writeTrace ends the root span and exports the invocation's trace as

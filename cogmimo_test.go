@@ -144,7 +144,7 @@ func TestLongHaulTxEnergy(t *testing.T) {
 
 func TestExperimentFacade(t *testing.T) {
 	ids := ExperimentIDs()
-	if len(ids) != 16 { // 8 paper artifacts + 8 ext- studies
+	if len(ids) != 17 { // 8 paper artifacts + 9 ext- studies
 		t.Fatalf("IDs = %v", ids)
 	}
 	out, err := RunExperiment("table1", 3, true)

@@ -1,0 +1,31 @@
+package adaptive
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Run executes a registered kernel under an adaptive budget: the
+// kernel-appropriate stopping rule (RuleFor) is evaluated at chunk
+// boundaries and the run ends at the first round that meets the CI
+// target, or at MaxTrials. The returned result carries the realized
+// sim.PlanTrace; handing that trace to Replay reproduces the result
+// bit-identically, locally or across a cluster.
+func Run(ctx context.Context, mc sim.MonteCarlo, kernel string, params map[string]float64, b Budget) (sim.AdaptiveResult, error) {
+	if err := b.Validate(); err != nil {
+		return sim.AdaptiveResult{}, err
+	}
+	if !b.Enabled() {
+		return sim.AdaptiveResult{}, fmt.Errorf("adaptive: budget is disabled (target %g, max %d)", b.TargetRelCI, b.MaxTrials)
+	}
+	return mc.RunAdaptiveCtx(ctx, kernel, params, b.MaxTrials, b.RuleFor(kernel, params))
+}
+
+// Replay re-executes a recorded plan trace with no stopping-rule
+// evaluation. The MonteCarlo seed, kernel and params must be the ones
+// the trace was recorded under.
+func Replay(ctx context.Context, mc sim.MonteCarlo, kernel string, params map[string]float64, trace sim.PlanTrace) (sim.AdaptiveResult, error) {
+	return mc.RunTraceCtx(ctx, kernel, params, trace)
+}

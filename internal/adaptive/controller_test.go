@@ -1,0 +1,110 @@
+package adaptive
+
+import (
+	"context"
+	"encoding/json"
+	"math/rand"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestRunMeetsTarget: an adaptive run that stops must actually satisfy
+// the budget's relative-CI contract on its own statistics.
+func TestRunMeetsTarget(t *testing.T) {
+	mc := sim.MonteCarlo{Seed: 3}
+	b := Budget{TargetRelCI: 0.05, MaxTrials: 256 * sim.ChunkSize}
+	res, err := Run(context.Background(), mc, "atest.mean", map[string]float64{"mu": 1}, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Trace.Stopped {
+		t.Fatalf("uniform mean never met ±5%% in %d trials", b.MaxTrials)
+	}
+	if ci, m := res.Stats.CI95(), res.Stats.Mean(); ci > b.TargetRelCI*m {
+		t.Fatalf("stopped with CI %g > %g (mean %g)", ci, b.TargetRelCI*m, m)
+	}
+	if res.Trace.Saved() <= 0 {
+		t.Fatal("easy estimate saved no budget")
+	}
+}
+
+func TestRunRejectsBadBudgets(t *testing.T) {
+	mc := sim.MonteCarlo{Seed: 1}
+	if _, err := Run(context.Background(), mc, "atest.mean", nil, Budget{}); err == nil {
+		t.Fatal("disabled budget accepted")
+	}
+	if _, err := Run(context.Background(), mc, "atest.mean", nil, Budget{TargetRelCI: 2, MaxTrials: 100}); err == nil {
+		t.Fatal("target >= 1 accepted")
+	}
+}
+
+// TestReplayFuzz is the replay contract under fire: random seeds,
+// budgets, targets and kernels; every recorded trace must replay to
+// statistics and JSON-encoded traces that are byte-identical to the
+// recording run, at any worker count.
+func TestReplayFuzz(t *testing.T) {
+	rng := rand.New(rand.NewSource(808))
+	kernels := []struct {
+		name   string
+		params func() map[string]float64
+	}{
+		{"atest.mean", func() map[string]float64 {
+			return map[string]float64{"mu": 0.5 + rng.Float64()}
+		}},
+		{"atest.bernoulli", func() map[string]float64 {
+			return map[string]float64{"p": 0.001 + 0.05*rng.Float64(), "units": float64(int(8) << rng.Intn(3))}
+		}},
+	}
+	for i := 0; i < 25; i++ {
+		k := kernels[rng.Intn(len(kernels))]
+		params := k.params()
+		mc := sim.MonteCarlo{Seed: rng.Int63(), Workers: rng.Intn(4)}
+		b := Budget{
+			TargetRelCI: 0.02 + 0.3*rng.Float64(),
+			MaxTrials:   (1 + rng.Intn(32)) * sim.ChunkSize / (1 + rng.Intn(2)),
+		}
+		res, err := Run(context.Background(), mc, k.name, params, b)
+		if err != nil {
+			t.Fatalf("case %d (%s %v %+v): %v", i, k.name, params, b, err)
+		}
+		if err := res.Trace.Validate(); err != nil {
+			t.Fatalf("case %d: recorded trace invalid: %v", i, err)
+		}
+		// The trace round-trips through its persistence encoding.
+		enc, err := json.Marshal(res.Trace)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var decoded sim.PlanTrace
+		if err := json.Unmarshal(enc, &decoded); err != nil {
+			t.Fatal(err)
+		}
+		replayMC := sim.MonteCarlo{Seed: mc.Seed, Workers: rng.Intn(4)}
+		rep, err := Replay(context.Background(), replayMC, k.name, params, decoded)
+		if err != nil {
+			t.Fatalf("case %d: replay: %v", i, err)
+		}
+		if rep.Stats.Snapshot() != res.Stats.Snapshot() {
+			t.Fatalf("case %d (%s seed %d): replay %+v != original %+v",
+				i, k.name, mc.Seed, rep.Stats.Snapshot(), res.Stats.Snapshot())
+		}
+		enc2, err := json.Marshal(rep.Trace)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(enc) != string(enc2) {
+			t.Fatalf("case %d: trace encoding changed across replay:\n%s\n%s", i, enc, enc2)
+		}
+	}
+}
+
+// TestReplayRefusesForeignTrace: validation failures surface before any
+// chunk runs.
+func TestReplayRefusesForeignTrace(t *testing.T) {
+	mc := sim.MonteCarlo{Seed: 1}
+	bad := sim.PlanTrace{ChunkSize: sim.ChunkSize + 1, MaxTrials: sim.ChunkSize, Trials: sim.ChunkSize, Rounds: []int{1}}
+	if _, err := Replay(context.Background(), mc, "atest.mean", nil, bad); err == nil {
+		t.Fatal("foreign chunk size accepted")
+	}
+}

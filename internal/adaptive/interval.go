@@ -1,0 +1,152 @@
+package adaptive
+
+import "math"
+
+// Z95 is the two-sided 95% normal quantile, the same constant
+// mathx.Running.CI95 uses, so CLT stopping and report error bars agree
+// bit-for-bit.
+const Z95 = 1.959963984540054
+
+// z95 is the package-internal alias.
+const z95 = Z95
+
+// Wilson returns the Wilson score interval for k successes in n
+// Bernoulli units at confidence level z (normal quantile). Unlike the
+// Wald interval it stays inside [0, 1] and keeps near-nominal coverage
+// at the tiny rates deep-BER points live at, which is why the stopping
+// rules use it as the cheap closed-form check.
+func Wilson(k, n, z float64) (lo, hi float64) {
+	if n <= 0 {
+		return 0, 1
+	}
+	p := k / n
+	z2 := z * z
+	denom := 1 + z2/n
+	center := (p + z2/(2*n)) / denom
+	half := z / denom * math.Sqrt(p*(1-p)/n+z2/(4*n*n))
+	lo = center - half
+	hi = center + half
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}
+
+// ClopperPearson returns the exact (conservative) binomial interval for
+// k successes in n units at significance alpha, via Beta-distribution
+// quantiles. It is the reference interval the statistical-contract
+// tests check Wilson against; runtime stopping prefers Wilson because
+// the continued fraction below costs ~100x a closed form.
+func ClopperPearson(k, n int64, alpha float64) (lo, hi float64) {
+	if n <= 0 {
+		return 0, 1
+	}
+	if k > 0 {
+		lo = betaInv(alpha/2, float64(k), float64(n-k+1))
+	}
+	hi = 1
+	if k < n {
+		hi = betaInv(1-alpha/2, float64(k+1), float64(n-k))
+	}
+	return lo, hi
+}
+
+// regIncBeta computes the regularized incomplete beta function
+// I_x(a, b) by Lentz's continued fraction, switching to the symmetry
+// I_x(a,b) = 1 - I_{1-x}(b,a) where the fraction converges faster.
+func regIncBeta(a, b, x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	if x >= 1 {
+		return 1
+	}
+	lga, _ := math.Lgamma(a)
+	lgb, _ := math.Lgamma(b)
+	lgab, _ := math.Lgamma(a + b)
+	front := math.Exp(lgab - lga - lgb + a*math.Log(x) + b*math.Log1p(-x))
+	if x < (a+1)/(a+b+2) {
+		return front * betaCF(a, b, x) / a
+	}
+	return 1 - front*betaCF(b, a, 1-x)/b
+}
+
+// betaCF evaluates the continued fraction of the incomplete beta
+// function (modified Lentz), valid for x < (a+1)/(a+b+2).
+func betaCF(a, b, x float64) float64 {
+	const (
+		maxIter = 300
+		eps     = 3e-16
+		tiny    = 1e-300
+	)
+	qab, qap, qam := a+b, a+1, a-1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < tiny {
+		d = tiny
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= maxIter; m++ {
+		fm := float64(m)
+		m2 := 2 * fm
+		// Even step.
+		aa := fm * (b - fm) * x / ((qam + m2) * (a + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		h *= d * c
+		// Odd step.
+		aa = -(a + fm) * (qab + fm) * x / ((a + m2) * (qap + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return h
+}
+
+// betaInv inverts the regularized incomplete beta function: the p-th
+// quantile of Beta(a, b), found by bisection. Monotonicity of I_x makes
+// bisection unconditionally safe; ~60 halvings reach full float64
+// resolution on [0, 1].
+func betaInv(p, a, b float64) float64 {
+	if p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return 1
+	}
+	lo, hi := 0.0, 1.0
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if mid == lo || mid == hi {
+			break
+		}
+		if regIncBeta(a, b, mid) < p {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}

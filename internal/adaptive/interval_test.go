@@ -1,0 +1,176 @@
+package adaptive
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// sampleBinomial draws Binomial(n, p) by geometric-gap inversion: the
+// number of failures before each success is Geometric(p), so only the
+// successes cost work. At p = 1e-6 and n = 5e7 a draw touches ~50
+// random numbers instead of fifty million — what makes deep-tail
+// coverage testing affordable.
+func sampleBinomial(rng *rand.Rand, n int64, p float64) int64 {
+	lnq := math.Log1p(-p)
+	var k, pos int64
+	for {
+		u := rng.Float64()
+		for u == 0 {
+			u = rng.Float64()
+		}
+		gap := int64(math.Ceil(math.Log(u) / lnq))
+		if gap < 1 {
+			gap = 1
+		}
+		pos += gap
+		if pos > n {
+			return k
+		}
+		k++
+	}
+}
+
+// coverage estimates the empirical coverage of an interval constructor
+// over reps binomial draws at true rate p.
+func coverage(t *testing.T, p float64, n int64, interval func(k, n int64) (float64, float64)) float64 {
+	t.Helper()
+	rng := rand.New(rand.NewSource(20260808))
+	const reps = 2000
+	hits := 0
+	for i := 0; i < reps; i++ {
+		k := sampleBinomial(rng, n, p)
+		lo, hi := interval(k, n)
+		if lo <= p && p <= hi {
+			hits++
+		}
+	}
+	return float64(hits) / reps
+}
+
+// TestWilsonCoverage is the statistical contract behind the stopping
+// rule: the Wilson 95% interval must keep near-nominal coverage at the
+// rates deep-BER points live at, from 1e-2 down to 1e-6. Sample sizes
+// put ~50 expected errors in each draw — the regime the rule stops in
+// (wilsonMinErrors keeps it from stopping earlier).
+func TestWilsonCoverage(t *testing.T) {
+	for _, tc := range []struct {
+		p float64
+		n int64
+	}{
+		{1e-2, 5_000},
+		{1e-4, 500_000},
+		{1e-6, 50_000_000},
+	} {
+		cov := coverage(t, tc.p, tc.n, func(k, n int64) (float64, float64) {
+			return Wilson(float64(k), float64(n), Z95)
+		})
+		// Nominal 0.95; allow discreteness and Monte-Carlo noise
+		// (se ≈ 0.005 at 2000 reps) but fail on real undercoverage.
+		if cov < 0.92 {
+			t.Errorf("Wilson coverage at p=%g: %.3f < 0.92", tc.p, cov)
+		}
+	}
+}
+
+// TestClopperPearsonCoverage: the exact interval is conservative by
+// construction — empirical coverage must sit at or above nominal, at
+// every tail depth.
+func TestClopperPearsonCoverage(t *testing.T) {
+	for _, tc := range []struct {
+		p float64
+		n int64
+	}{
+		{1e-2, 5_000},
+		{1e-4, 500_000},
+		{1e-6, 50_000_000},
+	} {
+		cov := coverage(t, tc.p, tc.n, func(k, n int64) (float64, float64) {
+			return ClopperPearson(k, n, 0.05)
+		})
+		if cov < 0.94 {
+			t.Errorf("Clopper-Pearson coverage at p=%g: %.3f < 0.94", tc.p, cov)
+		}
+	}
+}
+
+// TestWilsonAgainstClopperPearson: across the operating range the two
+// intervals must agree closely — Wilson is the cheap runtime stand-in
+// for the exact interval, and this pins how much it can disagree.
+func TestWilsonAgainstClopperPearson(t *testing.T) {
+	for _, tc := range []struct {
+		k, n int64
+	}{
+		{5, 1000}, {50, 5000}, {50, 500000}, {47, 50000000}, {500, 10000},
+	} {
+		wlo, whi := Wilson(float64(tc.k), float64(tc.n), Z95)
+		clo, chi := ClopperPearson(tc.k, tc.n, 0.05)
+		// Exact interval contains ~the Wilson one; widths within 35%.
+		ww, cw := whi-wlo, chi-clo
+		if ww <= 0 || cw <= 0 {
+			t.Fatalf("k=%d n=%d: degenerate widths %g %g", tc.k, tc.n, ww, cw)
+		}
+		if r := cw / ww; r < 0.8 || r > 1.35 {
+			t.Errorf("k=%d n=%d: CP/Wilson width ratio %.3f outside [0.8, 1.35]", tc.k, tc.n, r)
+		}
+	}
+}
+
+func TestWilsonEdges(t *testing.T) {
+	if lo, hi := Wilson(0, 0, Z95); lo != 0 || hi != 1 {
+		t.Errorf("Wilson(0,0) = [%g, %g], want [0, 1]", lo, hi)
+	}
+	// At k=0 the closed form's center and half-width agree to rounding;
+	// lo must collapse to ~0 and hi stay a useful upper bound.
+	if lo, hi := Wilson(0, 100, Z95); lo > 1e-15 || hi <= 0 || hi >= 1 {
+		t.Errorf("Wilson(0,100) = [%g, %g]", lo, hi)
+	}
+	if lo, hi := Wilson(100, 100, Z95); hi < 1-1e-15 || lo <= 0 {
+		t.Errorf("Wilson(100,100) = [%g, %g]", lo, hi)
+	}
+}
+
+func TestClopperPearsonEdges(t *testing.T) {
+	if lo, hi := ClopperPearson(0, 0, 0.05); lo != 0 || hi != 1 {
+		t.Errorf("CP(0,0) = [%g, %g], want [0, 1]", lo, hi)
+	}
+	lo, hi := ClopperPearson(0, 100, 0.05)
+	if lo != 0 {
+		t.Errorf("CP(0,100) lo = %g, want 0", lo)
+	}
+	// The rule-of-three upper bound: ~3/n at k=0, alpha/2 tail exact
+	// value is 1-(alpha/2)^(1/n).
+	want := 1 - math.Pow(0.025, 1.0/100)
+	if math.Abs(hi-want) > 1e-9 {
+		t.Errorf("CP(0,100) hi = %g, want %g", hi, want)
+	}
+	lo, hi = ClopperPearson(100, 100, 0.05)
+	if hi != 1 {
+		t.Errorf("CP(100,100) hi = %g, want 1", hi)
+	}
+	if want := math.Pow(0.025, 1.0/100); math.Abs(lo-want) > 1e-9 {
+		t.Errorf("CP(100,100) lo = %g, want %g", lo, want)
+	}
+}
+
+// TestRegIncBeta pins the special function against closed forms:
+// I_x(1, b) = 1-(1-x)^b and I_x(a, 1) = x^a, plus symmetry.
+func TestRegIncBeta(t *testing.T) {
+	for _, x := range []float64{0.01, 0.3, 0.7, 0.99} {
+		for _, b := range []float64{1, 2.5, 10} {
+			got := regIncBeta(1, b, x)
+			want := 1 - math.Pow(1-x, b)
+			if math.Abs(got-want) > 1e-12 {
+				t.Errorf("I_%g(1, %g) = %g, want %g", x, b, got, want)
+			}
+			got = regIncBeta(b, 1, x)
+			want = math.Pow(x, b)
+			if math.Abs(got-want) > 1e-12 {
+				t.Errorf("I_%g(%g, 1) = %g, want %g", x, b, got, want)
+			}
+		}
+		if got, want := regIncBeta(3, 7, x)+regIncBeta(7, 3, 1-x), 1.0; math.Abs(got-want) > 1e-12 {
+			t.Errorf("symmetry at x=%g: %g", x, got)
+		}
+	}
+}

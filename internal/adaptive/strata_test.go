@@ -1,0 +1,199 @@
+package adaptive
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func testStrata() []Stratum {
+	// A miniature operating distribution: most mass on an easy cell,
+	// a light tail cell with a 50x rarer error rate.
+	return []Stratum{
+		{Name: "easy", Params: map[string]float64{"p": 0.05, "units": 16}, Weight: 0.7},
+		{Name: "mid", Params: map[string]float64{"p": 0.01, "units": 16}, Weight: 0.2},
+		{Name: "tail", Params: map[string]float64{"p": 0.001, "units": 16}, Weight: 0.1},
+	}
+}
+
+// trueMixtureMean is the analytic estimand of testStrata: each
+// stratum's per-trial mean is exactly its p, so the mixture mean is
+// the weight-normalized Σ w_s·p_s.
+func trueMixtureMean(strata []Stratum) float64 {
+	var num, den float64
+	for _, s := range strata {
+		num += s.Weight * s.Params["p"]
+		den += s.Weight
+	}
+	return num / den
+}
+
+// TestStratifiedUnbiased is the A/B estimator test behind the Neyman
+// tier: however the adaptive allocation skews trials toward
+// high-variance strata, the reweighted estimator must stay unbiased.
+// A = the stratified adaptive estimate; B = a fixed proportional
+// estimate of the same mixture; both must agree with the analytic
+// truth within their own (generous) confidence bands.
+func TestStratifiedUnbiased(t *testing.T) {
+	strata := testStrata()
+	truth := trueMixtureMean(strata)
+	b := Budget{TargetRelCI: 0.02, MaxTrials: 128 * sim.ChunkSize}
+
+	resA, err := RunStratified(context.Background(), sim.MonteCarlo{Seed: 11}, "atest.bernoulli", strata, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := math.Abs(resA.Mean - truth); diff > 5*resA.StdErr {
+		t.Fatalf("stratified estimate %g vs truth %g: off by %.1f standard errors",
+			resA.Mean, truth, diff/resA.StdErr)
+	}
+
+	// B: fixed proportional allocation, same total spend, combined with
+	// the same weight fold — the textbook unbiased baseline.
+	var meanB, varB, wsum float64
+	for _, s := range strata {
+		wsum += s.Weight
+	}
+	for i, s := range strata {
+		n := resA.Trials / len(strata)
+		stats, err := sim.MonteCarlo{Seed: 1000 + int64(i)}.RunKernelCtx(
+			context.Background(), "atest.bernoulli", s.Params, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := s.Weight / wsum
+		meanB += w * stats.Mean()
+		varB += w * w * stats.Variance() / float64(stats.N())
+	}
+	if diff, band := math.Abs(resA.Mean-meanB), 5*math.Sqrt(resA.StdErr*resA.StdErr+varB); diff > band {
+		t.Fatalf("A/B estimators disagree: stratified %g vs proportional %g (band %g)", resA.Mean, meanB, band)
+	}
+}
+
+// TestStratifiedTailAware: with equal weights, the high-variance
+// stratum must receive more chunks than the near-deterministic one —
+// the whole point of Neyman allocation.
+func TestStratifiedTailAware(t *testing.T) {
+	strata := []Stratum{
+		{Name: "noisy", Params: map[string]float64{"p": 0.5, "units": 1}, Weight: 1},
+		{Name: "quiet", Params: map[string]float64{"p": 0.5, "units": 4096}, Weight: 1},
+	}
+	b := Budget{TargetRelCI: 0.01, MaxTrials: 64 * sim.ChunkSize}
+	res, err := RunStratified(context.Background(), sim.MonteCarlo{Seed: 2}, "atest.bernoulli", strata, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var noisy, quiet int
+	for _, s := range res.PerStratum {
+		switch s.Name {
+		case "noisy":
+			noisy = s.Chunks
+		case "quiet":
+			quiet = s.Chunks
+		}
+	}
+	if noisy <= quiet {
+		t.Fatalf("allocation not tail-aware: noisy stratum got %d chunks, quiet got %d", noisy, quiet)
+	}
+}
+
+// TestStratifiedReplayIdentity: the recorded trace reproduces the
+// stratified result bit for bit, including per-stratum statistics, at a
+// different worker count.
+func TestStratifiedReplayIdentity(t *testing.T) {
+	strata := testStrata()
+	b := Budget{TargetRelCI: 0.05, MaxTrials: 32 * sim.ChunkSize}
+	res, err := RunStratified(context.Background(), sim.MonteCarlo{Seed: 17}, "atest.bernoulli", strata, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Trace.Validate(); err != nil {
+		t.Fatalf("stratified trace invalid: %v", err)
+	}
+	rep, err := ReplayStratified(context.Background(), sim.MonteCarlo{Seed: 17, Workers: 3}, "atest.bernoulli", strata, res.Trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Mean != res.Mean || rep.StdErr != res.StdErr || rep.Trials != res.Trials {
+		t.Fatalf("replay (%g ± %g, %d) != original (%g ± %g, %d)",
+			rep.Mean, rep.StdErr, rep.Trials, res.Mean, res.StdErr, res.Trials)
+	}
+	for i := range res.PerStratum {
+		if rep.PerStratum[i].Stats.Snapshot() != res.PerStratum[i].Stats.Snapshot() {
+			t.Fatalf("stratum %q stats diverged on replay", res.PerStratum[i].Name)
+		}
+	}
+	// Replay refuses mismatched strata.
+	if _, err := ReplayStratified(context.Background(), sim.MonteCarlo{Seed: 17}, "atest.bernoulli", strata[:2], res.Trace); err == nil {
+		t.Fatal("stratum count mismatch accepted")
+	}
+	renamed := append([]Stratum(nil), strata...)
+	renamed[0].Name = "other"
+	if _, err := ReplayStratified(context.Background(), sim.MonteCarlo{Seed: 17}, "atest.bernoulli", renamed, res.Trace); err == nil {
+		t.Fatal("stratum name mismatch accepted")
+	}
+}
+
+// TestNeymanAllocDeterministic: apportionment is exact, exhaustive and
+// index-stable under ties.
+func TestNeymanAllocDeterministic(t *testing.T) {
+	mk := func(vals ...float64) stratRun {
+		var r stratRun
+		r.weight = 1
+		for _, v := range vals {
+			r.stats.Add(v)
+		}
+		return r
+	}
+	runs := []stratRun{
+		mk(0, 1, 0, 1, 0, 1), // sd ~0.55
+		mk(1, 1, 1, 1, 1, 1), // sd 0 -> floored
+		mk(0, 2, 0, 2, 0, 2), // sd ~1.1
+	}
+	alloc := neymanAlloc(runs, 10)
+	sum := 0
+	for _, a := range alloc {
+		sum += a
+	}
+	if sum != 10 {
+		t.Fatalf("allocation %v does not exhaust the round", alloc)
+	}
+	if alloc[2] <= alloc[1] || alloc[0] <= alloc[1] {
+		t.Fatalf("allocation %v ignores variance ordering", alloc)
+	}
+	for i := 0; i < 5; i++ {
+		again := neymanAlloc(runs, 10)
+		for j := range alloc {
+			if again[j] != alloc[j] {
+				t.Fatalf("allocation not deterministic: %v vs %v", alloc, again)
+			}
+		}
+	}
+	// All-zero variance: uniform exploration.
+	flat := []stratRun{mk(1, 1), mk(1, 1), mk(1, 1), mk(1, 1)}
+	if got := neymanAlloc(flat, 8); got[0] != 2 || got[1] != 2 || got[2] != 2 || got[3] != 2 {
+		t.Fatalf("zero-variance allocation %v not uniform", got)
+	}
+}
+
+// TestStratifiedRejects: input validation before any chunk runs.
+func TestStratifiedRejects(t *testing.T) {
+	mc := sim.MonteCarlo{Seed: 1}
+	ctx := context.Background()
+	if _, err := RunStratified(ctx, mc, "atest.bernoulli", nil, Budget{TargetRelCI: 0.1, MaxTrials: 4 * sim.ChunkSize}); err == nil {
+		t.Fatal("no strata accepted")
+	}
+	bad := []Stratum{{Name: "x", Weight: -1}}
+	if _, err := RunStratified(ctx, mc, "atest.bernoulli", bad, Budget{TargetRelCI: 0.1, MaxTrials: 4 * sim.ChunkSize}); err == nil {
+		t.Fatal("negative weight accepted")
+	}
+	three := testStrata()
+	if _, err := RunStratified(ctx, mc, "atest.bernoulli", three, Budget{TargetRelCI: 0.1, MaxTrials: 2 * sim.ChunkSize}); err == nil {
+		t.Fatal("budget smaller than the pilot accepted")
+	}
+	if _, err := RunStratified(ctx, mc, "atest.bernoulli", three, Budget{}); err == nil {
+		t.Fatal("disabled budget accepted")
+	}
+}

@@ -28,6 +28,13 @@ type checkpoint struct {
 	Trials    int                     `json:"trials"`
 	ChunkSize int                     `json:"chunk_size"`
 	Partials  []mathx.RunningSnapshot `json:"partials"`
+	// Trace is the realized plan of an adaptive run, recorded when the
+	// run completes (RecordPlanTrace). A resumed campaign replays the
+	// traced prefix instead of re-deciding the budget, so the resumed
+	// result is byte-identical to the uninterrupted one. Absent for
+	// fixed-budget runs and for checkpoints written before the trace
+	// field existed — both read back fine.
+	Trace *sim.PlanTrace `json:"trace,omitempty"`
 }
 
 const checkpointVersion = 1
@@ -76,8 +83,8 @@ func (e *ckptExecutor) RunShards(ctx context.Context, run sim.KernelRun) ([]math
 	chunks := plan.Chunks()
 	key := ckptPrefix(e.cid, e.expIdx) + runHash(run)
 
-	partials := e.loadCheckpoint(key, run, chunks)
-	resumed := len(partials)
+	ck := e.loadFull(key, run, chunks)
+	resumed := len(ck.Partials)
 
 	// The local chunk pool reports AddTotal when it runs; with an
 	// executor attached nothing else accounts for this run, so report
@@ -105,35 +112,121 @@ func (e *ckptExecutor) RunShards(ctx context.Context, run sim.KernelRun) ([]math
 			return nil, err
 		}
 		for _, p := range parts {
-			partials = append(partials, p.Snapshot())
+			ck.Partials = append(ck.Partials, p.Snapshot())
 		}
 		e.stats.chunksComputed.Add(int64(hi - lo))
 		metChunksComputed.Add(int64(hi - lo))
-		if err := e.saveCheckpoint(key, run, partials); err != nil {
+		if err := e.save(key, run, ck); err != nil {
 			return nil, fmt.Errorf("campaign: persisting checkpoint: %w", err)
 		}
 	}
 
-	out := make([]mathx.Running, len(partials))
-	for i, s := range partials {
+	out := make([]mathx.Running, len(ck.Partials))
+	for i, s := range ck.Partials {
 		out[i] = mathx.RunningFromSnapshot(s)
 	}
 	return out, nil
 }
 
-// loadCheckpoint returns the checkpointed chunk prefix for run, or nil
-// when there is none or it does not match the run (a stale record for
-// a different budget, kernel version or chunk size is discarded —
-// never trusted, never fatal).
-func (e *ckptExecutor) loadCheckpoint(key string, run sim.KernelRun, chunks int) []mathx.RunningSnapshot {
+// RunChunkRange implements sim.RangeExecutor for adaptive runs: one
+// call per stopping round, each round extending the same checkpointed
+// chunk prefix. A replayed prefix (resume) is served from the
+// checkpoint without recomputation; the remainder computes in bounded
+// ranges with a checkpoint after each, exactly like RunShards. The
+// progress total is NOT grown here — the adaptive driver accounts the
+// budget — but replayed chunks are credited as done.
+func (e *ckptExecutor) RunChunkRange(ctx context.Context, run sim.KernelRun, lo, hi int) ([]mathx.Running, error) {
+	plan := run.Plan()
+	chunks := plan.Chunks()
+	if lo < 0 || hi > chunks || lo >= hi {
+		return nil, fmt.Errorf("campaign: chunk range [%d, %d) outside plan of %d chunks", lo, hi, chunks)
+	}
+	key := ckptPrefix(e.cid, e.expIdx) + runHash(run)
+
+	ck := e.loadFull(key, run, chunks)
+	resumed := len(ck.Partials)
+	if replayHi := min(resumed, hi); replayHi > lo {
+		var replayedTrials int64
+		for c := lo; c < replayHi; c++ {
+			replayedTrials += int64(plan.ChunkTrials(c))
+		}
+		obs.ProgressFrom(ctx).Add(replayedTrials)
+		n := int64(replayHi - lo)
+		e.stats.chunksResumed.Add(n)
+		metChunksResumed.Add(n)
+	}
+
+	mc := sim.MonteCarlo{Seed: run.Seed, Workers: e.workers}
+	for rlo := max(resumed, lo); rlo < hi; rlo += e.every {
+		rhi := rlo + e.every
+		if rhi > hi {
+			rhi = hi
+		}
+		parts, err := mc.RunKernelChunksCtx(ctx, run.Kernel, run.Params, run.Trials, rlo, rhi)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range parts {
+			ck.Partials = append(ck.Partials, p.Snapshot())
+		}
+		e.stats.chunksComputed.Add(int64(rhi - rlo))
+		metChunksComputed.Add(int64(rhi - rlo))
+		if err := e.save(key, run, ck); err != nil {
+			return nil, fmt.Errorf("campaign: persisting checkpoint: %w", err)
+		}
+	}
+
+	out := make([]mathx.Running, hi-lo)
+	for i := range out {
+		out[i] = mathx.RunningFromSnapshot(ck.Partials[lo+i])
+	}
+	return out, nil
+}
+
+// RecordPlanTrace implements sim.TraceSink: the realized plan of a
+// completed adaptive run lands in the run's checkpoint, making the
+// spend auditable and the resumed campaign replayable.
+func (e *ckptExecutor) RecordPlanTrace(run sim.KernelRun, trace sim.PlanTrace) {
+	key := ckptPrefix(e.cid, e.expIdx) + runHash(run)
+	ck := e.loadFull(key, run, run.Plan().Chunks())
+	ck.Trace = &trace
+	if err := e.save(key, run, ck); err != nil {
+		obs.Logger(context.Background()).Warn("campaign: persisting plan trace", "err", err)
+	}
+}
+
+// PlanTraceFor returns the recorded plan trace of a run, if its
+// checkpoint holds one.
+func (e *ckptExecutor) PlanTraceFor(run sim.KernelRun) (sim.PlanTrace, bool) {
+	key := ckptPrefix(e.cid, e.expIdx) + runHash(run)
+	ck := e.loadFull(key, run, run.Plan().Chunks())
+	if ck.Trace == nil {
+		return sim.PlanTrace{}, false
+	}
+	return *ck.Trace, true
+}
+
+// loadFull returns the stored checkpoint for run, or an empty matching
+// one when there is none or the stored record does not match the run
+// (a stale record for a different budget, kernel version or chunk size
+// is discarded — never trusted, never fatal).
+func (e *ckptExecutor) loadFull(key string, run sim.KernelRun, chunks int) checkpoint {
+	base := checkpoint{
+		Version:   checkpointVersion,
+		Kernel:    run.Kernel,
+		Params:    run.Params,
+		Seed:      run.Seed,
+		Trials:    run.Trials,
+		ChunkSize: sim.ChunkSize,
+	}
 	payload, _, ok := e.store.Get(key)
 	if !ok {
-		return nil
+		return base
 	}
 	var ck checkpoint
 	if err := json.Unmarshal(payload, &ck); err != nil {
 		_ = e.store.Delete(key)
-		return nil
+		return base
 	}
 	if ck.Version != checkpointVersion ||
 		ck.Kernel != run.Kernel ||
@@ -143,21 +236,13 @@ func (e *ckptExecutor) loadCheckpoint(key string, run sim.KernelRun, chunks int)
 		len(ck.Partials) > chunks ||
 		!sameParams(ck.Params, run.Params) {
 		_ = e.store.Delete(key)
-		return nil
+		return base
 	}
-	return ck.Partials
+	return ck
 }
 
-func (e *ckptExecutor) saveCheckpoint(key string, run sim.KernelRun, partials []mathx.RunningSnapshot) error {
-	payload, err := json.Marshal(checkpoint{
-		Version:   checkpointVersion,
-		Kernel:    run.Kernel,
-		Params:    run.Params,
-		Seed:      run.Seed,
-		Trials:    run.Trials,
-		ChunkSize: sim.ChunkSize,
-		Partials:  partials,
-	})
+func (e *ckptExecutor) save(key string, run sim.KernelRun, ck checkpoint) error {
+	payload, err := json.Marshal(ck)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,112 @@
+package campaign
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/mathx"
+	"repro/internal/sim"
+	"repro/internal/store"
+
+	_ "repro/internal/simkern" // register coop.ber
+)
+
+// ckptStop stops at a fixed prefix length so checkpoint tests are
+// statistically noise-free.
+type ckptStop struct{ n int64 }
+
+func (s ckptStop) Done(prefix mathx.Running) bool { return prefix.N() >= s.n }
+
+func newTestExecutor(t *testing.T, every int) (*ckptExecutor, *runCounters) {
+	t.Helper()
+	st, err := store.Open(store.Options{Dir: t.TempDir(), Logger: discardLogger()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	counters := &runCounters{}
+	return &ckptExecutor{store: st, cid: "ctest", expIdx: 0, every: every, workers: 1, stats: counters}, counters
+}
+
+// TestAdaptiveRunPersistsTrace: an adaptive run under the campaign
+// executor checkpoints its chunks AND its realized plan trace; a
+// second pass serves every chunk from the checkpoint and recomputes
+// nothing, byte-identically.
+func TestAdaptiveRunPersistsTrace(t *testing.T) {
+	ex, counters := newTestExecutor(t, 2)
+	kernel := "coop.ber"
+	params := map[string]float64{"mt": 2, "mr": 2, "snr_db": 6, "bits": 16}
+	budget := 8 * sim.ChunkSize
+
+	ctx := sim.WithExecutor(context.Background(), ex)
+	mc := sim.MonteCarlo{Seed: 21}
+	res, err := mc.RunAdaptiveCtx(ctx, kernel, params, budget, ckptStop{n: 3 * sim.ChunkSize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Trace.Stopped {
+		t.Fatalf("trace %+v not stopped; test wants a mid-budget stop", res.Trace)
+	}
+	if counters.chunksComputed.Load() != int64(res.Trace.Chunks()) {
+		t.Fatalf("computed %d chunks, trace covers %d", counters.chunksComputed.Load(), res.Trace.Chunks())
+	}
+
+	// The trace landed in the run's checkpoint.
+	run := sim.KernelRun{Kernel: kernel, Params: params, Seed: 21, Trials: budget}
+	stored, ok := ex.PlanTraceFor(run)
+	if !ok {
+		t.Fatal("no plan trace persisted")
+	}
+	if stored.Trials != res.Trace.Trials || stored.Chunks() != res.Trace.Chunks() || !stored.Stopped {
+		t.Fatalf("stored trace %+v != run trace %+v", stored, res.Trace)
+	}
+
+	// Second pass over the same store: everything resumes, nothing
+	// recomputes, statistics identical — the campaign-resume contract
+	// extended to adaptive runs.
+	ex2 := &ckptExecutor{store: ex.store, cid: "ctest", expIdx: 0, every: 2, workers: 1, stats: &runCounters{}}
+	ctx2 := sim.WithExecutor(context.Background(), ex2)
+	res2, err := mc.RunAdaptiveCtx(ctx2, kernel, params, budget, ckptStop{n: 3 * sim.ChunkSize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Stats.Snapshot() != res.Stats.Snapshot() {
+		t.Fatalf("resumed adaptive run %+v != original %+v", res2.Stats.Snapshot(), res.Stats.Snapshot())
+	}
+	if got := ex2.stats.chunksComputed.Load(); got != 0 {
+		t.Fatalf("resume recomputed %d chunks, want 0", got)
+	}
+	if got := ex2.stats.chunksResumed.Load(); got != int64(res.Trace.Chunks()) {
+		t.Fatalf("resume credited %d chunks, want %d", got, res.Trace.Chunks())
+	}
+
+	// Replaying the persisted trace through the executor also serves
+	// from the checkpoint.
+	rep, err := mc.RunTraceCtx(ctx2, kernel, params, stored)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Stats.Snapshot() != res.Stats.Snapshot() {
+		t.Fatalf("trace replay %+v != original %+v", rep.Stats.Snapshot(), res.Stats.Snapshot())
+	}
+}
+
+// TestCkptRunChunkRangeValidates: the range entry point refuses ranges
+// outside the run's plan.
+func TestCkptRunChunkRangeValidates(t *testing.T) {
+	ex, _ := newTestExecutor(t, 4)
+	run := sim.KernelRun{Kernel: "coop.ber", Params: map[string]float64{"bits": 16}, Seed: 1, Trials: 2 * sim.ChunkSize}
+	ctx := context.Background()
+	for _, r := range [][2]int{{-1, 1}, {0, 3}, {1, 1}} {
+		if _, err := ex.RunChunkRange(ctx, run, r[0], r[1]); err == nil {
+			t.Errorf("range %v accepted", r)
+		}
+	}
+	parts, err := ex.RunChunkRange(ctx, run, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parts) != 2 {
+		t.Fatalf("got %d partials, want 2", len(parts))
+	}
+}

@@ -389,3 +389,94 @@ func TestSnapshotRoundTrip(t *testing.T) {
 		}
 	}
 }
+
+// adaptiveStop fires once the prefix holds at least n trials — the
+// cluster tests pin stopping behavior without statistical noise.
+type adaptiveStop struct{ n int64 }
+
+func (s adaptiveStop) Done(prefix mathx.Running) bool { return prefix.N() >= s.n }
+
+// TestAdaptiveRunAcrossCluster is the distributed determinism contract
+// for the adaptive tier: an adaptive run sharded over a 3-worker
+// loopback — with one worker killed mid-campaign — must produce the
+// same statistics, the same realized trace, and the same replay as a
+// plain serial run. Worker death moves shards, never results.
+func TestAdaptiveRunAcrossCluster(t *testing.T) {
+	kernel := "coop.ber"
+	params := map[string]float64{"mt": 2, "mr": 2, "snr_db": 6, "bits": 16}
+	budget := 12 * sim.ChunkSize
+	stop := adaptiveStop{n: 5 * sim.ChunkSize}
+
+	serial, err := sim.MonteCarlo{Seed: 9}.RunAdaptiveCtx(context.Background(), kernel, params, budget, stop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !serial.Trace.Stopped || serial.Trace.Chunks() != 8 {
+		t.Fatalf("unexpected serial trace %+v; the test wants a mid-budget stop", serial.Trace)
+	}
+
+	lb := NewLoopback("w1", "w2", "w3")
+	reg := NewRegistry(lb, "w1", "w2", "w3")
+	co := NewCoordinator(lb, reg, Config{Shards: 3, RetryBase: time.Millisecond, RetryMax: 5 * time.Millisecond})
+	ctx := sim.WithExecutor(context.Background(), co)
+
+	// Kill one worker before the run: its shards must be reassigned and
+	// the rounds still merge to the serial result.
+	lb.Node("w2").Kill()
+	dist, err := sim.MonteCarlo{Seed: 9}.RunAdaptiveCtx(ctx, kernel, params, budget, stop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dist.Stats != serial.Stats {
+		t.Fatalf("distributed adaptive stats differ:\n got %+v\nwant %+v", dist.Stats, serial.Stats)
+	}
+	if dist.Trace.Trials != serial.Trace.Trials || dist.Trace.Chunks() != serial.Trace.Chunks() {
+		t.Fatalf("distributed trace %+v != serial trace %+v", dist.Trace, serial.Trace)
+	}
+
+	// Replaying the recorded trace across the (degraded) cluster is
+	// bit-identical too.
+	rep, err := sim.MonteCarlo{Seed: 9}.RunTraceCtx(ctx, kernel, params, dist.Trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Stats != serial.Stats {
+		t.Fatalf("cluster replay stats differ:\n got %+v\nwant %+v", rep.Stats, serial.Stats)
+	}
+	if lb.Node("w1").Shards()+lb.Node("w3").Shards() == 0 {
+		t.Fatal("no live worker computed any shard")
+	}
+}
+
+// TestCoordinatorRunChunkRange exercises the round-granular entry
+// point directly: partials for [lo, hi) must match the local chunk
+// computation and reject bad ranges.
+func TestCoordinatorRunChunkRange(t *testing.T) {
+	run := testRun()
+	lb := NewLoopback("a", "b")
+	reg := NewRegistry(lb, "a", "b")
+	co := NewCoordinator(lb, reg, Config{Shards: 2})
+
+	mc := sim.MonteCarlo{Seed: run.Seed}
+	want, err := mc.RunKernelChunksCtx(context.Background(), run.Kernel, run.Params, run.Trials, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := co.RunChunkRange(context.Background(), run, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d partials, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("chunk %d partial differs: %+v vs %+v", 1+i, got[i], want[i])
+		}
+	}
+	for _, r := range [][2]int{{-1, 2}, {0, 99}, {3, 3}, {4, 2}} {
+		if _, err := co.RunChunkRange(context.Background(), run, r[0], r[1]); err == nil {
+			t.Errorf("range %v accepted", r)
+		}
+	}
+}

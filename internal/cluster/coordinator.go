@@ -176,6 +176,62 @@ func (c *Coordinator) RunShards(ctx context.Context, run sim.KernelRun) ([]mathx
 	return parts, nil
 }
 
+// RunChunkRange implements sim.RangeExecutor: it computes chunks
+// [lo, hi) of the run's plan across the worker pool and returns their
+// partials indexed from lo. Adaptive runs call it once per stopping
+// round — the coordinator folds nothing and issues exactly the ranges
+// the round schedule asks for, so the realized prefix is bit-identical
+// to a local adaptive run. Unlike RunShards it must not grow the
+// progress total: the adaptive driver accounts the whole budget and
+// retires the unspent part when the stopping rule fires; the
+// coordinator only reports completion. Retry, hedging and dead-worker
+// reassignment are the same per-shard machinery RunShards uses.
+func (c *Coordinator) RunChunkRange(ctx context.Context, run sim.KernelRun, lo, hi int) ([]mathx.Running, error) {
+	plan := run.Plan()
+	chunks := plan.Chunks()
+	if lo < 0 || hi > chunks || lo >= hi {
+		return nil, fmt.Errorf("cluster: chunk range [%d, %d) outside plan of %d chunks", lo, hi, chunks)
+	}
+	want := c.cfg.Shards
+	if want <= 0 {
+		want = len(c.reg.Ready())
+		if want == 0 {
+			want = 1
+		}
+	}
+	shards := shardRanges(hi-lo, want)
+
+	progress := obs.ProgressFrom(ctx)
+	log := obs.Logger(ctx)
+	parts := make([]mathx.Running, hi-lo)
+	errs := make([]error, len(shards))
+	var wg sync.WaitGroup
+	for i, sh := range shards {
+		wg.Add(1)
+		go func(i int, sh shard) {
+			defer wg.Done()
+			abs := shard{lo: lo + sh.lo, hi: lo + sh.hi}
+			res, err := c.runShard(ctx, run, abs)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			copy(parts[sh.lo:sh.hi], res)
+			n := int64(0)
+			for ch := abs.lo; ch < abs.hi; ch++ {
+				n += int64(plan.ChunkTrials(ch))
+			}
+			progress.Add(n)
+			log.Debug("round shard done", "shard", i, "chunk_lo", abs.lo, "chunk_hi", abs.hi)
+		}(i, sh)
+	}
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
+	}
+	return parts, nil
+}
+
 // runShard drives one shard to completion: pick a worker, execute with
 // an optional hedge, and on failure back off and try the next worker.
 func (c *Coordinator) runShard(ctx context.Context, run sim.KernelRun, sh shard) ([]mathx.Running, error) {

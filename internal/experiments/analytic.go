@@ -69,7 +69,6 @@ func fig6Sweep(ctx context.Context, opts Options, id, title string, pick func(ov
 		return nil, err
 	}
 	n := (350-150)/25 + 1
-	obs.ProgressFrom(ctx).AddTotal(int64(n))
 	rep.Rows, err = sweepRows(ctx, opts, n, 1+len(cols), func(a *RowArena, i int) error {
 		d1 := 150 + 25*float64(i)
 		a.Float(d1, 'f', 0)
@@ -142,7 +141,6 @@ func Fig7(ctx context.Context, opts Options) (*Report, error) {
 		},
 	}
 	n := (300-100)/25 + 1
-	obs.ProgressFrom(ctx).AddTotal(int64(n))
 	rep.Rows, err = sweepRows(ctx, opts, n, 1+len(fig7Pairs), func(a *RowArena, i int) error {
 		d := 100 + 25*float64(i)
 		a.Float(d, 'f', 0)

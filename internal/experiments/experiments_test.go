@@ -9,7 +9,7 @@ import (
 
 func TestIDsComplete(t *testing.T) {
 	want := []string{
-		"ext-cellfree", "ext-conv", "ext-coopber", "ext-cycle", "ext-game", "ext-lifetime", "ext-multihop", "ext-roc",
+		"ext-adaptive", "ext-cellfree", "ext-conv", "ext-coopber", "ext-cycle", "ext-game", "ext-lifetime", "ext-multihop", "ext-roc",
 		"fig6a", "fig6b", "fig7", "fig8",
 		"table1", "table2", "table3", "table4",
 	}
@@ -35,7 +35,7 @@ func TestRunAllQuick(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(reps) != 16 {
+	if len(reps) != 17 {
 		t.Fatalf("%d reports", len(reps))
 	}
 	for _, r := range reps {

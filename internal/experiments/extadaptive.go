@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/adaptive"
+	"repro/internal/mathx"
+	"repro/internal/sim"
+)
+
+func init() {
+	registry["ext-adaptive"] = ExtAdaptive
+}
+
+// ExtAdaptive sweeps the 2x2 cooperative hop's deep-BER points under an
+// adaptive trial budget: each cell runs the coop.ber.adaptive kernel
+// with Wilson-interval sequential stopping, so easy points stop after a
+// chunk or two while deep points spend toward the budget cap. It is the
+// adaptive subsystem's determinism witness — the golden file pins the
+// realized trial counts and stopping rounds, serial and parallel alike,
+// because stopping is a pure function of the chunk-prefix statistics.
+// Options.Budget overrides the default budget below.
+func ExtAdaptive(ctx context.Context, opts Options) (*Report, error) {
+	bits := 128
+	snrs := []float64{4, 8, 12}
+	budget := opts.Budget
+	if opts.Quick {
+		bits = 32
+		if !budget.Enabled() {
+			budget = adaptive.Budget{TargetRelCI: 0.25, MaxTrials: 8 * sim.ChunkSize}
+		}
+	} else if !budget.Enabled() {
+		budget = adaptive.Budget{TargetRelCI: 0.10, MaxTrials: 64 * sim.ChunkSize}
+	}
+
+	rep := &Report{
+		ID:     "ext-adaptive",
+		Title:  "2x2 cooperative hop BER under adaptive (CI-stopped) trial budgets",
+		Header: []string{"Eb/N0 dB", "2x2 BER", "rel ci95", "trials", "rounds", "stopped"},
+		Notes: []string{
+			fmt.Sprintf("kernel coop.ber.adaptive, %d bits per trial, target ±%g%% CI, budget %d trials per cell",
+				bits, 100*budget.TargetRelCI, budget.MaxTrials),
+			"Wilson-interval stopping at chunk boundaries; realized plan replayable via sim.PlanTrace",
+			"extension experiment: not a paper artifact (see DESIGN.md)",
+		},
+	}
+
+	seeds := mathx.DeriveSeeds(opts.Seed, len(snrs))
+	var err error
+	rep.Rows, err = sweepRows(ctx, opts, len(snrs), 6, func(a *RowArena, i int) error {
+		mc := sim.MonteCarlo{Seed: seeds[i], Workers: opts.Workers}
+		params := map[string]float64{
+			"mt":     2,
+			"mr":     2,
+			"snr_db": snrs[i],
+			"bits":   float64(bits),
+		}
+		res, err := adaptive.Run(ctx, mc, "coop.ber.adaptive", params, budget)
+		if err != nil {
+			return err
+		}
+		a.Float(snrs[i], 'g', -1)
+		a.Float(res.Stats.Mean(), 'e', 3)
+		// Relative Wilson half-width over trials*bits Bernoulli units —
+		// the same quantity the stopping rule targeted.
+		units := float64(res.Stats.N()) * float64(bits)
+		rel := 0.0
+		if p := res.Stats.Mean(); p > 0 && units > 0 {
+			lo, hi := adaptive.Wilson(p*units, units, adaptive.Z95)
+			rel = (hi - lo) / 2 / p
+		}
+		a.Float(rel, 'f', 4)
+		a.Int(int64(res.Trace.Trials))
+		a.Int(int64(len(res.Trace.Rounds)))
+		a.Bool(res.Trace.Stopped)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rep, nil
+}

@@ -50,7 +50,6 @@ func ExtROC(ctx context.Context, opts Options) (*Report, error) {
 	}
 	const snr = 0.19952623149688797 // -7 dB
 	pfas := []float64{0.1, 0.05, 0.01, 0.001}
-	obs.ProgressFrom(ctx).AddTotal(int64(len(pfas)))
 	var err error
 	rep.Rows, err = sweepRows(ctx, opts, len(pfas), 6, func(a *RowArena, i int) error {
 		pfa := pfas[i]
@@ -147,7 +146,6 @@ func ExtMultihop(ctx context.Context, opts Options) (*Report, error) {
 		},
 	}
 	snr := math.Pow(10, 1.1)
-	obs.ProgressFrom(ctx).AddTotal(4)
 	var err error
 	rep.Rows, err = sweepRows(ctx, opts, 4, 3, func(a *RowArena, i int) error {
 		hops := i + 1
@@ -310,7 +308,6 @@ func ExtGame(ctx context.Context, opts Options) (*Report, error) {
 		return nil, err
 	}
 	puDists := []float64{500, 100, 30, 12}
-	obs.ProgressFrom(ctx).AddTotal(int64(len(puDists)))
 	rep.Rows, err = sweepRows(ctx, opts, len(puDists), 4, func(a *RowArena, i int) error {
 		puDist := puDists[i]
 		g := powergame.Config{

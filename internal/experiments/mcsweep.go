@@ -3,7 +3,9 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"sync/atomic"
 
+	"repro/internal/adaptive"
 	"repro/internal/mathx"
 	"repro/internal/sim"
 
@@ -43,6 +45,15 @@ func ExtCoopBER(ctx context.Context, opts Options) (*Report, error) {
 		},
 	}
 
+	// An enabled budget swaps the fixed trial count for sequential
+	// stopping per cell; the zero budget keeps the golden-pinned fixed
+	// path byte-identical.
+	budget := opts.Budget
+	if budget.Enabled() && budget.MaxTrials > trials {
+		budget.MaxTrials = trials
+	}
+	var realized atomic.Int64
+
 	// One derived seed per cell, row-major, so every cell's chunk walk
 	// is independent of sweep shape and worker count.
 	seeds := mathx.DeriveSeeds(opts.Seed, len(snrs)*len(pairs))
@@ -51,14 +62,26 @@ func ExtCoopBER(ctx context.Context, opts Options) (*Report, error) {
 		a.Float(snrs[i], 'g', -1)
 		for p, pair := range pairs {
 			mc := sim.MonteCarlo{Seed: seeds[i*len(pairs)+p], Workers: opts.Workers}
-			st, err := mc.RunKernelCtx(ctx, "coop.ber", map[string]float64{
+			params := map[string]float64{
 				"mt":     float64(pair.mt),
 				"mr":     float64(pair.mr),
 				"snr_db": snrs[i],
 				"bits":   float64(bits),
-			}, trials)
-			if err != nil {
-				return err
+			}
+			var st mathx.Running
+			if budget.Enabled() {
+				res, err := adaptive.Run(ctx, mc, "coop.ber", params, budget)
+				if err != nil {
+					return err
+				}
+				st = res.Stats
+				realized.Add(int64(res.Trace.Trials))
+			} else {
+				var err error
+				st, err = mc.RunKernelCtx(ctx, "coop.ber", params, trials)
+				if err != nil {
+					return err
+				}
 			}
 			a.Float(st.Mean(), 'e', 3)
 			a.Float(st.CI95(), 'e', 2)
@@ -67,6 +90,12 @@ func ExtCoopBER(ctx context.Context, opts Options) (*Report, error) {
 	})
 	if err != nil {
 		return nil, err
+	}
+	if budget.Enabled() {
+		cells := len(snrs) * len(pairs)
+		rep.Notes = append(rep.Notes, fmt.Sprintf(
+			"adaptive budget: target ±%g%% CI, %d trials max per cell; realized %d of %d budgeted trials",
+			100*budget.TargetRelCI, budget.MaxTrials, realized.Load(), int64(cells)*int64(budget.MaxTrials)))
 	}
 	return rep, nil
 }

@@ -13,6 +13,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/adaptive"
 	"repro/internal/obs"
 )
 
@@ -88,6 +89,14 @@ type Options struct {
 	// 0 means GOMAXPROCS. Rows merge in row order whatever the budget,
 	// so any value yields bit-identical reports.
 	Workers int
+	// Budget, when enabled, lets kernel-path drivers stop each
+	// Monte-Carlo cell early once its 95% CI shrinks below
+	// Budget.TargetRelCI of the estimate, spending at most
+	// Budget.MaxTrials. The zero Budget keeps every driver on its fixed
+	// trial counts — existing goldens are untouched. Adaptive runs stay
+	// deterministic for a given (seed, budget): stopping is evaluated at
+	// chunk boundaries only (see internal/adaptive).
+	Budget adaptive.Budget
 }
 
 // Driver regenerates one artifact. Drivers poll ctx between sweep

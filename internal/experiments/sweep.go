@@ -82,9 +82,15 @@ func (a *RowArena) String(s string) {
 // merge in row order and every row is driven only by its index, so any
 // worker count yields bit-identical reports. Cancellation is observed
 // between rows: completed rows are exactly what a serial run prints.
-// Each completed row is reported to the context's progress sink.
+// Each completed row is reported to the context's progress sink;
+// sweepRows declares those n row ticks itself, so drivers must not
+// AddTotal for them — only for work they Add beyond the row ticks
+// (Monte-Carlo kernels account their own trials). Keeping the
+// declaration next to the Add preserves done <= total at every
+// instant, the invariant the SSE progress stream advertises.
 func sweepRows(ctx context.Context, opts Options, n, cellsPerRow int, row func(a *RowArena, i int) error) ([][]string, error) {
 	progress := obs.ProgressFrom(ctx)
+	progress.AddTotal(int64(n))
 	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)

@@ -269,7 +269,7 @@ func TestValidationAndHealth(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("list: status=%d", resp.StatusCode)
 	}
-	if ids, _ := body["experiments"].([]any); len(ids) != 16 {
+	if ids, _ := body["experiments"].([]any); len(ids) != 17 {
 		t.Errorf("experiment list = %v", body["experiments"])
 	}
 
@@ -278,15 +278,24 @@ func TestValidationAndHealth(t *testing.T) {
 		t.Fatalf("kernels: status=%d", resp.StatusCode)
 	}
 	kernels, _ := body["kernels"].([]any)
-	found := map[string]bool{}
+	found := map[string]map[string]any{}
 	for _, k := range kernels {
-		name, _ := k.(string)
-		found[name] = true
+		info, _ := k.(map[string]any)
+		name, _ := info["name"].(string)
+		found[name] = info
 	}
 	for _, want := range []string{"coop.ber", "multihop.ber", "cellfree.se", "cellfree.se.mmse"} {
-		if !found[want] {
+		if found[want] == nil {
 			t.Errorf("GET /v1/kernels = %v missing %q", body["kernels"], want)
 		}
+	}
+	// Capability flags: the adaptive registration advertises both caps,
+	// the scalar oracle neither.
+	if info := found["coop.ber.adaptive"]; info == nil || info["batch"] != true || info["adaptive"] != true {
+		t.Errorf("coop.ber.adaptive caps = %v, want batch+adaptive", found["coop.ber.adaptive"])
+	}
+	if info := found["coop.ber.scalar"]; info == nil || info["batch"] != false || info["adaptive"] != false {
+		t.Errorf("coop.ber.scalar caps = %v, want no caps", found["coop.ber.scalar"])
 	}
 
 	httpResp, err := http.Get(ts.URL + "/metrics")

@@ -314,3 +314,74 @@ func TestReadSSEFraming(t *testing.T) {
 		t.Errorf("callback error not propagated: %v", err)
 	}
 }
+
+// TestJobEventsAdaptiveShrinkingTotal: adaptive runs retire unspent
+// budget by shrinking the progress total mid-run. The SSE stream must
+// keep done <= total in every event, done must stay monotonic, and the
+// final state must read 100% of the realized (shrunk) total.
+func TestJobEventsAdaptiveShrinkingTotal(t *testing.T) {
+	gate := make(chan struct{}, 3)
+	runner := func(ctx context.Context, req service.Request) (string, error) {
+		p := obs.ProgressFrom(ctx)
+		p.AddTotal(1000) // the full budget, advertised up front
+		for i := 0; i < 3; i++ {
+			select {
+			case <-gate:
+			case <-ctx.Done():
+				return "", ctx.Err()
+			}
+			p.Add(100)
+		}
+		p.AddTotal(-700) // stopping rule fired: retire the unspent budget
+		return "adaptive-report", nil
+	}
+	ts, _ := newTestServer(t, service.Config{Workers: 1, Runner: runner})
+
+	resp, body := postJSON(t, ts.URL+"/v1/experiments", `{"id":"x","seed":1}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status = %d", resp.StatusCode)
+	}
+	jobID, _ := body["job"].(string)
+
+	sresp, err := http.Get(ts.URL + "/v1/jobs/" + jobID + "/events?interval=1ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+
+	go func() {
+		for i := 0; i < 3; i++ {
+			gate <- struct{}{}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+
+	var prevDone float64 = -1
+	var finalDone, finalTotal float64
+	err = ReadSSE(sresp.Body, func(ev Event) error {
+		var jv map[string]any
+		if err := json.Unmarshal(ev.Data, &jv); err != nil {
+			return err
+		}
+		p, ok := jv["progress"].(map[string]any)
+		if !ok {
+			return nil
+		}
+		done, total := p["done_trials"].(float64), p["total_trials"].(float64)
+		if done < prevDone {
+			return fmt.Errorf("done went backwards: %v after %v", done, prevDone)
+		}
+		if total > 0 && done > total {
+			return fmt.Errorf("done %v > total %v: shrink broke the invariant", done, total)
+		}
+		prevDone = done
+		finalDone, finalTotal = done, total
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if finalTotal != 300 || finalDone != 300 {
+		t.Fatalf("final progress %v/%v, want 300/300 after budget retire", finalDone, finalTotal)
+	}
+}

@@ -8,6 +8,7 @@ package multihop
 
 import (
 	"fmt"
+	"math/rand"
 	"sync"
 
 	"repro/internal/coop"
@@ -75,11 +76,12 @@ type Result struct {
 // buffers, so repeated runs allocate only the returned per-hop slice.
 // Not safe for concurrent use; keep one per worker.
 type Workspace struct {
-	rng   *mathx.ReusableRand
-	hop   *coop.Workspace
-	src   []byte
-	pong  [2][]byte
-	seeds []int64
+	rng    *mathx.ReusableRand
+	hop    *coop.Workspace
+	src    []byte
+	pong   [2][]byte
+	seeds  []int64
+	perHop []float64
 }
 
 // NewWorkspace returns an empty workspace; buffers grow on first use.
@@ -106,11 +108,59 @@ func Run(cfg Config) (Result, error) {
 // RunWith is Run on a caller-owned workspace. Hop i's decoded bits feed
 // hop i+1 through two ping-pong buffers, so the whole route reuses the
 // workspace's scratch while consuming exactly the rng streams a fresh
-// run would.
+// run would. Each hop crosses through coop's batched SoA engine.
 func RunWith(ws *Workspace, cfg Config) (Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
 	}
+	return runRoute(ws, cfg, coop.TransportInto, make([]float64, len(cfg.Hops)))
+}
+
+// RunScalarWith is RunWith with every hop crossed through coop's
+// per-block scalar transport instead of the batched engine. It is the
+// oracle the batch-vs-scalar bit-identity tests (and the
+// multihop.ber.scalar kernel) pin RunWith against: both consume
+// identical rng streams, so the results must match bit for bit.
+func RunScalarWith(ws *Workspace, cfg Config) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	return runRoute(ws, cfg, coop.TransportScalarInto, make([]float64, len(cfg.Hops)))
+}
+
+// RunBatchWith executes n Monte-Carlo trials of the route on a
+// caller-owned workspace, drawing each trial's seed from rng exactly as
+// the per-trial multihop.ber kernel does, and folds the per-trial
+// end-to-end BERs into one running statistic. It is the chunk-level
+// entry point the multihop.ber.batch kernel registers — bit-identical
+// to n sequential RunWith calls with c.Seed = rng.Int63() per trial —
+// and reuses a workspace-held per-hop buffer so the trial loop does not
+// allocate.
+func RunBatchWith(ws *Workspace, cfg Config, rng *rand.Rand, n int) (mathx.Running, error) {
+	var acc mathx.Running
+	if err := cfg.Validate(); err != nil {
+		return acc, err
+	}
+	if cap(ws.perHop) < len(cfg.Hops) {
+		ws.perHop = make([]float64, len(cfg.Hops))
+	}
+	perHop := ws.perHop[:len(cfg.Hops)]
+	c := cfg
+	for i := 0; i < n; i++ {
+		c.Seed = rng.Int63()
+		r, err := runRoute(ws, c, coop.TransportInto, perHop)
+		if err != nil {
+			return acc, err
+		}
+		acc.Add(r.EndToEndBER)
+	}
+	return acc, nil
+}
+
+// runRoute is the shared route engine: transport crosses one hop
+// (batched or scalar), perHop receives the per-hop BERs and backs the
+// returned Result.PerHopBER. The caller has validated cfg.
+func runRoute(ws *Workspace, cfg Config, transport func(*coop.Workspace, coop.Config, []byte, []byte) (coop.Result, error), perHop []float64) (Result, error) {
 	ws.rng.Reseed(cfg.Seed)
 	rng := ws.rng.Rand
 	if cap(ws.seeds) < len(cfg.Hops) {
@@ -135,7 +185,7 @@ func RunWith(ws *Workspace, cfg Config) (Result, error) {
 		src[i] = byte(rng.Intn(2))
 	}
 
-	res := Result{Bits: bits, PerHopBER: make([]float64, len(cfg.Hops))}
+	res := Result{Bits: bits, PerHopBER: perHop}
 	cur := src
 	for i, h := range cfg.Hops {
 		hopCfg := coop.Config{
@@ -149,7 +199,7 @@ func RunWith(ws *Workspace, cfg Config) (Result, error) {
 			ws.pong[i%2] = make([]byte, bits)
 		}
 		dst := ws.pong[i%2][:bits]
-		hopRes, err := coop.TransportInto(ws.hop, hopCfg, cur, dst)
+		hopRes, err := transport(ws.hop, hopCfg, cur, dst)
 		if err != nil {
 			return Result{}, fmt.Errorf("multihop: hop %d: %w", i, err)
 		}

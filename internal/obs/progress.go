@@ -11,9 +11,10 @@ import (
 )
 
 // Progress receives work accounting from instrumented code: AddTotal
-// grows the expected amount of work (totals may arrive incrementally,
-// e.g. one sweep at a time) and Add records completed work. Both must
-// be safe for concurrent use.
+// adjusts the expected amount of work (totals may arrive incrementally,
+// e.g. one sweep at a time, and may shrink — an adaptive run that stops
+// early retires its unspent budget with a negative AddTotal) and Add
+// records completed work. Both must be safe for concurrent use.
 type Progress interface {
 	AddTotal(n int64)
 	Add(n int64)
@@ -38,10 +39,28 @@ type Tracker struct {
 // NewTracker returns a tracker whose elapsed time starts now.
 func NewTracker() *Tracker { return &Tracker{start: time.Now()} }
 
-// AddTotal grows the expected work. Safe on a nil receiver.
+// AddTotal adjusts the expected work. Negative n shrinks the total —
+// how adaptive early stopping retires unspent budget so a finished run
+// reads 100%, not 12% forever — but never below the work already done:
+// the done <= total invariant every consumer (progress lines, SSE
+// percentages) relies on survives any call sequence. Safe on a nil
+// receiver.
 func (t *Tracker) AddTotal(n int64) {
-	if t != nil && n > 0 {
-		t.total.Add(n)
+	if t == nil || n == 0 {
+		return
+	}
+	t.total.Add(n)
+	if n < 0 {
+		// Clamp a shrink that undershot the completed work. The CAS loop
+		// races only against other shrinks (Add never lowers done), so
+		// settling at done is the correct floor.
+		for {
+			cur := t.total.Load()
+			done := t.done.Load()
+			if cur >= done || t.total.CompareAndSwap(cur, done) {
+				return
+			}
+		}
 	}
 }
 

@@ -20,10 +20,12 @@ func TestTrackerSnapshot(t *testing.T) {
 	if s.Elapsed < 0 {
 		t.Errorf("elapsed negative: %v", s.Elapsed)
 	}
+	// Negative done deltas are ignored; negative total deltas shrink
+	// the expectation (adaptive early stopping) but never below done.
 	tr.Add(-10)
 	tr.AddTotal(-10)
-	if s2 := tr.Snapshot(); s2.Done != 50 || s2.Total != 100 {
-		t.Errorf("negative deltas must be ignored, got %+v", s2)
+	if s2 := tr.Snapshot(); s2.Done != 50 || s2.Total != 90 {
+		t.Errorf("after shrink, got %+v, want done=50 total=90", s2)
 	}
 }
 
@@ -98,3 +100,50 @@ func TestProgressPrinter(t *testing.T) {
 type writerFunc func(p []byte) (int, error)
 
 func (f writerFunc) Write(p []byte) (int, error) { return f(p) }
+
+// TestTrackerShrinkTotal: adaptive runs shrink the advertised total
+// when a stopping rule saves budget; the tracker clamps so done never
+// exceeds total.
+func TestTrackerShrinkTotal(t *testing.T) {
+	tr := NewTracker()
+	tr.AddTotal(1000)
+	tr.Add(300)
+	tr.AddTotal(-700)
+	if s := tr.Snapshot(); s.Total != 300 || s.Done != 300 {
+		t.Fatalf("after shrink: done %d total %d, want 300/300", s.Done, s.Total)
+	}
+	// Over-shrink clamps at done rather than going below it.
+	tr2 := NewTracker()
+	tr2.AddTotal(100)
+	tr2.Add(80)
+	tr2.AddTotal(-90)
+	if s := tr2.Snapshot(); s.Total != s.Done || s.Total != 80 {
+		t.Fatalf("over-shrink: done %d total %d, want 80/80", s.Done, s.Total)
+	}
+	// Zero delta is a no-op.
+	tr2.AddTotal(0)
+	if s := tr2.Snapshot(); s.Total != 80 {
+		t.Fatalf("zero AddTotal moved total to %d", s.Total)
+	}
+}
+
+// TestTrackerShrinkConcurrent hammers the clamp: whatever interleaving
+// of adds and shrinks, the tracker must never publish done > total.
+func TestTrackerShrinkConcurrent(t *testing.T) {
+	tr := NewTracker()
+	tr.AddTotal(1 << 20)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 10000; i++ {
+			tr.Add(10)
+		}
+	}()
+	for i := 0; i < 1000; i++ {
+		tr.AddTotal(-50)
+	}
+	<-done
+	if s := tr.Snapshot(); s.Done > s.Total {
+		t.Fatalf("done %d > total %d after concurrent shrink", s.Done, s.Total)
+	}
+}

@@ -1,0 +1,82 @@
+package service
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/adaptive"
+)
+
+func TestBudgetFromParams(t *testing.T) {
+	b, err := BudgetFromParams(map[string]string{"target_ci": "0.05", "max_trials": "100000", "min_trials": "256"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.TargetRelCI != 0.05 || b.MaxTrials != 100000 || b.MinTrials != 256 {
+		t.Fatalf("decoded %+v", b)
+	}
+	if b, err := BudgetFromParams(nil); err != nil || b.Enabled() {
+		t.Fatalf("absent params: %+v, %v", b, err)
+	}
+	// target_ci=0 explicitly disables — the escape hatch on nodes with
+	// a default budget.
+	if b, err := BudgetFromParams(map[string]string{"target_ci": "0"}); err != nil || b.Enabled() {
+		t.Fatalf("explicit zero: %+v, %v", b, err)
+	}
+	for _, params := range []map[string]string{
+		{"target_ci": "nope"},
+		{"target_ci": "-0.1"},
+		{"max_trials": "x"},
+		{"max_trials": "-5"},
+		{"min_trials": "-1"},
+		{"target_ci": "1.5", "max_trials": "100"},
+		{"target_ci": "0.1", "max_trials": "10", "min_trials": "20"},
+	} {
+		if _, err := BudgetFromParams(params); err == nil {
+			t.Errorf("params %v accepted", params)
+		}
+	}
+}
+
+func TestWithDefaultBudget(t *testing.T) {
+	var seen map[string]string
+	inner := func(ctx context.Context, req Request) (string, error) {
+		seen = req.Params
+		return "", nil
+	}
+	def := adaptive.Budget{TargetRelCI: 0.1, MaxTrials: 4096, MinTrials: 64}
+	wrapped := WithDefaultBudget(inner, def)
+
+	// No params: the default budget is injected.
+	if _, err := wrapped(context.Background(), Request{ID: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	if seen["target_ci"] != "0.1" || seen["max_trials"] != "4096" || seen["min_trials"] != "64" {
+		t.Fatalf("default not injected: %v", seen)
+	}
+
+	// Explicit budget params win untouched, including a disabling zero.
+	if _, err := wrapped(context.Background(), Request{ID: "x", Params: map[string]string{"target_ci": "0"}}); err != nil {
+		t.Fatal(err)
+	}
+	if seen["target_ci"] != "0" || seen["max_trials"] != "" {
+		t.Fatalf("explicit params overridden: %v", seen)
+	}
+
+	// Unrelated params survive injection.
+	if _, err := wrapped(context.Background(), Request{ID: "x", Params: map[string]string{"foo": "bar"}}); err != nil {
+		t.Fatal(err)
+	}
+	if seen["foo"] != "bar" || seen["target_ci"] != "0.1" {
+		t.Fatalf("unrelated params lost: %v", seen)
+	}
+
+	// A disabled default is the identity wrapper.
+	id := WithDefaultBudget(inner, adaptive.Budget{})
+	if _, err := id(context.Background(), Request{ID: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 0 {
+		t.Fatalf("disabled default injected params: %v", seen)
+	}
+}

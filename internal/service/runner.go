@@ -2,21 +2,92 @@ package service
 
 import (
 	"context"
+	"fmt"
+	"strconv"
 
+	"repro/internal/adaptive"
 	"repro/internal/experiments"
 )
 
 // ExperimentRunner is the default Runner: it regenerates the paper
 // artifact named by the request through the experiments registry,
-// honoring ctx between sweep points. Solver parameters ride along in
-// the cache key only; drivers configure their own solvers today.
+// honoring ctx between sweep points. The adaptive budget parameters
+// ("target_ci", "max_trials", "min_trials") are decoded into
+// experiments.Options.Budget; everything else in Params rides along in
+// the cache key only — drivers configure their own solvers today.
 func ExperimentRunner(ctx context.Context, req Request) (string, error) {
+	budget, err := BudgetFromParams(req.Params)
+	if err != nil {
+		return "", err
+	}
 	rep, err := experiments.RunCtx(ctx, req.ID,
-		experiments.Options{Seed: req.Seed, Quick: req.Quick, Workers: req.Workers})
+		experiments.Options{Seed: req.Seed, Quick: req.Quick, Workers: req.Workers, Budget: budget})
 	if err != nil {
 		return "", err
 	}
 	return rep.String(), nil
+}
+
+// BudgetFromParams decodes the adaptive budget riding in a request's
+// solver parameters. Budget params participate in the result cache key
+// like any other param, so two requests with different targets never
+// share a cached artifact. Absent keys return the zero (disabled)
+// budget.
+func BudgetFromParams(params map[string]string) (adaptive.Budget, error) {
+	var b adaptive.Budget
+	if v, ok := params["target_ci"]; ok {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil || f < 0 {
+			return b, fmt.Errorf("service: bad target_ci %q", v)
+		}
+		b.TargetRelCI = f
+	}
+	if v, ok := params["max_trials"]; ok {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			return b, fmt.Errorf("service: bad max_trials %q", v)
+		}
+		b.MaxTrials = n
+	}
+	if v, ok := params["min_trials"]; ok {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			return b, fmt.Errorf("service: bad min_trials %q", v)
+		}
+		b.MinTrials = n
+	}
+	if err := b.Validate(); err != nil {
+		return adaptive.Budget{}, err
+	}
+	return b, nil
+}
+
+// WithDefaultBudget wraps a Runner so requests carrying no budget
+// params run under the given default adaptive budget. Requests with an
+// explicit target_ci always win — including "target_ci":"0", which
+// callers can send to force fixed budgets on a defaulted node. The
+// injected params are visible to the wrapped runner only; the cache key
+// was computed from the original request, so a node's default budget is
+// node configuration, exactly like its -peers topology.
+func WithDefaultBudget(inner Runner, def adaptive.Budget) Runner {
+	if !def.Enabled() {
+		return inner
+	}
+	return func(ctx context.Context, req Request) (string, error) {
+		if _, ok := req.Params["target_ci"]; !ok {
+			params := make(map[string]string, len(req.Params)+3)
+			for k, v := range req.Params {
+				params[k] = v
+			}
+			params["target_ci"] = strconv.FormatFloat(def.TargetRelCI, 'g', -1, 64)
+			params["max_trials"] = strconv.Itoa(def.MaxTrials)
+			if def.MinTrials > 0 {
+				params["min_trials"] = strconv.Itoa(def.MinTrials)
+			}
+			req.Params = params
+		}
+		return inner(ctx, req)
+	}
 }
 
 // KnownExperimentIDs lists the IDs ExperimentRunner accepts, for

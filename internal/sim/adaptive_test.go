@@ -1,0 +1,237 @@
+package sim
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/mathx"
+	"repro/internal/obs"
+)
+
+func init() { RegisterKernel("ztest.kernel.adapt", testBatch) }
+
+// stopAfterTrials stops once the prefix holds at least n trials — a
+// deterministic rule for pinning round behavior in tests.
+type stopAfterTrials struct{ n int64 }
+
+func (s stopAfterTrials) Done(prefix mathx.Running) bool { return prefix.N() >= s.n }
+
+// neverStop exhausts the budget.
+type neverStop struct{}
+
+func (neverStop) Done(mathx.Running) bool { return false }
+
+func TestAdaptiveRoundSchedule(t *testing.T) {
+	for _, tc := range []struct{ prev, chunks, want int }{
+		{0, 10, 1},
+		{1, 10, 2},
+		{2, 10, 4},
+		{4, 10, 8},
+		{8, 10, 10}, // capped at the budget
+		{0, 1, 1},
+	} {
+		if got := adaptiveRound(tc.prev, tc.chunks); got != tc.want {
+			t.Errorf("adaptiveRound(%d, %d) = %d, want %d", tc.prev, tc.chunks, got, tc.want)
+		}
+	}
+}
+
+// TestRunAdaptivePrefixIdentity is the core determinism contract: the
+// statistics of an adaptive run are bit-identical to a fixed run of the
+// realized chunk prefix, because the executed chunks and the fold order
+// are exactly that prefix of the budget's plan.
+func TestRunAdaptivePrefixIdentity(t *testing.T) {
+	mc := MonteCarlo{Seed: 42}
+	budget := 10 * ChunkSize
+
+	res, err := mc.RunAdaptiveCtx(context.Background(), "ztest.kernel.adapt", nil,
+		budget, stopAfterTrials{n: 3 * ChunkSize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rounds 1, 2, 4: the rule fires at the 4-chunk boundary.
+	if got := res.Trace.Chunks(); got != 4 {
+		t.Fatalf("realized chunks = %d, want 4 (rounds %v)", got, res.Trace.Rounds)
+	}
+	if !res.Trace.Stopped {
+		t.Fatal("trace not marked stopped")
+	}
+	if res.Trace.Trials != 4*ChunkSize {
+		t.Fatalf("realized trials = %d, want %d", res.Trace.Trials, 4*ChunkSize)
+	}
+	if err := res.Trace.Validate(); err != nil {
+		t.Fatalf("recorded trace fails validation: %v", err)
+	}
+
+	// A fixed run of the same prefix: same chunks of the same plan,
+	// folded left to right.
+	parts, err := mc.RunKernelChunksCtx(context.Background(), "ztest.kernel.adapt", nil, budget, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want mathx.Running
+	for _, p := range parts {
+		want.Merge(p)
+	}
+	if res.Stats.Snapshot() != want.Snapshot() {
+		t.Fatalf("adaptive stats %+v != fixed prefix stats %+v", res.Stats.Snapshot(), want.Snapshot())
+	}
+}
+
+// TestRunAdaptiveExhaustsBudget checks the degenerate path: a rule that
+// never fires spends the whole budget and matches the plain fixed run
+// bit for bit — adaptive wrapping costs nothing in accuracy.
+func TestRunAdaptiveExhaustsBudget(t *testing.T) {
+	mc := MonteCarlo{Seed: 7}
+	trials := 3*ChunkSize + 17 // partial final chunk
+
+	res, err := mc.RunAdaptiveCtx(context.Background(), "ztest.kernel.adapt", nil, trials, neverStop{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace.Stopped {
+		t.Fatal("trace marked stopped; rule never fired")
+	}
+	if res.Trace.Trials != trials || res.Trace.Saved() != 0 {
+		t.Fatalf("realized %d of %d trials, saved %d", res.Trace.Trials, trials, res.Trace.Saved())
+	}
+	want, err := mc.RunKernelCtx(context.Background(), "ztest.kernel.adapt", nil, trials)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Snapshot() != want.Snapshot() {
+		t.Fatalf("exhausted adaptive run %+v != fixed run %+v", res.Stats.Snapshot(), want.Snapshot())
+	}
+	// Nil rule takes the same degenerate path.
+	res2, err := mc.RunAdaptiveCtx(context.Background(), "ztest.kernel.adapt", nil, trials, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Stats.Snapshot() != want.Snapshot() {
+		t.Fatal("nil-rule adaptive run differs from fixed run")
+	}
+}
+
+// TestRunTraceReplayIdentity: replaying a recorded trace reproduces the
+// adaptive run's statistics bit-identically, serial and parallel alike.
+func TestRunTraceReplayIdentity(t *testing.T) {
+	mc := MonteCarlo{Seed: 99}
+	res, err := mc.RunAdaptiveCtx(context.Background(), "ztest.kernel.adapt", nil,
+		8*ChunkSize, stopAfterTrials{n: 2 * ChunkSize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 1, 3} {
+		replayer := MonteCarlo{Seed: 99, Workers: workers}
+		rep, err := replayer.RunTraceCtx(context.Background(), "ztest.kernel.adapt", nil, res.Trace)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if rep.Stats.Snapshot() != res.Stats.Snapshot() {
+			t.Fatalf("workers=%d: replay %+v != original %+v", workers, rep.Stats.Snapshot(), res.Stats.Snapshot())
+		}
+	}
+}
+
+// TestRunAdaptiveParallelIdentity: worker count never changes what an
+// adaptive run computes, including where it stops.
+func TestRunAdaptiveParallelIdentity(t *testing.T) {
+	base, err := MonteCarlo{Seed: 5}.RunAdaptiveCtx(context.Background(),
+		"ztest.kernel.adapt", nil, 16*ChunkSize, stopAfterTrials{n: 5 * ChunkSize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 7} {
+		got, err := MonteCarlo{Seed: 5, Workers: workers}.RunAdaptiveCtx(context.Background(),
+			"ztest.kernel.adapt", nil, 16*ChunkSize, stopAfterTrials{n: 5 * ChunkSize})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if got.Stats.Snapshot() != base.Stats.Snapshot() || got.Trace.Trials != base.Trace.Trials {
+			t.Fatalf("workers=%d: adaptive run diverged", workers)
+		}
+	}
+}
+
+// TestRunAdaptiveProgressShrinks: the run advertises the full budget up
+// front and shrinks the total to the realized spend at stop, keeping
+// done <= total at the end.
+func TestRunAdaptiveProgressShrinks(t *testing.T) {
+	tracker := obs.NewTracker()
+	ctx := obs.WithProgress(context.Background(), tracker)
+	res, err := MonteCarlo{Seed: 1}.RunAdaptiveCtx(ctx, "ztest.kernel.adapt", nil,
+		32*ChunkSize, stopAfterTrials{n: 2 * ChunkSize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := tracker.Snapshot()
+	if snap.Total != int64(res.Trace.Trials) {
+		t.Fatalf("final total %d, want realized trials %d", snap.Total, res.Trace.Trials)
+	}
+	if snap.Done != snap.Total {
+		t.Fatalf("done %d != total %d after completed run", snap.Done, snap.Total)
+	}
+	if res.Trace.Saved() == 0 {
+		t.Fatal("test run saved nothing; stopping rule never fired")
+	}
+}
+
+func TestRunAdaptiveErrors(t *testing.T) {
+	mc := MonteCarlo{Seed: 1}
+	if _, err := mc.RunAdaptiveCtx(context.Background(), "ztest.kernel.adapt", nil, 0, nil); err == nil {
+		t.Fatal("zero budget accepted")
+	}
+	if _, err := mc.RunAdaptiveCtx(context.Background(), "ztest.kernel.nope", nil, ChunkSize, nil); err == nil {
+		t.Fatal("unknown kernel accepted")
+	}
+}
+
+func TestPlanTraceValidate(t *testing.T) {
+	valid := PlanTrace{ChunkSize: ChunkSize, MaxTrials: 4 * ChunkSize, Trials: 2 * ChunkSize, Rounds: []int{1, 2}}
+	if err := valid.Validate(); err != nil {
+		t.Fatalf("valid trace rejected: %v", err)
+	}
+	for name, tr := range map[string]PlanTrace{
+		"wrong chunk size":   {ChunkSize: ChunkSize + 1, MaxTrials: ChunkSize, Trials: ChunkSize, Rounds: []int{1}},
+		"no rounds":          {ChunkSize: ChunkSize, MaxTrials: ChunkSize, Trials: ChunkSize},
+		"zero budget":        {ChunkSize: ChunkSize, MaxTrials: 0, Trials: 0, Rounds: []int{1}},
+		"non-monotonic":      {ChunkSize: ChunkSize, MaxTrials: 4 * ChunkSize, Trials: 2 * ChunkSize, Rounds: []int{2, 1}},
+		"beyond budget":      {ChunkSize: ChunkSize, MaxTrials: 2 * ChunkSize, Trials: 2 * ChunkSize, Rounds: []int{1, 5}},
+		"trials mismatch":    {ChunkSize: ChunkSize, MaxTrials: 4 * ChunkSize, Trials: ChunkSize, Rounds: []int{1, 2}},
+		"strata sum wrong":   {ChunkSize: ChunkSize, MaxTrials: 4 * ChunkSize, Trials: 2 * ChunkSize, Rounds: []int{2}, Strata: []StratumAlloc{{Name: "a", Chunks: 1}}},
+		"strata trial wrong": {ChunkSize: ChunkSize, MaxTrials: 4 * ChunkSize, Trials: ChunkSize, Rounds: []int{2}, Strata: []StratumAlloc{{Name: "a", Chunks: 1}, {Name: "b", Chunks: 1}}},
+	} {
+		if err := tr.Validate(); err == nil {
+			t.Errorf("%s: trace accepted", name)
+		}
+	}
+	strat := PlanTrace{ChunkSize: ChunkSize, MaxTrials: 4 * ChunkSize, Trials: 3 * ChunkSize,
+		Rounds: []int{2, 3}, Strata: []StratumAlloc{{Name: "a", Chunks: 2}, {Name: "b", Chunks: 1}}}
+	if err := strat.Validate(); err != nil {
+		t.Fatalf("valid stratified trace rejected: %v", err)
+	}
+}
+
+func TestKernelCapsRegistry(t *testing.T) {
+	RegisterKernelCaps("ztest.kernel.caps", testBatch,
+		KernelCaps{Batch: true, Adaptive: true, BernoulliUnits: func(map[string]float64) float64 { return 8 }})
+	caps, ok := KernelCapsFor("ztest.kernel.caps")
+	if !ok || !caps.Batch || !caps.Adaptive || caps.BernoulliUnits == nil {
+		t.Fatalf("caps not stored: %+v ok=%v", caps, ok)
+	}
+	if _, ok := KernelCapsFor("ztest.kernel.caps.nope"); ok {
+		t.Fatal("caps reported for unknown kernel")
+	}
+	var found bool
+	for _, info := range KernelInfos() {
+		if info.Name == "ztest.kernel.caps" {
+			found = true
+			if !info.Batch || !info.Adaptive {
+				t.Fatalf("KernelInfos entry lost flags: %+v", info)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("KernelInfos missing registered kernel")
+	}
+}

@@ -22,6 +22,32 @@ type BatchFunc func(rng *rand.Rand, n int) mathx.Running
 // keeps the shard wire format free of per-kernel types.
 type KernelFunc func(params map[string]float64) (BatchFunc, error)
 
+// KernelCaps advertises what a kernel supports beyond plain fixed-budget
+// execution. Capabilities are discovery metadata — they never change
+// what a chunk computes — and are served to clients via GET /v1/kernels
+// so a caller can tell which kernels accept adaptive budgets.
+type KernelCaps struct {
+	// Batch marks kernels whose chunk executes through a
+	// structure-of-arrays batch engine rather than a per-trial loop.
+	Batch bool
+	// Adaptive marks kernels whose estimator is well-defined under
+	// sequential stopping, i.e. safe to run via RunAdaptiveCtx.
+	Adaptive bool
+	// BernoulliUnits, when non-nil, declares the kernel's estimate to be
+	// a Bernoulli rate and returns how many Bernoulli units (e.g. bits)
+	// one trial contributes under the given parameters. Stopping rules
+	// use it to convert trial counts into unit counts for binomial
+	// (Wilson / Clopper-Pearson) intervals; nil means the estimate is a
+	// general mean and CLT rules apply.
+	BernoulliUnits func(params map[string]float64) float64
+}
+
+// kernelEntry pairs a kernel constructor with its capabilities.
+type kernelEntry struct {
+	fn   KernelFunc
+	caps KernelCaps
+}
+
 // kernels is the process-wide registry of named Monte-Carlo kernels.
 // A kernel name is meaningful across processes: a coordinator ships
 // (kernel, params, seed, trials, chunk range) and the worker rebuilds
@@ -30,13 +56,19 @@ type KernelFunc func(params map[string]float64) (BatchFunc, error)
 // package's dependency on internal/simkern).
 var kernels = struct {
 	sync.RWMutex
-	m map[string]KernelFunc
-}{m: make(map[string]KernelFunc)}
+	m map[string]kernelEntry
+}{m: make(map[string]kernelEntry)}
 
-// RegisterKernel adds a named kernel; duplicate names panic, exactly
-// like duplicate experiment IDs would, because registration happens at
-// package init time.
+// RegisterKernel adds a named kernel with no advertised capabilities;
+// duplicate names panic, exactly like duplicate experiment IDs would,
+// because registration happens at package init time.
 func RegisterKernel(name string, k KernelFunc) {
+	RegisterKernelCaps(name, k, KernelCaps{})
+}
+
+// RegisterKernelCaps adds a named kernel together with its capability
+// flags. Duplicate names panic; see RegisterKernel.
+func RegisterKernelCaps(name string, k KernelFunc, caps KernelCaps) {
 	if name == "" || k == nil {
 		panic("sim: RegisterKernel needs a name and a kernel")
 	}
@@ -45,7 +77,7 @@ func RegisterKernel(name string, k KernelFunc) {
 	if _, dup := kernels.m[name]; dup {
 		panic(fmt.Sprintf("sim: kernel %q registered twice", name))
 	}
-	kernels.m[name] = k
+	kernels.m[name] = kernelEntry{fn: k, caps: caps}
 }
 
 // Kernels lists the registered kernel names in sorted order. It is the
@@ -62,13 +94,43 @@ func Kernels() []string {
 	return ids
 }
 
+// KernelCapsFor returns the registered capabilities of a kernel; ok is
+// false for an unknown name.
+func KernelCapsFor(name string) (KernelCaps, bool) {
+	kernels.RLock()
+	defer kernels.RUnlock()
+	e, ok := kernels.m[name]
+	return e.caps, ok
+}
+
+// KernelInfo is the wire form of one registry entry: the name plus its
+// boolean capability flags, as served by GET /v1/kernels.
+type KernelInfo struct {
+	Name     string `json:"name"`
+	Batch    bool   `json:"batch"`
+	Adaptive bool   `json:"adaptive"`
+}
+
+// KernelInfos lists every registered kernel with its capabilities, in
+// name order.
+func KernelInfos() []KernelInfo {
+	kernels.RLock()
+	defer kernels.RUnlock()
+	infos := make([]KernelInfo, 0, len(kernels.m))
+	for id, e := range kernels.m {
+		infos = append(infos, KernelInfo{Name: id, Batch: e.caps.Batch, Adaptive: e.caps.Adaptive})
+	}
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
+	return infos
+}
+
 // NewKernelBatch builds the batch function of a registered kernel.
 func NewKernelBatch(name string, params map[string]float64) (BatchFunc, error) {
 	kernels.RLock()
-	k, ok := kernels.m[name]
+	e, ok := kernels.m[name]
 	kernels.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("sim: unknown kernel %q (have %s)", name, strings.Join(Kernels(), ", "))
 	}
-	return k(params)
+	return e.fn(params)
 }

@@ -11,8 +11,12 @@ import (
 )
 
 func init() {
-	sim.RegisterKernel("cellfree.se", cellfreeSE(cellfree.CombinerMR))
-	sim.RegisterKernel("cellfree.se.mmse", cellfreeSE(cellfree.CombinerMMSE))
+	// Spectral-efficiency estimates are general means, so adaptive
+	// budgets stop them with the CLT rule (no Bernoulli-units cap).
+	sim.RegisterKernelCaps("cellfree.se", cellfreeSE(cellfree.CombinerMR),
+		sim.KernelCaps{Adaptive: true})
+	sim.RegisterKernelCaps("cellfree.se.mmse", cellfreeSE(cellfree.CombinerMMSE),
+		sim.KernelCaps{Adaptive: true})
 }
 
 // cellfreeSE builds the cell-free uplink SE kernels. One trial draws a

@@ -23,10 +23,54 @@ import (
 )
 
 func init() {
-	sim.RegisterKernel("coop.ber", coopBER)
-	sim.RegisterKernel("coop.ber.batch", coopBERBatch)
+	// Capability flags are discovery metadata (GET /v1/kernels): Batch
+	// marks chunk-level SoA entry points, Adaptive marks estimators that
+	// are well-defined under sequential stopping, and BernoulliUnits
+	// upgrades stopping from CLT to binomial (Wilson) intervals. The
+	// scalar oracles stay fixed-budget — they exist to pin the batched
+	// kernels, so their spend must never depend on a stopping rule.
+	sim.RegisterKernelCaps("coop.ber", coopBER,
+		sim.KernelCaps{Adaptive: true})
+	sim.RegisterKernelCaps("coop.ber.batch", coopBERBatch,
+		sim.KernelCaps{Batch: true, Adaptive: true})
 	sim.RegisterKernel("coop.ber.scalar", coopBERScalar)
-	sim.RegisterKernel("multihop.ber", multihopBER)
+	sim.RegisterKernelCaps("coop.ber.adaptive", coopBERBatch,
+		sim.KernelCaps{Batch: true, Adaptive: true, BernoulliUnits: coopBits})
+	sim.RegisterKernelCaps("multihop.ber", multihopBER,
+		sim.KernelCaps{Adaptive: true})
+	sim.RegisterKernelCaps("multihop.ber.batch", multihopBERBatch,
+		sim.KernelCaps{Batch: true, Adaptive: true, BernoulliUnits: multihopBits})
+	sim.RegisterKernel("multihop.ber.scalar", multihopBERScalar)
+}
+
+// coopBits returns the Bernoulli units one coop.ber trial contributes:
+// the transmitted bit count. It lets binomial stopping rules treat the
+// BER estimate as k errors in trials*bits bits.
+func coopBits(params map[string]float64) float64 {
+	bits, err := intParam(params, "bits", 64)
+	if err != nil || bits <= 0 {
+		return 0
+	}
+	return float64(bits)
+}
+
+// multihopBits returns the Bernoulli units one multihop.ber trial
+// contributes: the payload rounded up to whole per-hop blocks, exactly
+// as the route engine rounds it.
+func multihopBits(params map[string]float64) float64 {
+	b, err := intParam(params, "b", 1)
+	if err != nil || b < 1 {
+		return 0
+	}
+	bits, err := intParam(params, "bits", 64)
+	if err != nil || bits <= 0 {
+		return 0
+	}
+	unit := 6 * b
+	if rem := bits % unit; rem != 0 {
+		bits += unit - rem
+	}
+	return float64(bits)
 }
 
 // intParam reads an integral parameter, rejecting NaN, fractions and
@@ -159,28 +203,64 @@ func coopBERWith(params map[string]float64, run func(*coop.Workspace, coop.Confi
 //	snr_db   per-hop per-bit SNR in dB (default 10)
 //	bits     payload bits per trial (default 64)
 func multihopBER(params map[string]float64) (sim.BatchFunc, error) {
-	hops, err := intParam(params, "hops", 2)
+	return multihopBERWith(params, multihop.RunWith)
+}
+
+// multihopBERBatch is the chunk-level SoA registration: the chunk runs
+// through multihop.RunBatchWith in one call. Bit-identical to
+// multihop.ber — each trial still reseeds from the chunk stream in the
+// same order — so campaigns and cluster shards can name either.
+func multihopBERBatch(params map[string]float64) (sim.BatchFunc, error) {
+	cfg, err := multihopConfig(params)
 	if err != nil {
 		return nil, err
 	}
+	return func(rng *rand.Rand, n int) mathx.Running {
+		ws := multihop.GetWorkspace()
+		defer multihop.PutWorkspace(ws)
+		acc, err := multihop.RunBatchWith(ws, cfg, rng, n)
+		if err != nil {
+			// Validated at build time; unreachable for a registered run.
+			panic(err)
+		}
+		return acc
+	}, nil
+}
+
+// multihopBERScalar pins the per-hop scalar oracle under its own name,
+// mirroring coop.ber.scalar, so golden runs can cross-check the batched
+// route kernel through the same registry plumbing.
+func multihopBERScalar(params map[string]float64) (sim.BatchFunc, error) {
+	return multihopBERWith(params, multihop.RunScalarWith)
+}
+
+// multihopConfig builds and validates the multihop.Config a kernel's
+// flat parameters describe; the seed is a placeholder — trials reseed
+// from the chunk stream.
+func multihopConfig(params map[string]float64) (multihop.Config, error) {
+	var cfg multihop.Config
+	hops, err := intParam(params, "hops", 2)
+	if err != nil {
+		return cfg, err
+	}
 	if hops < 1 || hops > 16 {
-		return nil, fmt.Errorf("simkern: hop count %d outside [1, 16]", hops)
+		return cfg, fmt.Errorf("simkern: hop count %d outside [1, 16]", hops)
 	}
 	mt, err := intParam(params, "mt", 2)
 	if err != nil {
-		return nil, err
+		return cfg, err
 	}
 	mr, err := intParam(params, "mr", 2)
 	if err != nil {
-		return nil, err
+		return cfg, err
 	}
 	b, err := intParam(params, "b", 1)
 	if err != nil {
-		return nil, err
+		return cfg, err
 	}
 	bits, err := intParam(params, "bits", 64)
 	if err != nil {
-		return nil, err
+		return cfg, err
 	}
 	snrDB, ok := params["snr_db"]
 	if !ok {
@@ -190,8 +270,16 @@ func multihopBER(params map[string]float64) (sim.BatchFunc, error) {
 	for i := range route {
 		route[i] = multihop.Hop{Mt: mt, Mr: mr, SNRPerBit: math.Pow(10, snrDB/10)}
 	}
-	cfg := multihop.Config{Hops: route, B: b, Bits: bits, Seed: 1}
+	cfg = multihop.Config{Hops: route, B: b, Bits: bits, Seed: 1}
 	if err := cfg.Validate(); err != nil {
+		return cfg, err
+	}
+	return cfg, nil
+}
+
+func multihopBERWith(params map[string]float64, run func(*multihop.Workspace, multihop.Config) (multihop.Result, error)) (sim.BatchFunc, error) {
+	cfg, err := multihopConfig(params)
+	if err != nil {
 		return nil, err
 	}
 	return func(rng *rand.Rand, n int) mathx.Running {
@@ -201,7 +289,7 @@ func multihopBER(params map[string]float64) (sim.BatchFunc, error) {
 		c := cfg
 		for i := 0; i < n; i++ {
 			c.Seed = rng.Int63()
-			r, err := multihop.RunWith(ws, c)
+			r, err := run(ws, c)
 			if err != nil {
 				panic(err)
 			}

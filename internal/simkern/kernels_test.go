@@ -92,3 +92,73 @@ func TestCellfreeKernelOrdering(t *testing.T) {
 		t.Fatalf("MMSE median SE %v below MR %v on shared snapshots", mm.Mean(), mr.Mean())
 	}
 }
+
+// TestMultihopBatchMatchesScalar pins the SoA tier's contract at the
+// registry level: multihop.ber.batch and multihop.ber.scalar (and the
+// transport-engine multihop.ber) produce bit-identical statistics from
+// the same rng stream, so swapping engines never moves a golden.
+func TestMultihopBatchMatchesScalar(t *testing.T) {
+	params := map[string]float64{"hops": 3, "mt": 2, "mr": 2, "snr_db": 8, "bits": 240}
+	run := func(kernel string) mathx.Running {
+		batch, err := sim.NewKernelBatch(kernel, params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return batch(mathx.NewRand(99), 40)
+	}
+	batch, scalar, transport := run("multihop.ber.batch"), run("multihop.ber.scalar"), run("multihop.ber")
+	if batch != scalar {
+		t.Fatalf("multihop.ber.batch %+v != multihop.ber.scalar %+v", batch, scalar)
+	}
+	if batch != transport {
+		t.Fatalf("multihop.ber.batch %+v != multihop.ber %+v", batch, transport)
+	}
+	if batch.N() != 40 {
+		t.Fatalf("N = %d, want 40", batch.N())
+	}
+}
+
+// TestKernelCapsAdvertised: the capability flags the serving tier
+// exposes over GET /v1/kernels match what each registration supports.
+func TestKernelCapsAdvertised(t *testing.T) {
+	for name, want := range map[string]struct {
+		batch, adaptive, bernoulli bool
+	}{
+		"coop.ber":            {false, true, false},
+		"coop.ber.batch":      {true, true, false},
+		"coop.ber.scalar":     {false, false, false},
+		"coop.ber.adaptive":   {true, true, true},
+		"multihop.ber":        {false, true, false},
+		"multihop.ber.batch":  {true, true, true},
+		"multihop.ber.scalar": {false, false, false},
+		"cellfree.se":         {false, true, false},
+		"cellfree.se.mmse":    {false, true, false},
+	} {
+		caps, ok := sim.KernelCapsFor(name)
+		if !ok {
+			t.Errorf("kernel %q unregistered", name)
+			continue
+		}
+		if caps.Batch != want.batch || caps.Adaptive != want.adaptive || (caps.BernoulliUnits != nil) != want.bernoulli {
+			t.Errorf("%s caps = {batch %v, adaptive %v, bernoulli %v}, want %+v",
+				name, caps.Batch, caps.Adaptive, caps.BernoulliUnits != nil, want)
+		}
+	}
+}
+
+// TestBernoulliUnits: the units functions convert params to the bit
+// counts the Wilson stopping rule divides by.
+func TestBernoulliUnits(t *testing.T) {
+	caps, _ := sim.KernelCapsFor("coop.ber.adaptive")
+	if got := caps.BernoulliUnits(map[string]float64{"bits": 128}); got != 128 {
+		t.Errorf("coop bits(128) = %g", got)
+	}
+	if got := caps.BernoulliUnits(nil); got != 64 {
+		t.Errorf("coop bits(default) = %g, want 64", got)
+	}
+	mcaps, _ := sim.KernelCapsFor("multihop.ber.batch")
+	// multihop rounds bits up to a multiple of 6*b codewords.
+	if got := mcaps.BernoulliUnits(map[string]float64{"bits": 100, "b": 1}); got != 102 {
+		t.Errorf("multihop bits(100, b=1) = %g, want 102", got)
+	}
+}

@@ -1,0 +1,136 @@
+// Command adaptivesmoke is the end-to-end check of the adaptive
+// Monte-Carlo subsystem on a deep-BER point. It runs one 2x2
+// cooperative cell under a Wilson-stopped trial budget and asserts the
+// three promises the subsystem makes:
+//
+//  1. Accuracy: the run stops only once the relative Wilson 95%
+//     half-width of the BER is inside the target.
+//  2. Economy: the realized spend is at least 10x below the fixed
+//     budget a non-adaptive run of the same cell would burn, and the
+//     full-budget fixed run's estimate agrees with the adaptive one to
+//     within 5 combined standard errors — same answer, a fraction of
+//     the trials.
+//  3. Replayability: the recorded sim.PlanTrace reproduces the result
+//     bit-identically, serially AND sharded across a 3-worker loopback
+//     cluster with one worker killed mid-campaign.
+//
+// Run from the repo root:
+//
+//	go run ./internal/tools/adaptivesmoke
+//	make adaptive-smoke
+//
+// Exit status 0 means the stopping rule, the budget accounting and the
+// replay contract all hold; anything else is a statistics or
+// scheduling bug.
+package main
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"os"
+	"time"
+
+	"repro/internal/adaptive"
+	"repro/internal/cluster"
+	"repro/internal/sim"
+
+	_ "repro/internal/simkern" // register coop.ber.adaptive
+)
+
+func main() {
+	const (
+		kernel  = "coop.ber.adaptive"
+		seed    = 1
+		bits    = 64
+		minGain = 10.0
+	)
+	params := map[string]float64{"mt": 2, "mr": 2, "snr_db": 6, "bits": bits}
+	budget := adaptive.Budget{TargetRelCI: 0.10, MaxTrials: 64 * sim.ChunkSize}
+	mc := sim.MonteCarlo{Seed: seed}
+
+	// 1. The adaptive run: must stop early and certify its target.
+	start := time.Now()
+	res, err := adaptive.Run(context.Background(), mc, kernel, params, budget)
+	if err != nil {
+		fatal(err)
+	}
+	adaptiveDur := time.Since(start)
+	if !res.Trace.Stopped {
+		fatal(fmt.Errorf("budget of %d trials exhausted without meeting ±%.0f%%; deep point too deep for the smoke",
+			budget.MaxTrials, 100*budget.TargetRelCI))
+	}
+	p := res.Stats.Mean()
+	units := float64(res.Stats.N()) * bits
+	lo, hi := adaptive.Wilson(p*units, units, adaptive.Z95)
+	rel := (hi - lo) / 2 / p
+	if rel > budget.TargetRelCI {
+		fatal(fmt.Errorf("stopped with relative CI %.3f > target %.3f", rel, budget.TargetRelCI))
+	}
+	fmt.Printf("adaptivesmoke: BER %.3e ±%.1f%% after %d of %d budgeted trials (%d rounds, %v)\n",
+		p, 100*rel, res.Trace.Trials, budget.MaxTrials, len(res.Trace.Rounds), adaptiveDur.Round(time.Millisecond))
+
+	// 2. Economy: >= 10x fewer trials than the fixed budget, and the
+	// fixed full-budget estimate must sit inside the adaptive CI — the
+	// cheap answer is the same answer.
+	gain := float64(budget.MaxTrials) / float64(res.Trace.Trials)
+	if gain < minGain {
+		fatal(fmt.Errorf("trials-to-target gain %.1fx < %.0fx (realized %d of %d)",
+			gain, minGain, res.Trace.Trials, budget.MaxTrials))
+	}
+	fixed, err := mc.RunKernelCtx(context.Background(), kernel, params, budget.MaxTrials)
+	if err != nil {
+		fatal(err)
+	}
+	tol := 5 * math.Hypot(res.Stats.StdErr(), fixed.StdErr())
+	if diff := math.Abs(fixed.Mean() - p); diff > tol {
+		fatal(fmt.Errorf("fixed-budget BER %.3e vs adaptive %.3e: |diff| %.2e > 5-sigma tolerance %.2e",
+			fixed.Mean(), p, diff, tol))
+	}
+	fmt.Printf("adaptivesmoke: %.1fx fewer trials than the fixed budget; fixed-run BER %.3e agrees within tolerance\n",
+		gain, fixed.Mean())
+
+	// 3a. Serial replay: byte-identical statistics from the trace.
+	rep, err := adaptive.Replay(context.Background(), mc, kernel, params, res.Trace)
+	if err != nil {
+		fatal(err)
+	}
+	if rep.Stats.Snapshot() != res.Stats.Snapshot() {
+		fatal(fmt.Errorf("serial replay diverged: %+v != %+v", rep.Stats.Snapshot(), res.Stats.Snapshot()))
+	}
+
+	// 3b. Cluster replay: 3 loopback workers, one killed before any
+	// round runs. Shards reassign; bits do not move.
+	lb := cluster.NewLoopback("w1", "w2", "w3")
+	reg := cluster.NewRegistry(lb, "w1", "w2", "w3")
+	co := cluster.NewCoordinator(lb, reg, cluster.Config{
+		Shards: 3, RetryBase: time.Millisecond, RetryMax: 10 * time.Millisecond,
+	})
+	lb.Node("w2").Kill()
+	ctx := sim.WithExecutor(context.Background(), co)
+
+	dist, err := adaptive.Run(ctx, mc, kernel, params, budget)
+	if err != nil {
+		fatal(err)
+	}
+	if dist.Stats.Snapshot() != res.Stats.Snapshot() || dist.Trace.Trials != res.Trace.Trials {
+		fatal(fmt.Errorf("distributed adaptive run diverged from serial"))
+	}
+	crep, err := adaptive.Replay(ctx, mc, kernel, params, res.Trace)
+	if err != nil {
+		fatal(err)
+	}
+	if crep.Stats.Snapshot() != res.Stats.Snapshot() {
+		fatal(fmt.Errorf("cluster replay diverged: %+v != %+v", crep.Stats.Snapshot(), res.Stats.Snapshot()))
+	}
+	if lb.Node("w1").Shards()+lb.Node("w3").Shards() == 0 {
+		fatal(fmt.Errorf("no surviving worker computed a shard"))
+	}
+	fmt.Println("adaptivesmoke: replay byte-identical serially and across 3-worker loopback with one worker killed")
+	fmt.Println("adaptivesmoke: ok")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "adaptivesmoke:", err)
+	os.Exit(1)
+}
